@@ -1,0 +1,62 @@
+// Command flowbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	flowbench                        # run every experiment at SMALL size
+//	flowbench -experiment fig5       # one experiment
+//	flowbench -size MINI             # change problem size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment id: table1, table2, fig4, fig5, table3, fig6, table4, fig7, fig8, or all")
+	size := flag.String("size", "SMALL", "problem size preset: MINI or SMALL")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.SizeName = strings.ToUpper(*size)
+
+	funcs := map[string]func(experiments.Config) (*experiments.Table, error){
+		"table1": experiments.Table1,
+		"table2": experiments.Table2,
+		"fig4":   experiments.Fig4,
+		"fig5":   experiments.Fig5,
+		"table3": experiments.Table3,
+		"fig6":   experiments.Fig6,
+		"table4": experiments.Table4,
+		"fig7":   experiments.Fig7,
+		"fig8":   experiments.Fig8,
+	}
+
+	if *exp == "all" {
+		tabs, err := experiments.All(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tabs {
+			fmt.Println(t)
+		}
+		return
+	}
+	fn, ok := funcs[strings.ToLower(*exp)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flowbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	t, err := fn(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t)
+}

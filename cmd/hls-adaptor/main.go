@@ -1,0 +1,66 @@
+// Command hls-adaptor is the paper's contribution as a standalone tool: it
+// reads LLVM IR (as produced by mlir-translate), legalizes it into
+// HLS-readable IR, prints the adapted module, and reports the applied fixes
+// on stderr.
+//
+// Usage:
+//
+//	hls-adaptor [-top NAME] [-report] [input.ll]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hls"
+	"repro/internal/llvm/parser"
+)
+
+func main() {
+	top := flag.String("top", "", "top function (defaults to the hls.top attribute)")
+	report := flag.Bool("report", true, "print the fix report to stderr")
+	check := flag.Bool("check", true, "verify the result passes the HLS readability gate")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.Adapt(m, core.Options{TopFunc: *top})
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		if vs := hls.Check(m); len(vs) > 0 {
+			fmt.Fprintln(os.Stderr, "hls-adaptor: WARNING: result still violates the gate:")
+			for _, v := range vs {
+				fmt.Fprintln(os.Stderr, "  ", v)
+			}
+		}
+	}
+	if *report {
+		fmt.Fprintf(os.Stderr, "hls-adaptor: %d fixes applied\n%s", rep.Total(), rep)
+	}
+	fmt.Print(m.Print())
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hls-adaptor:", err)
+	os.Exit(1)
+}

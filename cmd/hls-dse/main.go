@@ -1,0 +1,86 @@
+// Command hls-dse runs the automated design-space explorer (an extension
+// beyond the paper) on a benchmark kernel or an MLIR file, printing every
+// evaluated configuration and the latency/area Pareto frontier.
+//
+// Usage:
+//
+//	hls-dse -kernel gemm [-size SMALL]        # explore a polybench kernel
+//	hls-dse -top name input.mlir              # explore a hand-written kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/dse"
+	"repro/internal/hls"
+	"repro/internal/mlir"
+	"repro/internal/mlir/parser"
+	"repro/internal/polybench"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "polybench kernel name (see flowbench table1)")
+	size := flag.String("size", "SMALL", "problem size preset")
+	top := flag.String("top", "", "top function for MLIR-file input")
+	clock := flag.Float64("clock", 10.0, "target clock period in ns")
+	flag.Parse()
+
+	tgt := hls.DefaultTarget()
+	tgt.ClockNs = *clock
+
+	var build func() *mlir.Module
+	var name string
+	switch {
+	case *kernel != "":
+		k := polybench.Get(*kernel)
+		if k == nil {
+			fatal(fmt.Errorf("unknown kernel %q", *kernel))
+		}
+		s, err := k.SizeOf(*size)
+		if err != nil {
+			fatal(err)
+		}
+		build = func() *mlir.Module { return k.Build(s) }
+		name = k.Name
+	case flag.Arg(0) != "":
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if *top == "" {
+			fatal(fmt.Errorf("-top is required for MLIR-file input"))
+		}
+		build = func() *mlir.Module {
+			m, err := parser.Parse(string(src))
+			if err != nil {
+				fatal(err)
+			}
+			return m
+		}
+		name = *top
+	default:
+		fatal(fmt.Errorf("pass -kernel NAME or an input.mlir with -top"))
+	}
+
+	res, err := dse.Explore(build, name, tgt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("explored %d configurations of %s:\n\n", len(res.Points), name)
+	pts := append([]dse.Point(nil), res.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Latency() < pts[j].Latency() })
+	fmt.Printf("%-20s %10s %10s\n", "config", "latency", "area")
+	for _, p := range pts {
+		fmt.Printf("%-20s %10d %10.0f\n", p.Label, p.Latency(), p.Area)
+	}
+	fmt.Printf("\nPareto frontier (latency vs area):\n%s", res)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hls-dse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command mlir-opt parses MLIR text, runs the requested passes, and prints
+// the result — the front half of both HLS flows.
+//
+// Usage:
+//
+//	mlir-opt [flags] [input.mlir]    # stdin when no file is given
+//
+// Pass flags (applied in the listed order when set):
+//
+//	-canonicalize              constant folding + DCE
+//	-cse                       common-subexpression elimination
+//	-pipeline II               mark innermost loops for pipelining
+//	-unroll N                  unroll innermost loops by N
+//	-partition kind,factor     cyclic/block/complete partition on all args
+//	-top NAME                  mark the top function
+//	-lower-affine              affine -> scf
+//	-lower-scf                 scf -> cf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/mlir/lower"
+	"repro/internal/mlir/parser"
+	"repro/internal/mlir/passes"
+)
+
+func main() {
+	canonicalize := flag.Bool("canonicalize", false, "run canonicalization")
+	cse := flag.Bool("cse", false, "run CSE")
+	pipeline := flag.Int("pipeline", 0, "pipeline innermost loops with this II")
+	unroll := flag.Int("unroll", 0, "unroll innermost loops by this factor")
+	partition := flag.String("partition", "", "partition all args: kind,factor (e.g. cyclic,2)")
+	top := flag.String("top", "", "mark this function as the HLS top")
+	lowerAffine := flag.Bool("lower-affine", false, "lower affine to scf")
+	lowerSCF := flag.Bool("lower-scf", false, "lower scf to cf")
+	verify := flag.Bool("verify", true, "verify the module after parsing and passes")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *verify {
+		if err := m.Verify(); err != nil {
+			fatal(err)
+		}
+	}
+
+	pm := passes.NewPassManager()
+	pm.VerifyEach = *verify
+	if *top != "" {
+		pm.Add(passes.MarkTop(*top))
+	}
+	if *pipeline > 0 {
+		pm.Add(passes.PipelineInnermost(*pipeline))
+	}
+	if *unroll > 1 {
+		pm.Add(passes.MarkUnroll(*unroll), passes.LoopUnroll(0, true))
+	}
+	if *partition != "" {
+		parts := strings.Split(*partition, ",")
+		spec := passes.PartitionSpec{Kind: parts[0]}
+		if len(parts) > 1 {
+			spec.Factor, _ = strconv.Atoi(parts[1])
+		}
+		pm.Add(passes.PartitionAllArgs(spec))
+	}
+	if *canonicalize {
+		pm.Add(passes.Canonicalize())
+	}
+	if *cse {
+		pm.Add(passes.CSE())
+	}
+	if err := pm.Run(m); err != nil {
+		fatal(err)
+	}
+	if *lowerAffine {
+		if err := lower.AffineToSCF(m); err != nil {
+			fatal(err)
+		}
+	}
+	if *lowerSCF {
+		if err := lower.SCFToCF(m); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(m.Print())
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlir-opt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command mlir-translate lowers an MLIR module all the way to LLVM IR (.ll),
+// reproducing upstream behavior: the output uses the modern dialect
+// (opaque pointers, descriptor ABI, current intrinsics) and is NOT yet
+// HLS-readable — run hls-adaptor on it next.
+//
+// Usage:
+//
+//	mlir-translate [input.mlir]      # stdin when no file is given
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/mlir/lower"
+	"repro/internal/mlir/parser"
+	"repro/internal/translate"
+)
+
+func main() {
+	lifetimes := flag.Bool("lifetime-markers", true, "emit llvm.lifetime intrinsics around local buffers")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		fatal(err)
+	}
+	if err := lower.AffineToSCF(m); err != nil {
+		fatal(err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		fatal(err)
+	}
+	lm, err := translate.Translate(m, translate.Options{EmitLifetimeMarkers: *lifetimes})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(lm.Print())
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlir-translate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command vitis-sim is the HLS backend stand-in: it reads LLVM IR, runs the
+// readability gate, and prints a synthesis report (latency, loop IIs,
+// LUT/FF/DSP/BRAM).
+//
+// Usage:
+//
+//	vitis-sim -top NAME [-clock NS] [input.ll]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/hls"
+	"repro/internal/llvm/parser"
+)
+
+func main() {
+	top := flag.String("top", "", "top function to synthesize (required unless the module has one function)")
+	clock := flag.Float64("clock", 10.0, "target clock period in ns")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	name := *top
+	if name == "" {
+		if len(m.Funcs) == 1 {
+			name = m.Funcs[0].Name
+		} else {
+			for _, f := range m.Funcs {
+				if f.Attrs["hls.top"] == "1" {
+					name = f.Name
+				}
+			}
+		}
+	}
+	if name == "" {
+		fatal(fmt.Errorf("cannot determine the top function; pass -top"))
+	}
+	tgt := hls.DefaultTarget()
+	tgt.ClockNs = *clock
+	rep, err := hls.Synthesize(m, name, tgt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vitis-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,233 @@
+package cfront
+
+import (
+	"testing"
+
+	"repro/internal/llvm/interp"
+)
+
+// runVoid compiles src and runs fn on the given buffers.
+func runVoid(t *testing.T, src, fn string, mems ...*interp.Mem) {
+	t.Helper()
+	m, err := Compile(src, Options{Top: fn})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	args := make([]interp.Arg, len(mems))
+	for i := range mems {
+		args[i] = interp.PtrArg(mems[i], 0)
+	}
+	mc := interp.NewMachine(m)
+	if _, _, err := mc.Run(fn, args...); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestPlusPlusIncrement(t *testing.T) {
+	src := `
+void f(int out[4]) {
+  for (int i = 0; i < 4; i++) {
+    out[i] = i;
+  }
+}
+`
+	out := interp.NewMem(16)
+	runVoid(t, src, "f", out)
+	for i, v := range out.Int32Slice() {
+		if v != int32(i) {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestLessEqualLoop(t *testing.T) {
+	src := `
+void f(int out[5]) {
+  for (int i = 0; i <= 4; i += 1) {
+    out[i] = 1;
+  }
+}
+`
+	out := interp.NewMem(20)
+	runVoid(t, src, "f", out)
+	for i, v := range out.Int32Slice() {
+		if v != 1 {
+			t.Errorf("out[%d] = %d (trip count wrong for <=)", i, v)
+		}
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	src := `
+void f(int in[6], int out[6]) {
+  for (int i = 0; i < 6; i += 1) {
+    int v = in[i];
+    int both = v > 1 && v < 4;
+    int either = v < 1 || v > 4;
+    int neither = !(v > 0);
+    out[i] = both * 100 + either * 10 + neither;
+  }
+}
+`
+	in := interp.NewMem(24)
+	out := interp.NewMem(24)
+	vals := []int32{0, 1, 2, 4, 5, 3}
+	for i, v := range vals {
+		in.SetInt32(i, v)
+	}
+	runVoid(t, src, "f", in, out)
+	want := []int32{11, 0, 100, 0, 10, 100}
+	for i, w := range want {
+		if got := out.Int32Slice()[i]; got != w {
+			t.Errorf("out[%d] = %d, want %d (v=%d)", i, got, w, vals[i])
+		}
+	}
+}
+
+func TestUnaryMinusAndCasts(t *testing.T) {
+	src := `
+void f(float out[4]) {
+  int i = 3;
+  out[0] = -1.5f;
+  out[1] = (float)i;
+  out[2] = (float)(i / 2);
+  out[3] = -(float)i;
+}
+`
+	out := interp.NewMem(16)
+	runVoid(t, src, "f", out)
+	want := []float32{-1.5, 3, 1, -3}
+	for i, w := range want {
+		if got := out.Float32Slice()[i]; got != w {
+			t.Errorf("out[%d] = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestNestedIfElseChains(t *testing.T) {
+	src := `
+void f(int in[5], int out[5]) {
+  for (int i = 0; i < 5; i += 1) {
+    int v = in[i];
+    if (v < 2) {
+      if (v < 1) {
+        out[i] = 0;
+      } else {
+        out[i] = 1;
+      }
+    } else {
+      out[i] = 2;
+    }
+  }
+}
+`
+	in := interp.NewMem(20)
+	out := interp.NewMem(20)
+	for i, v := range []int32{0, 1, 2, 3, 0} {
+		in.SetInt32(i, v)
+	}
+	runVoid(t, src, "f", in, out)
+	want := []int32{0, 1, 2, 2, 0}
+	for i, w := range want {
+		if got := out.Int32Slice()[i]; got != w {
+			t.Errorf("out[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestEarlyReturn(t *testing.T) {
+	src := `
+void f(int out[2]) {
+  out[0] = 1;
+  return;
+}
+`
+	out := interp.NewMem(8)
+	runVoid(t, src, "f", out)
+	got := out.Int32Slice()
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("out = %v", got)
+	}
+}
+
+func TestTwoFunctions(t *testing.T) {
+	src := `
+void first(int a[2]) {
+  a[0] = 10;
+}
+
+void second(int a[2]) {
+  a[1] = 20;
+}
+`
+	m, err := Compile(src, Options{Top: "second"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FindFunc("first") == nil || m.FindFunc("second") == nil {
+		t.Fatal("both functions should compile")
+	}
+	if m.FindFunc("second").Attrs["hls.top"] != "1" {
+		t.Error("top selection wrong")
+	}
+	if _, ok := m.FindFunc("first").Attrs["hls.top"]; ok {
+		t.Error("non-top function marked top")
+	}
+}
+
+func TestCommentsAndUnknownPragmas(t *testing.T) {
+	src := `
+// header comment
+/* block
+   comment */
+#pragma once
+void f(int out[1]) {
+#pragma HLS unknown_directive foo=bar
+  out[0] = 42; // trailing
+}
+`
+	out := interp.NewMem(4)
+	runVoid(t, src, "f", out)
+	if out.Int32Slice()[0] != 42 {
+		t.Error("comments/pragmas broke parsing")
+	}
+}
+
+func TestVariableShadowing(t *testing.T) {
+	src := `
+void f(int out[3]) {
+  int i = 99;
+  out[0] = i;
+  for (int i = 0; i < 1; i += 1) {
+    out[1] = i;
+  }
+  out[2] = i;
+}
+`
+	out := interp.NewMem(12)
+	runVoid(t, src, "f", out)
+	got := out.Int32Slice()
+	if got[0] != 99 || got[1] != 0 || got[2] != 99 {
+		t.Errorf("shadowing broken: %v", got)
+	}
+}
+
+func TestMixedPrecisionPromotion(t *testing.T) {
+	src := `
+void f(float out[2], double d[1]) {
+  float x = 0.5f;
+  d[0] = x + 0.25;
+  out[0] = (float)(d[0] * 2.0);
+  out[1] = x * 2.0f;
+}
+`
+	out := interp.NewMem(8)
+	d := interp.NewMem(8)
+	runVoid(t, src, "f", out, d)
+	if d.Float64Slice()[0] != 0.75 {
+		t.Errorf("double promotion wrong: %g", d.Float64Slice()[0])
+	}
+	if out.Float32Slice()[0] != 1.5 || out.Float32Slice()[1] != 1 {
+		t.Errorf("float results: %v", out.Float32Slice())
+	}
+}

@@ -1,0 +1,196 @@
+package cgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cfront"
+	"repro/internal/hls"
+	"repro/internal/llvm/interp"
+	"repro/internal/mlir"
+	"repro/internal/mlir/passes"
+)
+
+func buildGemm(n int64) *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{n, n}, mlir.F32())
+	_, args := m.AddFunc("gemm", []*mlir.Type{ty, ty, ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("gemm")))
+	b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, k *mlir.Value) {
+				a := b.AffineLoad(args[0], i, k)
+				x := b.AffineLoad(args[1], k, j)
+				c := b.AffineLoad(args[2], i, j)
+				s := b.AddF(c, b.MulF(a, x))
+				b.AffineStore(s, args[2], i, j)
+			})
+		})
+	})
+	b.Return()
+	return m
+}
+
+func TestEmitGemmStructure(t *testing.T) {
+	m := buildGemm(8)
+	pm := passes.NewPassManager().Add(
+		passes.PipelineInnermost(1),
+		passes.PartitionArg("gemm", 0, passes.PartitionSpec{Kind: "cyclic", Factor: 2, Dim: 0}),
+	)
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Emit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"void gemm(float v0[8][8], float v1[8][8], float v2[8][8])",
+		"#pragma HLS interface ap_memory port=v0",
+		"#pragma HLS array_partition variable=v0 cyclic factor=2 dim=1",
+		"#pragma HLS pipeline II=1",
+		"for (int v",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted C++ missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmittedCodeCompilesAndMatches(t *testing.T) {
+	const n = 5
+	// Reference through the MLIR interpreter.
+	ref := buildGemm(n)
+	ty := mlir.MemRef([]int64{n, n}, mlir.F32())
+	A, B, C := mlir.NewMemBuf(ty), mlir.NewMemBuf(ty), mlir.NewMemBuf(ty)
+	r := rand.New(rand.NewSource(5))
+	for i := range A.F {
+		A.F[i] = float64(float32(r.Float64()))
+		B.F[i] = float64(float32(r.Float64()))
+	}
+	if err := ref.Interpret("gemm", A, B, C); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline flow: emit C++, re-frontend, execute.
+	src, err := Emit(buildGemm(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := cfront.Compile(src, cfront.Options{Top: "gemm"})
+	if err != nil {
+		t.Fatalf("emitted C++ failed to compile: %v\n%s", err, src)
+	}
+	mk := func(src []float64) *interp.Mem {
+		m := interp.NewMem(int64(len(src)) * 4)
+		for i, v := range src {
+			m.SetFloat32(i, float32(v))
+		}
+		return m
+	}
+	ma, mb, mc := mk(A.F), mk(B.F), mk(make([]float64, n*n))
+	machine := interp.NewMachine(lm)
+	if _, _, err := machine.Run("gemm",
+		interp.PtrArg(ma, 0), interp.PtrArg(mb, 0), interp.PtrArg(mc, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got := mc.Float32Slice()
+	for i := range got {
+		if float64(got[i]) != C.F[i] {
+			t.Fatalf("element %d: C++ flow %g vs reference %g", i, got[i], C.F[i])
+		}
+	}
+}
+
+func TestEmitStencilNegativeOffsets(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{16}, mlir.F64())
+	_, args := m.AddFunc("sten", []*mlir.Type{ty, ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("sten")))
+	b.AffineForConst(1, 15, 1, func(b *mlir.Builder, i *mlir.Value) {
+		l := b.AffineLoadMap(args[0], mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(-1))), i)
+		c := b.AffineLoad(args[0], i)
+		r := b.AffineLoadMap(args[0], mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(1))), i)
+		s := b.AddF(b.AddF(l, c), r)
+		b.AffineStore(s, args[1], i)
+	})
+	b.Return()
+
+	src, err := Emit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "- 1)]") {
+		t.Errorf("negative stencil offset not emitted:\n%s", src)
+	}
+	lm, err := cfront.Compile(src, cfront.Options{Top: "sten"})
+	if err != nil {
+		t.Fatalf("stencil C++ failed to compile: %v\n%s", err, src)
+	}
+	in := interp.NewMem(16 * 8)
+	out := interp.NewMem(16 * 8)
+	for i := 0; i < 16; i++ {
+		in.SetFloat64(i, float64(i))
+	}
+	machine := interp.NewMachine(lm)
+	if _, _, err := machine.Run("sten", interp.PtrArg(in, 0), interp.PtrArg(out, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got := out.Float64Slice()
+	for i := 1; i < 15; i++ {
+		want := float64(i-1) + float64(i) + float64(i+1)
+		if got[i] != want {
+			t.Errorf("sten[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+}
+
+func TestEmittedFlowSynthesizes(t *testing.T) {
+	m := buildGemm(8)
+	if err := passes.PipelineInnermost(1).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Emit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := cfront.Compile(src, cfront.Options{Top: "gemm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hls.Synthesize(lm, "gemm", hls.DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LatencyCycles == 0 || len(rep.Loops) != 3 {
+		t.Errorf("implausible synthesis of emitted flow: %s", rep)
+	}
+}
+
+func TestEmitLocalBuffer(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8}, mlir.F32())
+	_, args := m.AddFunc("buf", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("buf")))
+	tmp := b.Alloc(mlir.MemRef([]int64{8}, mlir.F32()))
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		b.AffineStore(v, tmp, i)
+	})
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(tmp, i)
+		b.AffineStore(v, args[0], i)
+	})
+	b.Return()
+	src, err := Emit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "float v1[8];") {
+		t.Errorf("local buffer declaration missing:\n%s", src)
+	}
+	if _, err := cfront.Compile(src, cfront.Options{Top: "buf"}); err != nil {
+		t.Fatalf("local-buffer C++ failed to compile: %v\n%s", err, src)
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/llvm"
+	"repro/internal/llvm/interp"
+	"repro/internal/mlir"
+	"repro/internal/mlir/lower"
+	"repro/internal/mlir/passes"
+	"repro/internal/translate"
+)
+
+func buildGemm(n int64) *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{n, n}, mlir.F64())
+	_, args := m.AddFunc("gemm", []*mlir.Type{ty, ty, ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("gemm")))
+	b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, k *mlir.Value) {
+				a := b.AffineLoad(args[0], i, k)
+				x := b.AffineLoad(args[1], k, j)
+				c := b.AffineLoad(args[2], i, j)
+				s := b.AddF(c, b.MulF(a, x))
+				b.AffineStore(s, args[2], i, j)
+			})
+		})
+	})
+	b.Return()
+	return m
+}
+
+// translateGemm builds, lowers and translates the gemm kernel.
+func translateGemm(t *testing.T, n int64, withTop bool) *llvm.Module {
+	t.Helper()
+	m := buildGemm(n)
+	if withTop {
+		if err := passes.MarkTop("gemm").Run(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lower.AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := translate.Translate(m, translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lm
+}
+
+func TestAdaptCollapsesDescriptors(t *testing.T) {
+	lm := translateGemm(t, 4, true)
+	rep, err := Adapt(lm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := lm.FindFunc("gemm")
+	if len(f.Params) != 3 {
+		t.Fatalf("want 3 array params after adaptation, got %d", len(f.Params))
+	}
+	for i, p := range f.Params {
+		if !p.Ty.IsPtr() || p.Ty.Elem == nil || !p.Ty.Elem.IsArray() {
+			t.Errorf("param %d should be a shaped array pointer, got %s", i, p.Ty.TypedString())
+		}
+		if p.Ty.Elem.N != 16 {
+			t.Errorf("param %d array length = %d, want 16", i, p.Ty.Elem.N)
+		}
+	}
+	if rep.CountByKind(FixDescriptor) == 0 {
+		t.Error("descriptor fixes not recorded")
+	}
+	if lm.Flavor != llvm.FlavorHLS {
+		t.Error("module flavor not switched to HLS")
+	}
+	// GEPs now step through the array type.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == llvm.OpGEP && !in.SrcElem.IsArray() {
+				t.Errorf("unadapted gep remains (src elem %s)", in.SrcElem)
+			}
+		}
+	}
+	// Typed pointers in print.
+	txt := lm.Print()
+	if !strings.Contains(txt, "[16 x double]*") {
+		t.Errorf("HLS module should print typed array pointers:\n%s", txt)
+	}
+	if strings.Contains(txt, " ptr ") {
+		t.Errorf("HLS module should not print opaque pointers:\n%s", txt)
+	}
+}
+
+func TestAdaptPreservesSemantics(t *testing.T) {
+	const n = 5
+	// Reference via MLIR interpreter.
+	refMod := buildGemm(n)
+	ty := mlir.MemRef([]int64{n, n}, mlir.F64())
+	A, B, C := mlir.NewMemBuf(ty), mlir.NewMemBuf(ty), mlir.NewMemBuf(ty)
+	r := rand.New(rand.NewSource(21))
+	for i := range A.F {
+		A.F[i] = r.Float64()
+		B.F[i] = r.Float64()
+	}
+	if err := refMod.Interpret("gemm", A, B, C); err != nil {
+		t.Fatal(err)
+	}
+
+	lm := translateGemm(t, n, true)
+	if _, err := Adapt(lm, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(src []float64) *interp.Mem {
+		m := interp.NewMem(int64(len(src)) * 8)
+		for i, v := range src {
+			m.SetFloat64(i, v)
+		}
+		return m
+	}
+	r2 := rand.New(rand.NewSource(21))
+	a := make([]float64, n*n)
+	bb := make([]float64, n*n)
+	for i := range a {
+		a[i] = r2.Float64()
+		bb[i] = r2.Float64()
+	}
+	ma, mb, mc := mk(a), mk(bb), mk(make([]float64, n*n))
+	machine := interp.NewMachine(lm)
+	if _, _, err := machine.Run("gemm",
+		interp.PtrArg(ma, 0), interp.PtrArg(mb, 0), interp.PtrArg(mc, 0)); err != nil {
+		t.Fatalf("adapted IR failed to run: %v", err)
+	}
+	got := mc.Float64Slice()
+	for i := range got {
+		d := got[i] - C.F[i]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("adapted IR wrong at %d: %g vs %g", i, got[i], C.F[i])
+		}
+	}
+}
+
+func TestAdaptMallocAndLifetime(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8}, mlir.F32())
+	_, args := m.AddFunc("scratch", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("scratch")))
+	tmp := b.Alloc(mlir.MemRef([]int64{8}, mlir.F32()))
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		b.AffineStore(v, tmp, i)
+	})
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(tmp, i)
+		s := b.AddF(v, v)
+		b.AffineStore(s, args[0], i)
+	})
+	b.Return()
+	if err := lower.AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Adapt(lm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := lm.Print()
+	if strings.Contains(txt, "@malloc") || strings.Contains(txt, "lifetime") {
+		t.Errorf("malloc/lifetime survived adaptation:\n%s", txt)
+	}
+	if !strings.Contains(txt, "alloca [8 x float]") {
+		t.Errorf("expected staticized alloca:\n%s", txt)
+	}
+	if rep.CountByKind(FixMalloc) == 0 || rep.CountByKind(FixIntrinsic) == 0 {
+		t.Errorf("fix report incomplete: %s", rep)
+	}
+	// Execute: out[i] = 2*in[i].
+	mem := interp.NewMem(32)
+	for i := 0; i < 8; i++ {
+		mem.SetFloat32(i, float32(i))
+	}
+	machine := interp.NewMachine(lm)
+	if _, _, err := machine.Run("scratch", interp.PtrArg(mem, 0)); err != nil {
+		t.Fatal(err)
+	}
+	out := mem.Float32Slice()
+	for i := 0; i < 8; i++ {
+		if out[i] != float32(2*i) {
+			t.Errorf("scratch[%d] = %g, want %d", i, out[i], 2*i)
+		}
+	}
+}
+
+func TestAdaptIntrinsicRenames(t *testing.T) {
+	lm := llvm.NewModule("intr")
+	f := llvm.NewFunction("k", llvm.Void(), &llvm.Param{Name: "x", Ty: llvm.DoubleT()})
+	lm.AddFunc(f)
+	blk := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(blk)
+	s := b.Call("llvm.sqrt.f64", llvm.DoubleT(), f.Params[0])
+	e := b.Call("llvm.exp.f64", llvm.DoubleT(), s)
+	fma := b.Call("llvm.fmuladd.f64", llvm.DoubleT(), e, e, e)
+	_ = fma
+	b.Ret(nil)
+	if _, err := Adapt(lm, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	txt := lm.Print()
+	for _, want := range []string{"@sqrt(", "@exp("} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("missing legalized call %s:\n%s", want, txt)
+		}
+	}
+	if strings.Contains(txt, "fmuladd") {
+		t.Error("fmuladd not expanded")
+	}
+	if !strings.Contains(txt, "fmul double") || !strings.Contains(txt, "fadd double") {
+		t.Error("fmuladd should expand to fmul+fadd")
+	}
+}
+
+func TestAdaptSingleExit(t *testing.T) {
+	lm := llvm.NewModule("exits")
+	f := llvm.NewFunction("two", llvm.Void(), &llvm.Param{Name: "c", Ty: llvm.I1()})
+	lm.AddFunc(f)
+	entry := f.AddBlock("entry")
+	a := f.AddBlock("a")
+	bblk := f.AddBlock("b")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	b.CondBr(f.Params[0], a, bblk)
+	b.SetBlock(a)
+	b.Ret(nil)
+	b.SetBlock(bblk)
+	b.Ret(nil)
+	rep, err := Adapt(lm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rets := 0
+	for _, blk := range f.Blocks {
+		if t := blk.Terminator(); t != nil && t.Op == llvm.OpRet {
+			rets++
+		}
+	}
+	if rets != 1 {
+		t.Errorf("want single exit, got %d rets", rets)
+	}
+	if rep.CountByKind(FixExit) == 0 {
+		t.Error("exit merge not recorded")
+	}
+}
+
+func TestAdaptInterfaceAnnotations(t *testing.T) {
+	lm := translateGemm(t, 4, true)
+	// Simulate a partition directive carried from MLIR.
+	f := lm.FindFunc("gemm")
+	f.SetAttr("hls.array_partition.arg0", `["cyclic", 2, 1]`)
+	if _, err := Adapt(lm, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Attrs["hls.array_partition.arg0"] != "cyclic,2,1" {
+		t.Errorf("partition attr not normalized: %q", f.Attrs["hls.array_partition.arg0"])
+	}
+	if f.Attrs["hls.top"] != "1" {
+		t.Error("top attribute missing")
+	}
+	foundMem := false
+	for _, p := range f.Params {
+		for _, a := range p.Attrs {
+			if strings.Contains(a, "ap_memory") {
+				foundMem = true
+			}
+		}
+	}
+	if !foundMem {
+		t.Error("array params should get ap_memory interface")
+	}
+}
+
+func TestAdaptGEPCanonicalize(t *testing.T) {
+	lm := llvm.NewModule("gep")
+	arr := llvm.ArrayOf(16, llvm.FloatT())
+	f := llvm.NewFunction("g", llvm.Void(), &llvm.Param{Name: "p", Ty: llvm.Ptr(arr)}, &llvm.Param{Name: "i", Ty: llvm.I64()})
+	lm.AddFunc(f)
+	blk := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(blk)
+	// gep [16xf], p, 0, i ; then gep f, that, 3 — should merge.
+	g1 := b.GEP(arr, f.Params[0], llvm.CI(llvm.I64(), 0), f.Params[1])
+	g2 := b.GEP(llvm.FloatT(), g1, llvm.CI(llvm.I64(), 3))
+	v := b.Load(llvm.FloatT(), g2)
+	b.Store(v, g2)
+	b.Ret(nil)
+	rep, err := Adapt(lm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CountByKind(FixGEP) == 0 {
+		t.Error("gep canonicalization not recorded")
+	}
+	geps := 0
+	for _, in := range blk.Instrs {
+		if in.Op == llvm.OpGEP {
+			geps++
+			if !in.SrcElem.IsArray() {
+				t.Error("merged gep should step through the array type")
+			}
+		}
+	}
+	if geps != 1 {
+		t.Errorf("want 1 gep after merging, got %d", geps)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	lm := translateGemm(t, 4, true)
+	rep, err := Adapt(lm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, string(FixDescriptor)) {
+		t.Errorf("report missing descriptor line:\n%s", s)
+	}
+	if rep.Total() == 0 {
+		t.Error("empty report for a full adaptation")
+	}
+}

@@ -1,0 +1,157 @@
+// Package dse implements a ScaleHLS-style design-space explorer on top of
+// the adaptor flow — an extension beyond the paper showing what the direct
+// IR path buys: with no C++ round trip in the loop, sweeping directive
+// configurations is cheap enough to enumerate a whole space and return its
+// Pareto frontier.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/hls"
+	"repro/internal/mlir"
+	"repro/internal/mlir/passes"
+)
+
+// Point is one evaluated design.
+type Point struct {
+	Label  string
+	D      flow.Directives
+	Report *hls.Report
+	// Area is the scalarized resource cost used for Pareto ranking.
+	Area float64
+}
+
+// Latency returns the point's latency in cycles.
+func (p Point) Latency() int64 { return p.Report.LatencyCycles }
+
+// areaOf scalarizes a report's resources into equivalent LUTs (DSP and BRAM
+// weighted by their typical LUT-equivalent silicon cost).
+func areaOf(r *hls.Report) float64 {
+	return float64(r.LUT) + 0.5*float64(r.FF) + 100*float64(r.DSP) + 350*float64(r.BRAM)
+}
+
+// Space enumerates the directive configurations to evaluate.
+func Space() []struct {
+	Label string
+	D     flow.Directives
+} {
+	var out []struct {
+		Label string
+		D     flow.Directives
+	}
+	add := func(label string, d flow.Directives) {
+		out = append(out, struct {
+			Label string
+			D     flow.Directives
+		}{label, d})
+	}
+	add("base", flow.Directives{})
+	for _, ii := range []int{1, 2} {
+		for _, part := range []int{0, 2, 4} {
+			for _, flat := range []bool{false, true} {
+				d := flow.Directives{Pipeline: true, II: ii, Flatten: flat}
+				label := fmt.Sprintf("pipeII%d", ii)
+				if part > 0 {
+					d.Partition = &passes.PartitionSpec{Kind: "cyclic", Factor: part, Dim: 0}
+					label += fmt.Sprintf("+part%d", part)
+				}
+				if flat {
+					label += "+flat"
+				}
+				add(label, d)
+			}
+		}
+	}
+	for _, u := range []int{2, 4} {
+		add(fmt.Sprintf("unroll%d", u), flow.Directives{Unroll: u})
+		add(fmt.Sprintf("unroll%d+part%d", u, u), flow.Directives{Unroll: u,
+			Partition: &passes.PartitionSpec{Kind: "cyclic", Factor: u, Dim: 0}})
+	}
+	return out
+}
+
+// Result holds the explored space and its Pareto frontier.
+type Result struct {
+	Points []Point
+	// Pareto is the latency/area frontier, sorted by ascending latency.
+	Pareto []Point
+}
+
+// Explore evaluates the whole directive space for a kernel. build must
+// return a fresh module per call (flows mutate their input).
+func Explore(build func() *mlir.Module, top string, tgt hls.Target) (*Result, error) {
+	res := &Result{}
+	for _, cfg := range Space() {
+		fr, err := flow.AdaptorFlow(build(), top, cfg.D, tgt)
+		if err != nil {
+			return nil, fmt.Errorf("dse: %s: %w", cfg.Label, err)
+		}
+		res.Points = append(res.Points, Point{
+			Label:  cfg.Label,
+			D:      cfg.D,
+			Report: fr.Report,
+			Area:   areaOf(fr.Report),
+		})
+	}
+	res.Pareto = paretoFrontier(res.Points)
+	return res, nil
+}
+
+// dominates reports whether a is at least as good as b in both objectives
+// and strictly better in one.
+func dominates(a, b Point) bool {
+	if a.Latency() > b.Latency() || a.Area > b.Area {
+		return false
+	}
+	return a.Latency() < b.Latency() || a.Area < b.Area
+}
+
+// paretoFrontier returns the non-dominated subset sorted by latency.
+func paretoFrontier(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Latency() != out[j].Latency() {
+			return out[i].Latency() < out[j].Latency()
+		}
+		return out[i].Area < out[j].Area
+	})
+	// Deduplicate identical objective pairs (keep the first label).
+	var dedup []Point
+	for _, p := range out {
+		if len(dedup) > 0 {
+			last := dedup[len(dedup)-1]
+			if last.Latency() == p.Latency() && last.Area == p.Area {
+				continue
+			}
+		}
+		dedup = append(dedup, p)
+	}
+	return dedup
+}
+
+// String renders the frontier as a table.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%-18s %10s %10s\n", "config", "latency", "area")
+	for _, p := range r.Pareto {
+		s += fmt.Sprintf("%-18s %10d %10.0f\n", p.Label, p.Latency(), p.Area)
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *Table, row int, col string) string {
+	for i, h := range t.Header {
+		if h == col {
+			return t.Rows[row][i]
+		}
+	}
+	return ""
+}
+
+func cellF(tst *testing.T, t *Table, row int, col string) float64 {
+	tst.Helper()
+	v, err := strconv.ParseFloat(cell(t, row, col), 64)
+	if err != nil {
+		tst.Fatalf("cell %s[%d] = %q not numeric", col, row, cell(t, row, col))
+	}
+	return v
+}
+
+func TestTable1Characteristics(t *testing.T) {
+	tab, err := Table1(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 14 {
+		t.Fatalf("want >= 14 kernels, got %d", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		if cellF(t, tab, i, "loops") < 2 {
+			t.Errorf("%s: implausible loop count", cell(tab, i, "kernel"))
+		}
+		if cellF(t, tab, i, "fp-ops/iter") < 1 {
+			t.Errorf("%s: no fp ops", cell(tab, i, "kernel"))
+		}
+	}
+}
+
+func TestTable2GapClosed(t *testing.T) {
+	tab, err := Table2(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		name := cell(tab, i, "kernel")
+		if cellF(t, tab, i, "violations") == 0 {
+			t.Errorf("%s: raw IR should violate the gate", name)
+		}
+		if cellF(t, tab, i, "adaptor-fixes") == 0 {
+			t.Errorf("%s: adaptor should apply fixes", name)
+		}
+		if cellF(t, tab, i, "descriptor") == 0 {
+			t.Errorf("%s: descriptor fixes expected on every kernel", name)
+		}
+	}
+}
+
+// TestFig4Fig5Comparable checks the paper's headline shape: latencies track
+// within a modest band on every kernel, both unoptimized and optimized.
+func TestFig4Fig5Comparable(t *testing.T) {
+	for _, fn := range []func(Config) (*Table, error){Fig4, Fig5} {
+		tab, err := fn(Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tab.Rows {
+			r := cellF(t, tab, i, "ratio")
+			if r < 0.5 || r > 2.0 {
+				t.Errorf("%s %s: ratio %.3f outside comparable band",
+					tab.ID, cell(tab, i, "kernel"), r)
+			}
+		}
+	}
+}
+
+func TestTable3ResourcesPlausible(t *testing.T) {
+	tab, err := Table3(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		name := cell(tab, i, "kernel")
+		for _, col := range []string{"LUT(a)", "LUT(c)", "BRAM(a)", "BRAM(c)"} {
+			if cellF(t, tab, i, col) <= 0 {
+				t.Errorf("%s: %s should be positive", name, col)
+			}
+		}
+		// Same backend model on both flows: resources within 2x.
+		la, lc := cellF(t, tab, i, "LUT(a)"), cellF(t, tab, i, "LUT(c)")
+		if la/lc > 2 || lc/la > 2 {
+			t.Errorf("%s: LUT diverged: %v vs %v", name, la, lc)
+		}
+	}
+}
+
+func TestFig6DirectivesImprove(t *testing.T) {
+	tab, err := Fig6(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each kernel, the pipe+part4 configuration must beat none in both
+	// flows.
+	base := map[string][2]float64{}
+	best := map[string][2]float64{}
+	for i := range tab.Rows {
+		k := cell(tab, i, "kernel")
+		d := cell(tab, i, "directives")
+		a := cellF(t, tab, i, "adaptor-cycles")
+		c := cellF(t, tab, i, "hlscpp-cycles")
+		switch d {
+		case "none":
+			base[k] = [2]float64{a, c}
+		case "pipe+part4":
+			best[k] = [2]float64{a, c}
+		}
+	}
+	for k, b := range base {
+		o, ok := best[k]
+		if !ok {
+			t.Fatalf("%s: sweep incomplete", k)
+		}
+		if o[0] >= b[0] {
+			t.Errorf("%s: adaptor flow not improved by directives: %v -> %v", k, b[0], o[0])
+		}
+		if o[1] >= b[1] {
+			t.Errorf("%s: cxx flow not improved by directives: %v -> %v", k, b[1], o[1])
+		}
+	}
+}
+
+func TestFig7DetailRetention(t *testing.T) {
+	tab, err := Fig7(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wider := 0
+	for i := range tab.Rows {
+		ia := cellF(t, tab, i, "idx-width(a)")
+		ic := cellF(t, tab, i, "idx-width(c)")
+		if ia > ic {
+			wider++
+		}
+		if ic > ia {
+			t.Errorf("%s: C++ flow should not have wider indices", cell(tab, i, "kernel"))
+		}
+	}
+	if wider == 0 {
+		t.Error("the direct-IR flow should retain 64-bit index width somewhere")
+	}
+}
+
+func TestFig8ParetoNonEmpty(t *testing.T) {
+	cfg := Default()
+	cfg.SizeName = "MINI" // DSE runs the whole space; keep it quick
+	tab, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perKernel := map[string]int{}
+	for i := range tab.Rows {
+		perKernel[cell(tab, i, "kernel")]++
+		if cellF(t, tab, i, "latency") <= 0 {
+			t.Error("non-positive latency on frontier")
+		}
+	}
+	for _, k := range []string{"gemm", "jacobi2d", "conv2d"} {
+		if perKernel[k] == 0 {
+			t.Errorf("%s missing from Fig 8", k)
+		}
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	tab, err := Table4(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 14 {
+		t.Fatalf("want >= 14 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab, err := Table1(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "Table 1") || !strings.Contains(s, "gemm") {
+		t.Errorf("rendering broken:\n%s", s)
+	}
+}
+
+func TestAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in short mode")
+	}
+	tabs, err := All(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 9 {
+		t.Fatalf("want 9 experiments, got %d", len(tabs))
+	}
+}

@@ -1,0 +1,94 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hls"
+	"repro/internal/polybench"
+)
+
+// TestDataflowSpeedsIndependentTasks: mvt's two top-level loop nests write
+// disjoint vectors (x1, x2) and only share read-only A, so the dataflow
+// directive must overlap them in both flows.
+func TestDataflowSpeedsIndependentTasks(t *testing.T) {
+	k := polybench.Get("mvt")
+	s, _ := k.SizeOf("SMALL")
+	tgt := hls.DefaultTarget()
+
+	seqA, err := AdaptorFlow(k.Build(s), k.Name, Directives{Pipeline: true, II: 1}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfA, err := AdaptorFlow(k.Build(s), k.Name, Directives{Pipeline: true, II: 1, Dataflow: true}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfA.Report.LatencyCycles >= seqA.Report.LatencyCycles {
+		t.Errorf("adaptor flow: dataflow should overlap mvt's tasks: %d -> %d",
+			seqA.Report.LatencyCycles, dfA.Report.LatencyCycles)
+	}
+
+	seqC, err := CxxFlow(k.Build(s), k.Name, Directives{Pipeline: true, II: 1}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfC, err := CxxFlow(k.Build(s), k.Name, Directives{Pipeline: true, II: 1, Dataflow: true}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfC.Report.LatencyCycles >= seqC.Report.LatencyCycles {
+		t.Errorf("cxx flow: dataflow should overlap mvt's tasks: %d -> %d",
+			seqC.Report.LatencyCycles, dfC.Report.LatencyCycles)
+	}
+	if !strings.Contains(dfC.CSource, "#pragma HLS dataflow") {
+		t.Error("dataflow pragma missing from emitted C++")
+	}
+	// Both flows should agree on the overlapped latency.
+	if dfA.Report.LatencyCycles != dfC.Report.LatencyCycles {
+		t.Errorf("flows disagree under dataflow: %d vs %d",
+			dfA.Report.LatencyCycles, dfC.Report.LatencyCycles)
+	}
+}
+
+// TestDataflowRefusedWhenDependent: atax's loops communicate through tmp and
+// y, so the directive must be a no-op (sequential latency preserved).
+func TestDataflowRefusedWhenDependent(t *testing.T) {
+	k := polybench.Get("atax")
+	s, _ := k.SizeOf("MINI")
+	tgt := hls.DefaultTarget()
+	seq, err := AdaptorFlow(k.Build(s), k.Name, Directives{}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := AdaptorFlow(k.Build(s), k.Name, Directives{Dataflow: true}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Report.LatencyCycles != seq.Report.LatencyCycles {
+		t.Errorf("dependent tasks must stay sequential: %d vs %d",
+			seq.Report.LatencyCycles, df.Report.LatencyCycles)
+	}
+}
+
+// TestDataflowFunctionalCorrectness: the directive changes scheduling only;
+// results must stay bit-exact.
+func TestDataflowFunctionalCorrectness(t *testing.T) {
+	k := polybench.Get("mvt")
+	s, _ := k.SizeOf("MINI")
+	want := k.NewBuffers(s)
+	polybench.Init(want)
+	k.Ref(s, want)
+
+	res, err := AdaptorFlow(k.Build(s), k.Name, Directives{Dataflow: true}, hls.DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := k.NewBuffers(s)
+	polybench.Init(bufs)
+	mems := memsFrom(bufs)
+	if err := Execute(res.LLVM, k.Name, mems); err != nil {
+		t.Fatal(err)
+	}
+	compare(t, "adaptor-dataflow", k.Name, readBack(mems), want)
+}

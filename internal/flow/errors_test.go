@@ -1,0 +1,118 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hls"
+	"repro/internal/llvm/interp"
+	"repro/internal/mlir"
+)
+
+// buildDynamic builds a kernel over a dynamically-shaped memref, which the
+// translation ABI cannot expand statically.
+func buildDynamic() *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{mlir.DynamicDim}, mlir.F32())
+	_, args := m.AddFunc("dyn", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("dyn")))
+	b.AffineForConst(0, 4, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		b.AffineStore(v, args[0], i)
+	})
+	b.Return()
+	return m
+}
+
+func TestAdaptorFlowRejectsDynamicShapes(t *testing.T) {
+	_, err := AdaptorFlow(buildDynamic(), "dyn", Directives{}, hls.DefaultTarget())
+	if err == nil {
+		t.Fatal("dynamic memref arguments must be rejected")
+	}
+	if !strings.Contains(err.Error(), "dynamic") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestFlowsErrorOnMissingTop(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{4}, mlir.F32())
+	_, _ = m.AddFunc("real", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("real")))
+	b.Return()
+	// AdaptorFlow synthesizes the function named "ghost": must fail at the
+	// synthesis step with a clear message.
+	if _, err := AdaptorFlow(m, "ghost", Directives{}, hls.DefaultTarget()); err == nil {
+		t.Error("missing top function must error")
+	}
+}
+
+func TestExecuteArityMismatch(t *testing.T) {
+	m := buildDynamic()
+	_ = m
+	k := mlir.NewModule()
+	ty := mlir.MemRef([]int64{4}, mlir.F32())
+	_, args := k.AddFunc("one", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(k.FindFunc("one")))
+	_ = args
+	b.Return()
+	res, err := AdaptorFlow(k, "one", Directives{}, hls.DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Too few buffers.
+	if err := Execute(res.LLVM, "one", nil); err == nil {
+		t.Error("buffer arity mismatch must error")
+	}
+	// Unknown function.
+	if err := Execute(res.LLVM, "zzz", []*interp.Mem{interp.NewMem(16)}); err == nil {
+		t.Error("unknown function must error")
+	}
+}
+
+func TestCxxFlowErrorsSurfaceSource(t *testing.T) {
+	// An MLIR module containing an op cgen cannot emit must fail in the
+	// emit phase with the flow name in the error.
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{4}, mlir.F32())
+	_, args := m.AddFunc("weird", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("weird")))
+	op := mlir.NewOp("exotic.op", []*mlir.Value{args[0]}, nil)
+	b.Block().Append(op)
+	b.Return()
+	_, err := CxxFlow(m, "weird", Directives{}, hls.DefaultTarget())
+	if err == nil {
+		t.Fatal("unsupported op must fail the C++ flow")
+	}
+	if !strings.Contains(err.Error(), "cxx flow") {
+		t.Errorf("error should identify the flow: %v", err)
+	}
+}
+
+func TestDirectiveValidation(t *testing.T) {
+	// A pipeline II of zero normalizes to 1 rather than failing.
+	k := buildDynamicFree(t)
+	res, err := AdaptorFlow(k, "ok", Directives{Pipeline: true, II: 0}, hls.DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Report.Loops {
+		if l.Pipelined && l.II < 1 {
+			t.Error("II must normalize to >= 1")
+		}
+	}
+}
+
+func buildDynamicFree(t *testing.T) *mlir.Module {
+	t.Helper()
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8}, mlir.F32())
+	_, args := m.AddFunc("ok", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("ok")))
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		b.AffineStore(b.AddF(v, v), args[0], i)
+	})
+	b.Return()
+	return m
+}

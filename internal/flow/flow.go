@@ -1,0 +1,235 @@
+// Package flow wires the complete compilation pipelines the paper compares:
+//
+//   - AdaptorFlow (the paper's contribution): MLIR passes → affine→scf→cf
+//     lowering → translation to LLVM IR → the HLS adaptor → LLVM-level
+//     cleanup → HLS synthesis.
+//   - CxxFlow (the baseline): MLIR passes → HLS C++ emission → C frontend
+//     (Vitis Clang stand-in) → HLS synthesis.
+//   - RawFlow: translation without the adaptor, to demonstrate the gate
+//     failure the adaptor exists to fix.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfront"
+	"repro/internal/cgen"
+	"repro/internal/core"
+	"repro/internal/hls"
+	"repro/internal/llvm"
+	"repro/internal/llvm/interp"
+	lpasses "repro/internal/llvm/passes"
+	"repro/internal/mlir"
+	"repro/internal/mlir/lower"
+	"repro/internal/mlir/passes"
+	"repro/internal/translate"
+)
+
+// Directives selects the HLS optimization configuration applied before the
+// flows diverge.
+type Directives struct {
+	// Pipeline marks innermost loops for pipelining with the target II.
+	Pipeline bool
+	II       int
+	// Unroll sets an innermost unroll factor (1 = off). The adaptor flow
+	// materializes it at the MLIR level; the C++ flow carries it as a
+	// pragma consumed by the backend — exactly the asymmetry between
+	// ScaleHLS-style tools and Vitis.
+	Unroll int
+	// Partition applies an array partition to every memref argument.
+	Partition *passes.PartitionSpec
+	// Flatten marks perfect nest levels for loop flattening so the inner
+	// pipeline keeps issuing across outer iterations.
+	Flatten bool
+	// Dataflow requests task-level parallelism across independent
+	// top-level loops (#pragma HLS dataflow).
+	Dataflow bool
+}
+
+// Result is the outcome of one flow run.
+type Result struct {
+	Flow    string
+	Report  *hls.Report
+	Adaptor *core.Report // adaptor flow only
+	LLVM    *llvm.Module
+	CSource string // C++ flow only
+
+	// Phases records per-phase wall time.
+	Phases map[string]time.Duration
+	Total  time.Duration
+}
+
+// mlirPrep runs the shared MLIR-level preparation.
+func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool) error {
+	pm := passes.NewPassManager()
+	pm.Add(passes.MarkTop(top))
+	if d.Pipeline {
+		ii := d.II
+		if ii <= 0 {
+			ii = 1
+		}
+		pm.Add(passes.PipelineInnermost(ii))
+	}
+	if d.Unroll > 1 {
+		pm.Add(passes.MarkUnroll(d.Unroll))
+		if materializeUnroll {
+			pm.Add(passes.LoopUnroll(0, true))
+		}
+	}
+	if d.Partition != nil {
+		pm.Add(passes.PartitionAllArgs(*d.Partition))
+	}
+	if d.Flatten {
+		pm.Add(passes.MarkFlatten())
+	}
+	if d.Dataflow {
+		pm.Add(passes.MarkDataflow(top))
+	}
+	pm.Add(passes.Canonicalize(), passes.CSE())
+	return pm.Run(m)
+}
+
+// AdaptorFlow runs the paper's direct-IR flow end to end.
+func AdaptorFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result, error) {
+	res := &Result{Flow: "adaptor", Phases: map[string]time.Duration{}}
+	t0 := time.Now()
+
+	phase := func(name string, fn func() error) error {
+		start := time.Now()
+		err := fn()
+		res.Phases[name] = time.Since(start)
+		return err
+	}
+
+	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, true) }); err != nil {
+		return nil, fmt.Errorf("adaptor flow: %w", err)
+	}
+	if err := phase("lowering", func() error {
+		if err := lower.AffineToSCF(m); err != nil {
+			return err
+		}
+		return lower.SCFToCF(m)
+	}); err != nil {
+		return nil, fmt.Errorf("adaptor flow: %w", err)
+	}
+	var lm *llvm.Module
+	if err := phase("translate", func() error {
+		var err error
+		lm, err = translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("adaptor flow: %w", err)
+	}
+	if err := phase("adaptor", func() error {
+		rep, err := core.Adapt(lm, core.Options{TopFunc: top})
+		res.Adaptor = rep
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("adaptor flow: %w", err)
+	}
+	if err := phase("llvm-opt", func() error {
+		for _, f := range lm.Funcs {
+			if f.IsDecl {
+				continue
+			}
+			lpasses.SimplifyCFG(f)
+			lpasses.ConstFold(f)
+			lpasses.StrengthReduce(f)
+			lpasses.CSE(f)
+			lpasses.DCE(f)
+		}
+		return lm.Verify()
+	}); err != nil {
+		return nil, fmt.Errorf("adaptor flow: %w", err)
+	}
+	if err := phase("synthesis", func() error {
+		rep, err := hls.Synthesize(lm, top, tgt)
+		res.Report = rep
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("adaptor flow: %w", err)
+	}
+	res.LLVM = lm
+	res.Total = time.Since(t0)
+	return res, nil
+}
+
+// CxxFlow runs the baseline HLS-C++ flow end to end.
+func CxxFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result, error) {
+	res := &Result{Flow: "cxx", Phases: map[string]time.Duration{}}
+	t0 := time.Now()
+	phase := func(name string, fn func() error) error {
+		start := time.Now()
+		err := fn()
+		res.Phases[name] = time.Since(start)
+		return err
+	}
+
+	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, false) }); err != nil {
+		return nil, fmt.Errorf("cxx flow: %w", err)
+	}
+	if err := phase("emit-hlscpp", func() error {
+		src, err := cgen.Emit(m)
+		res.CSource = src
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("cxx flow: %w", err)
+	}
+	var lm *llvm.Module
+	if err := phase("c-frontend", func() error {
+		var err error
+		lm, err = cfront.Compile(res.CSource, cfront.Options{Top: top})
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("cxx flow: %w", err)
+	}
+	if err := phase("synthesis", func() error {
+		rep, err := hls.Synthesize(lm, top, tgt)
+		res.Report = rep
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("cxx flow: %w", err)
+	}
+	res.LLVM = lm
+	res.Total = time.Since(t0)
+	return res, nil
+}
+
+// RawFlow translates without adapting and returns the gate violations (nil
+// error with non-empty violations is the expected outcome).
+func RawFlow(m *mlir.Module, top string, d Directives) ([]hls.Violation, *llvm.Module, error) {
+	if err := mlirPrep(m, top, d, true); err != nil {
+		return nil, nil, err
+	}
+	if err := lower.AffineToSCF(m); err != nil {
+		return nil, nil, err
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		return nil, nil, err
+	}
+	lm, err := translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return hls.Check(lm), lm, nil
+}
+
+// Execute runs the flow's final LLVM module on the given buffers (one per
+// array port, in parameter order), standing in for co-simulation.
+func Execute(lm *llvm.Module, top string, mems []*interp.Mem) error {
+	f := lm.FindFunc(top)
+	if f == nil {
+		return fmt.Errorf("execute: @%s not found", top)
+	}
+	if len(mems) != len(f.Params) {
+		return fmt.Errorf("execute: @%s has %d ports, got %d buffers", top, len(f.Params), len(mems))
+	}
+	args := make([]interp.Arg, len(mems))
+	for i := range mems {
+		args[i] = interp.PtrArg(mems[i], 0)
+	}
+	machine := interp.NewMachine(lm)
+	_, _, err := machine.Run(top, args...)
+	return err
+}

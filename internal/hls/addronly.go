@@ -1,0 +1,101 @@
+package hls
+
+import "repro/internal/llvm"
+
+// computeAddrOnly marks integer instructions whose results feed only
+// address computations (GEP indices) or loop control (compares, branches,
+// induction phis). HLS address-generation logic absorbs these, so they must
+// not be costed as datapath operators — otherwise the direct-IR flow's
+// explicit index arithmetic would be unfairly penalized against a frontend
+// that hides the same math inside multi-dimensional accesses.
+func computeAddrOnly(f *llvm.Function) map[*llvm.Instr]bool {
+	// Users of each instruction, with the operand position kind.
+	type useKind int
+	const (
+		useAddr useKind = iota // GEP index position or control (icmp/br)
+		useFlow                // phi or candidate integer op: inherits
+		useData                // anything else: datapath
+	)
+	type use struct {
+		user *llvm.Instr
+		kind useKind
+	}
+	uses := map[llvm.Value][]use{}
+	candidate := map[*llvm.Instr]bool{}
+
+	isCandidateOp := func(in *llvm.Instr) bool {
+		if in.Ty == nil || !in.Ty.IsInt() {
+			return in.Op == llvm.OpPhi && in.Ty != nil && in.Ty.IsInt()
+		}
+		switch in.Op {
+		case llvm.OpAdd, llvm.OpSub, llvm.OpMul, llvm.OpShl, llvm.OpAShr,
+			llvm.OpAnd, llvm.OpOr, llvm.OpXor, llvm.OpZExt, llvm.OpSExt,
+			llvm.OpTrunc, llvm.OpPhi, llvm.OpSDiv, llvm.OpSRem:
+			return true
+		}
+		return false
+	}
+
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if isCandidateOp(in) {
+				candidate[in] = true
+			}
+			for ai, a := range in.Args {
+				k := useData
+				switch in.Op {
+				case llvm.OpGEP:
+					if ai >= 1 {
+						k = useAddr
+					} else {
+						k = useFlow // pointer operand of a gep
+					}
+				case llvm.OpICmp, llvm.OpCondBr, llvm.OpBr:
+					k = useAddr
+				case llvm.OpPhi:
+					k = useFlow
+				default:
+					if isCandidateOp(in) {
+						k = useFlow
+					}
+				}
+				uses[a] = append(uses[a], use{user: in, kind: k})
+			}
+		}
+	}
+
+	// Fixpoint: demote candidates with data uses or flow uses into
+	// non-candidates.
+	changed := true
+	for changed {
+		changed = false
+		for in := range candidate {
+			if !candidate[in] {
+				continue
+			}
+			for _, u := range uses[in] {
+				switch u.kind {
+				case useData:
+					candidate[in] = false
+					changed = true
+				case useFlow:
+					if !candidate[u.user] && u.user.Op != llvm.OpGEP {
+						candidate[in] = false
+						changed = true
+					}
+				}
+				if !candidate[in] {
+					break
+				}
+			}
+		}
+	}
+
+	out := map[*llvm.Instr]bool{}
+	for in, ok := range candidate {
+		if ok {
+			out[in] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mlir"
+	"repro/internal/mlir/passes"
+)
+
+// buildCopy2D builds a perfect 2-deep copy nest (flattenable).
+func buildCopy2D(n int64) *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{n, n}, mlir.F32())
+	_, args := m.AddFunc("copy2d", []*mlir.Type{ty, ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("copy2d")))
+	b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+			v := b.AffineLoad(args[0], i, j)
+			b.AffineStore(v, args[1], i, j)
+		})
+	})
+	b.Return()
+	return m
+}
+
+func TestFlattenReducesLatency(t *testing.T) {
+	const n = 16
+	piped, err := Synthesize(adapted(t, buildCopy2D(n),
+		passes.MarkTop("copy2d"), passes.PipelineInnermost(1)),
+		"copy2d", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Synthesize(adapted(t, buildCopy2D(n),
+		passes.MarkTop("copy2d"), passes.PipelineInnermost(1), passes.MarkFlatten()),
+		"copy2d", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.LatencyCycles >= piped.LatencyCycles {
+		t.Errorf("flattening should reduce latency: %d -> %d",
+			piped.LatencyCycles, flat.LatencyCycles)
+	}
+	// The flattened nest: one merged loop entry with trip n*n.
+	var flattened *LoopReport
+	for i := range flat.Loops {
+		if flat.Loops[i].Flattened {
+			flattened = &flat.Loops[i]
+		}
+	}
+	if flattened == nil {
+		t.Fatal("no flattened loop reported")
+	}
+	if flattened.Trip != n*n {
+		t.Errorf("flattened trip = %d, want %d", flattened.Trip, n*n)
+	}
+	// Ideal flattened latency ~ depth + (n*n-1)*II.
+	if flattened.Latency > flattened.IterLatency+int64(n*n-1)*int64(flattened.II) {
+		t.Errorf("flattened latency formula violated: %+v", flattened)
+	}
+	if !strings.Contains(flat.String(), "flattened") {
+		t.Error("report should mark the flattened loop")
+	}
+}
+
+func TestFlattenRequiresPerfectNest(t *testing.T) {
+	// The outer body stores a value before entering the inner loop, so the
+	// nest level is imperfect and flatten must NOT fire there.
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8, 8}, mlir.F32())
+	vty := mlir.MemRef([]int64{8}, mlir.F32())
+	_, args := m.AddFunc("rowinit", []*mlir.Type{ty, vty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("rowinit")))
+	zero := b.ConstantFloat(0, mlir.F32())
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineStore(zero, args[1], i) // imperfection
+		b.AffineForConst(0, 8, 1, func(b *mlir.Builder, j *mlir.Value) {
+			v := b.AffineLoad(args[0], i, j)
+			acc := b.AffineLoad(args[1], i)
+			b.AffineStore(b.AddF(acc, v), args[1], i)
+			_ = j
+		})
+	})
+	b.Return()
+	pm := passes.NewPassManager().Add(passes.MarkTop("rowinit"),
+		passes.PipelineInnermost(1))
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	// Force the directive onto the outer loop despite the imperfection (a
+	// user could always write the pragma); the backend must refuse.
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		if o.Name == mlir.OpAffineFor && !o.HasAttr(mlir.AttrPipeline) {
+			o.SetAttr(mlir.AttrFlatten, mlir.UnitAttr{})
+		}
+		return true
+	})
+	lm := adapted(t, m)
+	rep, err := Synthesize(lm, "rowinit", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rep.Loops {
+		if l.Flattened {
+			t.Errorf("imperfect nest level must not flatten: %+v", l)
+		}
+	}
+	// And MarkFlatten itself must not tag imperfect levels.
+	m2 := mlir.NewModule()
+	_, args2 := m2.AddFunc("rowinit", []*mlir.Type{ty, vty}, nil)
+	b2 := mlir.NewBuilder(mlir.FuncBody(m2.FindFunc("rowinit")))
+	z2 := b2.ConstantFloat(0, mlir.F32())
+	b2.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineStore(z2, args2[1], i)
+		b.AffineForConst(0, 8, 1, func(b *mlir.Builder, j *mlir.Value) {
+			v := b.AffineLoad(args2[0], i, j)
+			b.AffineStore(v, args2[0], i, j)
+		})
+	})
+	b2.Return()
+	if err := passes.MarkFlatten().Run(m2); err != nil {
+		t.Fatal(err)
+	}
+	mlir.Walk(m2.Op, func(o *mlir.Op) bool {
+		if o.HasAttr(mlir.AttrFlatten) {
+			// Only the (perfect) inner level could be tagged; the outer
+			// (imperfect) one must not be. The outer loop is the first op.
+			outer := mlir.FuncBody(m2.FindFunc("rowinit")).Ops[0]
+			if o == outer {
+				t.Error("MarkFlatten tagged an imperfect nest level")
+			}
+		}
+		return true
+	})
+}
+
+func TestFlattenChainsThroughLevels(t *testing.T) {
+	// 3-deep perfect nest: every level should flatten into one pipeline.
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{4, 4, 0 + 4}, mlir.F32())
+	_ = ty
+	ty3 := mlir.MemRef([]int64{4, 4, 4}, mlir.F32())
+	_, args := m.AddFunc("copy3d", []*mlir.Type{ty3, ty3}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("copy3d")))
+	b.AffineForConst(0, 4, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineForConst(0, 4, 1, func(b *mlir.Builder, j *mlir.Value) {
+			b.AffineForConst(0, 4, 1, func(b *mlir.Builder, k *mlir.Value) {
+				v := b.AffineLoad(args[0], i, j, k)
+				b.AffineStore(v, args[1], i, j, k)
+			})
+		})
+	})
+	b.Return()
+	pm := passes.NewPassManager().Add(passes.MarkTop("copy3d"),
+		passes.PipelineInnermost(1), passes.MarkFlatten())
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Synthesize(adapted(t, m), "copy3d", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flattened := 0
+	var outermost *LoopReport
+	for i := range rep.Loops {
+		if rep.Loops[i].Flattened {
+			flattened++
+			if rep.Loops[i].Depth == 1 {
+				outermost = &rep.Loops[i]
+			}
+		}
+	}
+	if flattened != 2 {
+		t.Errorf("want 2 flattened levels, got %d: %s", flattened, rep)
+	}
+	if outermost == nil || outermost.Trip != 64 {
+		t.Errorf("outermost flattened trip should be 64: %+v", outermost)
+	}
+}
+
+func TestAddrFoldingAblation(t *testing.T) {
+	// Disabling address folding must penalize the direct-IR style
+	// (explicit i64 muls) — this is the ablation justifying the model.
+	lm := adapted(t, buildGemm(8), passes.MarkTop("gemm"), passes.PipelineInnermost(1))
+	normal, err := Synthesize(lm, "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFold := DefaultTarget()
+	noFold.DisableAddrFolding = true
+	penalized, err := Synthesize(lm, "gemm", noFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if penalized.LatencyCycles <= normal.LatencyCycles {
+		t.Errorf("disabling addr folding should increase latency: %d -> %d",
+			normal.LatencyCycles, penalized.LatencyCycles)
+	}
+	if penalized.DSP <= normal.DSP {
+		t.Errorf("unfolded index muls should consume DSPs: %d -> %d",
+			normal.DSP, penalized.DSP)
+	}
+}

@@ -1,0 +1,265 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/llvm"
+	"repro/internal/mlir"
+	"repro/internal/mlir/lower"
+	"repro/internal/mlir/passes"
+	"repro/internal/translate"
+)
+
+func buildGemm(n int64) *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{n, n}, mlir.F32())
+	_, args := m.AddFunc("gemm", []*mlir.Type{ty, ty, ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("gemm")))
+	b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, k *mlir.Value) {
+				a := b.AffineLoad(args[0], i, k)
+				x := b.AffineLoad(args[1], k, j)
+				c := b.AffineLoad(args[2], i, j)
+				s := b.AddF(c, b.MulF(a, x))
+				b.AffineStore(s, args[2], i, j)
+			})
+		})
+	})
+	b.Return()
+	return m
+}
+
+// pipeline runs the full adaptor flow on a module with optional passes.
+func pipeline(t *testing.T, m *mlir.Module, ps ...passes.Pass) *llvm.Module {
+	t.Helper()
+	pm := passes.NewPassManager().Add(ps...)
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := translate.Translate(m, translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lm
+}
+
+func adapted(t *testing.T, m *mlir.Module, ps ...passes.Pass) *llvm.Module {
+	t.Helper()
+	lm := pipeline(t, m, ps...)
+	if _, err := core.Adapt(lm, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return lm
+}
+
+func TestCheckRejectsRawTranslatedIR(t *testing.T) {
+	lm := pipeline(t, buildGemm(8))
+	vs := Check(lm)
+	if len(vs) == 0 {
+		t.Fatal("raw mlir-translate output must be rejected by the HLS gate")
+	}
+	kinds := map[string]bool{}
+	for _, v := range vs {
+		kinds[v.Kind] = true
+	}
+	if !kinds[VOpaque] {
+		t.Error("missing opaque-pointer violation")
+	}
+	if !kinds[VDescriptor] {
+		t.Error("missing descriptor-abi violation")
+	}
+	// Synthesize must fail with an UnreadableError.
+	if _, err := Synthesize(lm, "gemm", DefaultTarget()); err == nil {
+		t.Fatal("Synthesize should reject raw IR")
+	} else if _, ok := err.(*UnreadableError); !ok {
+		t.Fatalf("want UnreadableError, got %v", err)
+	}
+}
+
+func TestCheckAcceptsAdaptedIR(t *testing.T) {
+	lm := adapted(t, buildGemm(8), passes.MarkTop("gemm"))
+	if vs := Check(lm); len(vs) != 0 {
+		t.Fatalf("adapted IR must pass the gate, got: %v", vs)
+	}
+}
+
+func TestSynthesizeGemmBaseline(t *testing.T) {
+	lm := adapted(t, buildGemm(8), passes.MarkTop("gemm"))
+	rep, err := Synthesize(lm, "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != 3 {
+		t.Fatalf("want 3 loops, got %d: %s", len(rep.Loops), rep)
+	}
+	if rep.LatencyCycles <= 8*8*8 {
+		t.Errorf("latency %d implausibly small for 512 iterations", rep.LatencyCycles)
+	}
+	if rep.BRAM == 0 {
+		t.Error("8x8 f32 arrays should consume BRAM or the model is off")
+	}
+	if rep.DSP == 0 {
+		t.Error("fmul should consume DSPs")
+	}
+	for _, l := range rep.Loops {
+		if l.Pipelined {
+			t.Error("no loop should be pipelined without the directive")
+		}
+		if l.Trip != 8 {
+			t.Errorf("loop %s trip = %d, want 8", l.Header, l.Trip)
+		}
+		if l.TripEstimated {
+			t.Errorf("loop %s trip should be exact", l.Header)
+		}
+	}
+}
+
+func TestPipeliningReducesLatency(t *testing.T) {
+	base, err := Synthesize(adapted(t, buildGemm(8), passes.MarkTop("gemm")), "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := Synthesize(adapted(t, buildGemm(8), passes.MarkTop("gemm"),
+		passes.PipelineInnermost(1)), "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.LatencyCycles >= base.LatencyCycles {
+		t.Errorf("pipelining should reduce latency: %d -> %d",
+			base.LatencyCycles, piped.LatencyCycles)
+	}
+	// The accumulation recurrence on C[i][j] must keep II above 1.
+	var inner *LoopReport
+	for i := range piped.Loops {
+		if piped.Loops[i].Pipelined {
+			inner = &piped.Loops[i]
+		}
+	}
+	if inner == nil {
+		t.Fatal("no pipelined loop in report")
+	}
+	if inner.II <= 1 {
+		t.Errorf("gemm k-loop II should exceed 1 (load-add-store recurrence), got %d", inner.II)
+	}
+}
+
+func TestPartitionRaisesPortsAndBRAM(t *testing.T) {
+	mk := func(ps ...passes.Pass) *Report {
+		rep, err := Synthesize(adapted(t, buildGemm(8), ps...), "gemm", DefaultTarget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := mk(passes.MarkTop("gemm"), passes.PipelineInnermost(1))
+	part := mk(passes.MarkTop("gemm"), passes.PipelineInnermost(1),
+		passes.PartitionAllArgs(passes.PartitionSpec{Kind: "cyclic", Factor: 4, Dim: 0}))
+	if part.BRAM <= plain.BRAM {
+		t.Errorf("cyclic partitioning should increase BRAM banks: %d -> %d",
+			plain.BRAM, part.BRAM)
+	}
+	if part.LatencyCycles > plain.LatencyCycles {
+		t.Errorf("partitioning should not slow the design: %d -> %d",
+			plain.LatencyCycles, part.LatencyCycles)
+	}
+}
+
+func TestUnrollMetadataSpeedsLoop(t *testing.T) {
+	// Unroll via backend metadata (the C++-flow path where the pragma is
+	// consumed by the tool): compare trip/latency.
+	base, err := Synthesize(adapted(t, buildGemm(8), passes.MarkTop("gemm")), "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrolled, err := Synthesize(adapted(t, buildGemm(8), passes.MarkTop("gemm"),
+		passes.MarkUnroll(4)), "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unrolled.LatencyCycles >= base.LatencyCycles {
+		t.Errorf("unroll should reduce latency: %d -> %d",
+			base.LatencyCycles, unrolled.LatencyCycles)
+	}
+}
+
+func TestTriangularLoopTripEstimated(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8, 8}, mlir.F32())
+	_, args := m.AddFunc("tri", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("tri")))
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineFor(mlir.NewMap(1, 0, mlir.Dim(0)), []*mlir.Value{i},
+			mlir.ConstantMap(8), nil, 1, func(b *mlir.Builder, j *mlir.Value) {
+				v := b.AffineLoad(args[0], i, j)
+				b.AffineStore(v, args[0], j, i)
+			})
+	})
+	b.Return()
+	rep, err := Synthesize(adapted(t, m, passes.MarkTop("tri")), "tri", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := 0
+	for _, l := range rep.Loops {
+		if l.TripEstimated {
+			est++
+		}
+	}
+	if est != 1 {
+		t.Errorf("triangular inner loop should have estimated trip, got %d estimated", est)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Synthesize(adapted(t, buildGemm(4), passes.MarkTop("gemm"),
+		passes.PipelineInnermost(1)), "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"Latency:", "Resources:", "pipeline=yes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLatencyScalesWithProblemSize(t *testing.T) {
+	small, err := Synthesize(adapted(t, buildGemm(4), passes.MarkTop("gemm")), "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Synthesize(adapted(t, buildGemm(8), passes.MarkTop("gemm")), "gemm", DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(big.LatencyCycles) / float64(small.LatencyCycles)
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("8^3/4^3 = 8x work should give ~8x latency, got %.2fx (%d vs %d)",
+			ratio, big.LatencyCycles, small.LatencyCycles)
+	}
+}
+
+func TestUnreadableErrorMessage(t *testing.T) {
+	lm := pipeline(t, buildGemm(4))
+	_, err := Synthesize(lm, "gemm", DefaultTarget())
+	ue, ok := err.(*UnreadableError)
+	if !ok {
+		t.Fatal("expected UnreadableError")
+	}
+	if !strings.Contains(ue.Error(), "rejected") {
+		t.Errorf("unhelpful error: %v", ue)
+	}
+	if len(ue.Violations) == 0 {
+		t.Error("violations missing")
+	}
+}

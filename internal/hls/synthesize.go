@@ -1,0 +1,729 @@
+package hls
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/llvm"
+	"repro/internal/llvm/analysis"
+)
+
+// LoopReport describes one synthesized loop.
+type LoopReport struct {
+	Header        string
+	Depth         int
+	Trip          int64
+	TripEstimated bool
+	Pipelined     bool
+	// Flattened marks a nest level merged into its inner pipeline
+	// (loop_flatten): the inner II continues across outer iterations.
+	Flattened   bool
+	II          int
+	IterLatency int64
+	Latency     int64
+}
+
+// Report is the synthesis result for one top function.
+type Report struct {
+	Top     string
+	ClockNs float64
+
+	LatencyCycles int64
+	Loops         []LoopReport
+
+	// CriticalPathNs is the longest combinational chain packed into a
+	// cycle; EstimatedFmaxMHz derives from it.
+	CriticalPathNs float64
+
+	LUT  int
+	FF   int
+	DSP  int
+	BRAM int
+}
+
+// EstimatedFmaxMHz returns the achievable clock implied by the critical
+// path (capped at the target clock).
+func (r *Report) EstimatedFmaxMHz() float64 {
+	cp := r.CriticalPathNs
+	if cp < r.ClockNs {
+		cp = r.ClockNs // timing met: report the target
+	}
+	return 1000 / cp
+}
+
+// String renders the report like a synthesis log summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== Synthesis report: %s (clock %.1f ns) ==\n", r.Top, r.ClockNs)
+	fmt.Fprintf(&sb, "Latency: %d cycles\n", r.LatencyCycles)
+	fmt.Fprintf(&sb, "Timing: critical path %.2f ns, est. Fmax %.1f MHz\n",
+		r.CriticalPathNs, r.EstimatedFmaxMHz())
+	fmt.Fprintf(&sb, "Resources: LUT=%d FF=%d DSP=%d BRAM=%d\n", r.LUT, r.FF, r.DSP, r.BRAM)
+	for _, l := range r.Loops {
+		pipe := "no"
+		if l.Pipelined {
+			pipe = fmt.Sprintf("yes II=%d", l.II)
+		}
+		if l.Flattened {
+			pipe = fmt.Sprintf("flattened II=%d", l.II)
+		}
+		est := ""
+		if l.TripEstimated {
+			est = " (est)"
+		}
+		fmt.Fprintf(&sb, "  loop %-10s depth=%d trip=%d%s iterLat=%d pipeline=%s latency=%d\n",
+			l.Header, l.Depth, l.Trip, est, l.IterLatency, pipe, l.Latency)
+	}
+	return sb.String()
+}
+
+// UnreadableError is returned when the module fails the HLS frontend gate.
+type UnreadableError struct {
+	Violations []Violation
+}
+
+// Error implements the error interface.
+func (e *UnreadableError) Error() string {
+	var parts []string
+	for _, v := range e.Violations {
+		parts = append(parts, v.String())
+	}
+	return fmt.Sprintf("HLS frontend rejected the IR (%d violations):\n  %s",
+		len(e.Violations), strings.Join(parts, "\n  "))
+}
+
+// Synthesize runs the legality gate and the synthesis estimator on the named
+// top function.
+func Synthesize(m *llvm.Module, top string, tgt Target) (*Report, error) {
+	if vs := Check(m); len(vs) > 0 {
+		return nil, &UnreadableError{Violations: vs}
+	}
+	f := m.FindFunc(top)
+	if f == nil {
+		return nil, fmt.Errorf("hls: top function @%s not found", top)
+	}
+	s := &synth{tgt: tgt, f: f}
+	return s.run()
+}
+
+type synth struct {
+	tgt Target
+	f   *llvm.Function
+
+	cfg *analysis.CFG
+	li  *analysis.LoopInfo
+
+	// portsOf returns the effective port count of an array base (partition
+	// directives widen the default dual-port BRAM).
+	portsOf func(llvm.Value) int
+
+	loopLat map[*analysis.Loop]int64
+	repOf   map[*analysis.Loop]*LoopReport
+	reports []LoopReport
+
+	// Area accumulation.
+	lut, ff, dsp int
+
+	// maxChain tracks the longest single-cycle combinational chain seen.
+	maxChain float64
+}
+
+// sched runs port-aware scheduling and accumulates the critical path.
+func (s *synth) sched(instrs []*llvm.Instr) blockSchedule {
+	bs := s.tgt.scheduleInstrsPorts(instrs, s.portsOf)
+	if bs.MaxChainNs > s.maxChain {
+		s.maxChain = bs.MaxChainNs
+	}
+	return bs
+}
+
+func (s *synth) run() (*Report, error) {
+	s.cfg = analysis.NewCFG(s.f)
+	dt := analysis.NewDomTree(s.cfg)
+	s.li = analysis.FindLoops(s.cfg, dt)
+	s.loopLat = map[*analysis.Loop]int64{}
+	s.repOf = map[*analysis.Loop]*LoopReport{}
+	if !s.tgt.DisableAddrFolding {
+		s.tgt.addrOnly = computeAddrOnly(s.f)
+	}
+
+	paramIdx := map[llvm.Value]int{}
+	for i, p := range s.f.Params {
+		paramIdx[p] = i
+	}
+	s.portsOf = func(base llvm.Value) int {
+		i, ok := paramIdx[base]
+		if !ok {
+			return 0
+		}
+		kind, factor := parsePartition(s.f.Attrs[fmt.Sprintf("hls.array_partition.arg%d", i)])
+		switch kind {
+		case "complete":
+			return 1 << 20 // registers: effectively unlimited ports
+		case "cyclic", "block":
+			if factor > 1 {
+				return s.tgt.MemPorts * factor
+			}
+		}
+		return 0
+	}
+
+	// Synthesize loops innermost-first.
+	ordered := append([]*analysis.Loop(nil), s.li.Loops...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Depth() > ordered[j].Depth()
+	})
+	for _, l := range ordered {
+		s.synthLoop(l)
+	}
+
+	latency := s.functionLatency()
+	if s.f.Attrs["hls.dataflow"] != "" {
+		if dfLat, ok := s.dataflowLatency(latency); ok {
+			latency = dfLat
+		}
+	}
+	rep := &Report{
+		Top:            s.f.Name,
+		ClockNs:        s.tgt.ClockNs,
+		CriticalPathNs: s.maxChain,
+		LatencyCycles:  latency,
+		Loops:          s.reports,
+		LUT:            s.lut,
+		FF:             s.ff,
+		DSP:            s.dsp,
+	}
+	s.estimateMemories(rep)
+	s.estimateControl(rep)
+	sort.SliceStable(rep.Loops, func(i, j int) bool { return rep.Loops[i].Header < rep.Loops[j].Header })
+	return rep, nil
+}
+
+// dataflowLatency models #pragma HLS dataflow: when every pair of top-level
+// loops is independent (no array written by one is touched by another), the
+// loops run as concurrent tasks and the function latency becomes the
+// non-loop overhead plus the slowest task. Returns ok=false when the
+// directive is not legal (dependent tasks), matching the tool behavior of
+// silently keeping the sequential schedule.
+func (s *synth) dataflowLatency(seqLatency int64) (int64, bool) {
+	var tops []*analysis.Loop
+	for _, l := range s.li.Loops {
+		if l.Parent == nil {
+			tops = append(tops, l)
+		}
+	}
+	if len(tops) < 2 {
+		return 0, false
+	}
+	type access struct{ reads, writes map[llvm.Value]bool }
+	accOf := func(l *analysis.Loop) access {
+		a := access{reads: map[llvm.Value]bool{}, writes: map[llvm.Value]bool{}}
+		for b := range l.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case llvm.OpLoad:
+					a.reads[baseOf(in.Args[0])] = true
+				case llvm.OpStore:
+					a.writes[baseOf(in.Args[1])] = true
+				}
+			}
+		}
+		return a
+	}
+	accs := make([]access, len(tops))
+	for i, l := range tops {
+		accs[i] = accOf(l)
+	}
+	for i := range tops {
+		for j := range tops {
+			if i == j {
+				continue
+			}
+			for w := range accs[i].writes {
+				if accs[j].reads[w] || accs[j].writes[w] {
+					return 0, false // dependent tasks: keep sequential
+				}
+			}
+		}
+	}
+	var sum, slowest int64
+	for _, l := range tops {
+		sum += s.loopLat[l]
+		if s.loopLat[l] > slowest {
+			slowest = s.loopLat[l]
+		}
+	}
+	overhead := seqLatency - sum
+	if overhead < 0 {
+		overhead = 0
+	}
+	return overhead + slowest, true
+}
+
+// tripOf estimates a loop's trip count.
+func (s *synth) tripOf(l *analysis.Loop) (int64, bool) {
+	if tc, ok := analysis.TripCount(l); ok {
+		return tc, false
+	}
+	// IV-dependent bound (triangular loop): average half the constant bound
+	// if one exists anywhere in the compare.
+	for _, in := range l.Header.Instrs {
+		if in.Op == llvm.OpICmp {
+			if c, ok := in.Args[1].(*llvm.ConstInt); ok && c.Val > 1 {
+				return c.Val / 2, true
+			}
+		}
+	}
+	return 16, true
+}
+
+// iterInstrs returns the instructions of one loop iteration, excluding
+// nested loops' bodies (which are collapsed separately).
+func (s *synth) iterInstrs(l *analysis.Loop, excludeNested bool) []*llvm.Instr {
+	var out []*llvm.Instr
+	for _, b := range s.cfg.Order {
+		if !l.Contains(b) {
+			continue
+		}
+		if excludeNested && s.inNestedLoop(l, b) {
+			continue
+		}
+		out = append(out, b.Instrs...)
+	}
+	return out
+}
+
+func (s *synth) inNestedLoop(l *analysis.Loop, b *llvm.Block) bool {
+	for _, c := range l.Children {
+		if c.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *synth) synthLoop(l *analysis.Loop) {
+	trip, estimated := s.tripOf(l)
+	md := l.MD
+	pipelined := md != nil && md.Pipeline && l.IsInnermost()
+
+	var iterLat, totalLat int64
+	ii := 1
+	flattened := false
+
+	// loop_flatten: merge this level into a flattened/pipelined only child
+	// when the nest level is perfect — the inner pipeline keeps issuing
+	// across outer iterations instead of refilling.
+	if !pipelined && md != nil && md.Flatten && len(l.Children) == 1 {
+		child := s.repOf[l.Children[0]]
+		if child != nil && (child.Pipelined || child.Flattened) &&
+			s.perfectNestLevel(l, l.Children[0]) && trip > 0 && child.Trip > 0 {
+			flattened = true
+			ii = child.II
+			iterLat = child.IterLatency
+			totalTrip := trip * child.Trip
+			totalLat = iterLat + (totalTrip-1)*int64(ii)
+			s.loopLat[l] = totalLat
+			rep := LoopReport{
+				Header: l.Header.Name, Depth: l.Depth(), Trip: totalTrip,
+				TripEstimated: estimated || child.TripEstimated,
+				Flattened:     true, II: ii, IterLatency: iterLat, Latency: totalLat,
+			}
+			s.repOf[l] = &rep
+			s.reports = append(s.reports, rep)
+			return
+		}
+	}
+
+	if pipelined {
+		instrs := s.iterInstrs(l, true)
+		sched := s.sched(instrs)
+		iterLat = sched.Cycles
+
+		resMII := 1
+		for base, n := range sched.MemAccesses {
+			ports := s.tgt.MemPorts
+			if p := s.portsOf(base); p > 0 {
+				ports = p
+			}
+			m := (n + ports - 1) / ports
+			if m > resMII {
+				resMII = m
+			}
+		}
+		rec := s.tgt.recMII(instrs, func(v llvm.Value) bool {
+			return dependsOnHeaderPhi(v, l.Header, map[llvm.Value]bool{})
+		})
+		target := 1
+		if md.II > 0 {
+			target = md.II
+		}
+		ii = maxInt(target, maxInt(resMII, rec))
+		if trip <= 0 {
+			totalLat = 0
+		} else {
+			totalLat = iterLat + (trip-1)*int64(ii)
+		}
+		// Pipelined ops replicate: unit count = ops per iteration / II.
+		s.accumulateArea(instrs, ii)
+	} else {
+		iterLat = s.loopBodyLatency(l)
+		// Loop control adds one cycle per iteration (exit test).
+		iterLat++
+		unroll := int64(1)
+		if md != nil && md.Unroll > 0 {
+			unroll = int64(md.Unroll)
+		} else if md != nil && md.Unroll == -1 {
+			unroll = trip
+			if unroll <= 0 {
+				unroll = 1
+			}
+		}
+		if unroll > 1 {
+			// Backend unroll (the pragma path): schedule the body replicated
+			// unroll times, exactly as materialized unrolling would present
+			// it — copies share ports and keep conservative same-array
+			// store/load ordering.
+			instrs := s.iterInstrs(l, true)
+			cloned := s.cloneForUnroll(instrs, int(unroll))
+			sched := s.sched(cloned)
+			iterLat = sched.Cycles + 1 // loop exit test
+			trip = (trip + unroll - 1) / unroll
+			s.accumulateArea(cloned, 1) // replicated datapath
+		} else {
+			instrs := s.iterInstrs(l, true)
+			// Shared datapath: units amortized over the iteration.
+			s.accumulateAreaShared(instrs)
+		}
+		if trip <= 0 {
+			totalLat = 1
+		} else {
+			totalLat = trip*iterLat + 1
+		}
+	}
+
+	s.loopLat[l] = totalLat
+	rep := LoopReport{
+		Header:        l.Header.Name,
+		Depth:         l.Depth(),
+		Trip:          trip,
+		TripEstimated: estimated,
+		Pipelined:     pipelined,
+		Flattened:     flattened,
+		II:            ii,
+		IterLatency:   iterLat,
+		Latency:       totalLat,
+	}
+	s.repOf[l] = &rep
+	s.reports = append(s.reports, rep)
+}
+
+// perfectNestLevel reports whether l's body consists only of the child loop
+// plus loop control (the condition for loop_flatten to apply).
+func (s *synth) perfectNestLevel(l, child *analysis.Loop) bool {
+	for b := range l.Blocks {
+		if child.Contains(b) {
+			continue
+		}
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case llvm.OpPhi, llvm.OpICmp, llvm.OpBr, llvm.OpCondBr,
+				llvm.OpAdd, llvm.OpSub, llvm.OpSExt, llvm.OpZExt, llvm.OpTrunc:
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dependsOnHeaderPhi reports whether v's computation reads any phi of the
+// given loop header (i.e. varies across iterations).
+func dependsOnHeaderPhi(v llvm.Value, header *llvm.Block, seen map[llvm.Value]bool) bool {
+	if seen[v] {
+		return false
+	}
+	seen[v] = true
+	in, ok := v.(*llvm.Instr)
+	if !ok {
+		return false
+	}
+	if in.Op == llvm.OpPhi && in.Parent == header {
+		return true
+	}
+	for _, a := range in.Args {
+		if dependsOnHeaderPhi(a, header, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneForUnroll replicates an instruction list u times with intra-copy
+// value remapping, so the scheduler sees what materialized unrolling would
+// produce. Clones inherit the originals' address-only classification.
+func (s *synth) cloneForUnroll(instrs []*llvm.Instr, u int) []*llvm.Instr {
+	out := make([]*llvm.Instr, 0, len(instrs)*u)
+	for c := 0; c < u; c++ {
+		vmap := map[llvm.Value]llvm.Value{}
+		for _, in := range instrs {
+			if in.IsTerminator() || in.Op == llvm.OpPhi {
+				continue
+			}
+			ni := &llvm.Instr{Op: in.Op, Name: fmt.Sprintf("%s.u%d", in.Name, c),
+				Ty: in.Ty, Pred: in.Pred, Callee: in.Callee,
+				SrcElem: in.SrcElem, Indices: in.Indices, Align: in.Align}
+			for _, a := range in.Args {
+				if m, ok := vmap[a]; ok {
+					ni.Args = append(ni.Args, m)
+				} else {
+					ni.Args = append(ni.Args, a)
+				}
+			}
+			vmap[in] = ni
+			if s.tgt.addrOnly[in] {
+				s.tgt.addrOnly[ni] = true
+			}
+			out = append(out, ni)
+		}
+	}
+	return out
+}
+
+// loopBodyLatency computes one iteration's latency as the longest path over
+// the loop's collapsed body DAG (nested loops count as single nodes with
+// their synthesized latency).
+func (s *synth) loopBodyLatency(l *analysis.Loop) int64 {
+	return s.longestPath(func(b *llvm.Block) bool { return l.Contains(b) }, l.Children, l.Header, l)
+}
+
+// functionLatency is the longest path through the function with top-level
+// loops collapsed.
+func (s *synth) functionLatency() int64 {
+	var tops []*analysis.Loop
+	for _, l := range s.li.Loops {
+		if l.Parent == nil {
+			tops = append(tops, l)
+		}
+	}
+	return s.longestPath(func(b *llvm.Block) bool { return true }, tops, s.f.Entry(), nil)
+}
+
+// longestPath computes the longest latency path over the collapsed DAG of
+// blocks satisfying in(), with each loop in loops collapsed to one node.
+// start is the entry node; self (may be nil) identifies the enclosing loop
+// whose back edge is ignored.
+func (s *synth) longestPath(in func(*llvm.Block) bool, loops []*analysis.Loop,
+	start *llvm.Block, self *analysis.Loop) int64 {
+
+	// node is either a block or a collapsed loop (keyed by header).
+	loopOf := map[*llvm.Block]*analysis.Loop{}
+	for _, l := range loops {
+		for b := range l.Blocks {
+			loopOf[b] = l
+		}
+	}
+	type node struct {
+		blk  *llvm.Block
+		loop *analysis.Loop
+	}
+	nodeOf := func(b *llvm.Block) node {
+		if l, ok := loopOf[b]; ok {
+			return node{loop: l}
+		}
+		return node{blk: b}
+	}
+	latOf := func(n node) int64 {
+		if n.loop != nil {
+			return s.loopLat[n.loop]
+		}
+		sched := s.sched(n.blk.Instrs)
+		return maxInt64(sched.Cycles, 1)
+	}
+	succsOf := func(n node) []node {
+		seen := map[node]bool{}
+		var out []node
+		add := func(b *llvm.Block) {
+			if !in(b) {
+				return
+			}
+			if self != nil && b == self.Header {
+				return // ignore enclosing back edge
+			}
+			sn := nodeOf(b)
+			if sn == n || seen[sn] {
+				return
+			}
+			seen[sn] = true
+			out = append(out, sn)
+		}
+		if n.loop != nil {
+			for b := range n.loop.Blocks {
+				for _, sb := range b.Succs() {
+					if !n.loop.Contains(sb) {
+						add(sb)
+					}
+				}
+			}
+		} else {
+			for _, sb := range n.blk.Succs() {
+				add(sb)
+			}
+		}
+		return out
+	}
+
+	memo := map[node]int64{}
+	visiting := map[node]bool{}
+	var dfs func(n node) int64
+	dfs = func(n node) int64 {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		if visiting[n] {
+			return 0 // defensive: should not happen on a proper DAG
+		}
+		visiting[n] = true
+		best := int64(0)
+		for _, sn := range succsOf(n) {
+			if v := dfs(sn); v > best {
+				best = v
+			}
+		}
+		visiting[n] = false
+		v := latOf(n) + best
+		memo[n] = v
+		return v
+	}
+	if start == nil {
+		return 0
+	}
+	return dfs(nodeOf(start))
+}
+
+// accumulateArea adds replicated datapath area (pipelined/unrolled regions):
+// unit count = ops of a kind divided by the initiation interval.
+func (s *synth) accumulateArea(instrs []*llvm.Instr, ii int) {
+	counts := map[llvm.Opcode]int{}
+	costs := map[llvm.Opcode]OpCost{}
+	for _, in := range instrs {
+		c := s.tgt.CostOf(in)
+		if c.DSP == 0 && c.LUT == 0 && c.FF == 0 {
+			continue
+		}
+		counts[opKey(in)]++
+		costs[opKey(in)] = c
+	}
+	for k, n := range counts {
+		units := (n + ii - 1) / ii
+		c := costs[k]
+		s.dsp += units * c.DSP
+		s.lut += units * c.LUT
+		s.ff += units * c.FF
+	}
+}
+
+// accumulateAreaShared adds shared-datapath area: one unit per operator
+// kind present (the default sharing HLS applies outside pipelined regions).
+func (s *synth) accumulateAreaShared(instrs []*llvm.Instr) {
+	seen := map[llvm.Opcode]OpCost{}
+	for _, in := range instrs {
+		c := s.tgt.CostOf(in)
+		if c.DSP == 0 && c.LUT == 0 && c.FF == 0 {
+			continue
+		}
+		if old, ok := seen[opKey(in)]; !ok || c.DSP > old.DSP {
+			seen[opKey(in)] = c
+		}
+	}
+	for _, c := range seen {
+		s.dsp += c.DSP
+		s.lut += c.LUT
+		s.ff += c.FF
+	}
+}
+
+func opKey(in *llvm.Instr) llvm.Opcode {
+	if in.Op == llvm.OpCall {
+		return llvm.Opcode("call." + in.Callee)
+	}
+	if in.Ty != nil && in.Ty.Kind == llvm.KindDouble {
+		return in.Op + ".d"
+	}
+	return in.Op
+}
+
+// estimateMemories sizes BRAM for array ports and local allocas, applying
+// partition directives.
+func (s *synth) estimateMemories(rep *Report) {
+	addArray := func(argIdx int, ty *llvm.Type) {
+		bits := ty.SizeBytes() * 8
+		spec := ""
+		if argIdx >= 0 {
+			spec = s.f.Attrs[fmt.Sprintf("hls.array_partition.arg%d", argIdx)]
+		}
+		kind, factor := parsePartition(spec)
+		switch kind {
+		case "complete":
+			// Fully partitioned into registers.
+			rep.FF += int(bits)
+			rep.LUT += int(bits / 2)
+		case "cyclic", "block":
+			if factor < 1 {
+				factor = 1
+			}
+			per := (bits + int64(factor) - 1) / int64(factor)
+			banks := factor * int((per+s.tgt.BRAMBits-1)/s.tgt.BRAMBits)
+			rep.BRAM += banks
+		default:
+			if bits <= 1024 {
+				rep.LUT += int(bits / 2) // LUTRAM
+			} else {
+				rep.BRAM += int((bits + s.tgt.BRAMBits - 1) / s.tgt.BRAMBits)
+			}
+		}
+	}
+	for i, p := range s.f.Params {
+		if p.Ty.IsPtr() && p.Ty.Elem != nil && p.Ty.Elem.IsArray() {
+			addArray(i, p.Ty.Elem)
+		}
+	}
+	for _, b := range s.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == llvm.OpAlloca && in.SrcElem.IsArray() {
+				addArray(-1, in.SrcElem)
+			}
+		}
+	}
+}
+
+// estimateControl adds FSM and loop-control overhead.
+func (s *synth) estimateControl(rep *Report) {
+	rep.LUT += 50 * len(s.f.Blocks)
+	rep.FF += 80 * len(s.f.Blocks)
+	rep.LUT += 100 * len(s.li.Loops)
+	rep.FF += 64 * len(s.li.Loops)
+}
+
+// parsePartition decodes "cyclic,2,0" into kind and factor.
+func parsePartition(s string) (string, int) {
+	if s == "" {
+		return "", 0
+	}
+	parts := strings.Split(s, ",")
+	kind := parts[0]
+	factor := 0
+	if len(parts) > 1 {
+		factor, _ = strconv.Atoi(parts[1])
+	}
+	return kind, factor
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

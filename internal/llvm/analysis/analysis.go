@@ -1,0 +1,297 @@
+// Package analysis provides CFG utilities over the llvm package: predecessor
+// maps, reverse postorder, dominator trees, natural-loop detection, and a
+// minimal induction-variable scalar evolution, as required by mem2reg, the
+// adaptor, and the HLS scheduler.
+package analysis
+
+import (
+	"repro/internal/llvm"
+)
+
+// CFG caches predecessor/successor relations of a function.
+type CFG struct {
+	F     *llvm.Function
+	Preds map[*llvm.Block][]*llvm.Block
+	Order []*llvm.Block // reverse postorder from entry
+	index map[*llvm.Block]int
+}
+
+// NewCFG computes the CFG for f.
+func NewCFG(f *llvm.Function) *CFG {
+	c := &CFG{F: f, Preds: map[*llvm.Block][]*llvm.Block{}, index: map[*llvm.Block]int{}}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			c.Preds[s] = append(c.Preds[s], b)
+		}
+	}
+	// Reverse postorder via iterative DFS.
+	seen := map[*llvm.Block]bool{}
+	var post []*llvm.Block
+	type frame struct {
+		b *llvm.Block
+		i int
+	}
+	if f.Entry() != nil {
+		stack := []frame{{f.Entry(), 0}}
+		seen[f.Entry()] = true
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			succs := top.b.Succs()
+			if top.i < len(succs) {
+				s := succs[top.i]
+				top.i++
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, frame{s, 0})
+				}
+				continue
+			}
+			post = append(post, top.b)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		c.index[post[i]] = len(c.Order)
+		c.Order = append(c.Order, post[i])
+	}
+	return c
+}
+
+// Reachable reports whether b is reachable from entry.
+func (c *CFG) Reachable(b *llvm.Block) bool {
+	_, ok := c.index[b]
+	return ok
+}
+
+// DomTree is a dominator tree (Cooper-Harvey-Kennedy).
+type DomTree struct {
+	cfg  *CFG
+	idom map[*llvm.Block]*llvm.Block
+}
+
+// NewDomTree computes the dominator tree for f's CFG.
+func NewDomTree(c *CFG) *DomTree {
+	d := &DomTree{cfg: c, idom: map[*llvm.Block]*llvm.Block{}}
+	if len(c.Order) == 0 {
+		return d
+	}
+	entry := c.Order[0]
+	d.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.Order[1:] {
+			var newIdom *llvm.Block
+			for _, p := range c.Preds[b] {
+				if _, ok := d.idom[p]; !ok {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+					continue
+				}
+				newIdom = d.intersect(p, newIdom)
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *DomTree) intersect(a, b *llvm.Block) *llvm.Block {
+	for a != b {
+		for d.cfg.index[a] > d.cfg.index[b] {
+			a = d.idom[a]
+		}
+		for d.cfg.index[b] > d.cfg.index[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator (entry's idom is itself).
+func (d *DomTree) IDom(b *llvm.Block) *llvm.Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexive).
+func (d *DomTree) Dominates(a, b *llvm.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		i, ok := d.idom[b]
+		if !ok || i == b {
+			return false
+		}
+		b = i
+	}
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	Header *llvm.Block
+	Latch  *llvm.Block // the back-edge source (single-latch loops only)
+	Blocks map[*llvm.Block]bool
+	Parent *Loop
+	// Children are loops nested directly inside this one.
+	Children []*Loop
+	// MD is the loop metadata found on the latch terminator, if any.
+	MD *llvm.LoopMD
+}
+
+// Depth returns the nesting depth (outermost = 1).
+func (l *Loop) Depth() int {
+	d := 1
+	for p := l.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *llvm.Block) bool { return l.Blocks[b] }
+
+// IsInnermost reports whether the loop has no children.
+func (l *Loop) IsInnermost() bool { return len(l.Children) == 0 }
+
+// LoopInfo is the set of natural loops of a function.
+type LoopInfo struct {
+	Loops []*Loop // all loops, outer before inner
+	// ByHeader maps header blocks to their loop.
+	ByHeader map[*llvm.Block]*Loop
+}
+
+// FindLoops detects natural loops via back edges (latch -> header where
+// header dominates latch) and nests them by block containment.
+func FindLoops(c *CFG, d *DomTree) *LoopInfo {
+	li := &LoopInfo{ByHeader: map[*llvm.Block]*Loop{}}
+	for _, b := range c.Order {
+		for _, s := range b.Succs() {
+			if d.Dominates(s, b) {
+				// back edge b -> s
+				l := li.ByHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Latch: b, Blocks: map[*llvm.Block]bool{s: true}}
+					li.ByHeader[s] = l
+					li.Loops = append(li.Loops, l)
+				}
+				// Collect body: reverse reachability from latch to header.
+				var stack []*llvm.Block
+				if !l.Blocks[b] {
+					l.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range c.Preds[x] {
+						if !l.Blocks[p] {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+				if t := b.Terminator(); t != nil && t.Loop != nil {
+					l.MD = t.Loop
+				}
+			}
+		}
+	}
+	// Establish nesting: loop A is a child of the smallest loop strictly
+	// containing its header.
+	for _, l := range li.Loops {
+		var best *Loop
+		for _, o := range li.Loops {
+			if o == l || !o.Blocks[l.Header] {
+				continue
+			}
+			if best == nil || len(o.Blocks) < len(best.Blocks) {
+				best = o
+			}
+		}
+		if best != nil {
+			l.Parent = best
+			best.Children = append(best.Children, l)
+		}
+	}
+	// Order outer loops before inner (stable by depth).
+	ordered := make([]*Loop, 0, len(li.Loops))
+	var emit func(ls []*Loop)
+	emit = func(ls []*Loop) {
+		for _, l := range ls {
+			ordered = append(ordered, l)
+			emit(l.Children)
+		}
+	}
+	var tops []*Loop
+	for _, l := range li.Loops {
+		if l.Parent == nil {
+			tops = append(tops, l)
+		}
+	}
+	emit(tops)
+	li.Loops = ordered
+	return li
+}
+
+// TripCount returns the constant trip count of a loop in canonical
+// phi/icmp/add form, with ok=false when the shape is not recognized.
+//
+// Recognized shape (as produced by both flows):
+//
+//	header: %iv = phi [ C0, pre ], [ %next, latch ]
+//	        %c = icmp slt %iv, C1
+//	        br %c, body, exit
+//	...     %next = add %iv, C2
+func TripCount(l *Loop) (int64, bool) {
+	var cmp *llvm.Instr
+	for _, in := range l.Header.Instrs {
+		if in.Op == llvm.OpICmp {
+			cmp = in
+		}
+	}
+	term := l.Header.Terminator()
+	if cmp == nil || term == nil || term.Op != llvm.OpCondBr || term.Args[0] != cmp {
+		return 0, false
+	}
+	// The induction phi is the compare's left operand.
+	phi, ok := cmp.Args[0].(*llvm.Instr)
+	if !ok || phi.Op != llvm.OpPhi || phi.Parent != l.Header || !phi.Ty.IsInt() {
+		return 0, false
+	}
+	if cmp.Pred != "slt" {
+		return 0, false
+	}
+	bound, ok := cmp.Args[1].(*llvm.ConstInt)
+	if !ok {
+		return 0, false
+	}
+	var start *llvm.ConstInt
+	var step *llvm.ConstInt
+	for i, inc := range phi.Args {
+		if l.Blocks[phi.Blocks[i]] && phi.Blocks[i] != l.Header {
+			// Back-edge value: expect add(iv, step).
+			add, ok := inc.(*llvm.Instr)
+			if !ok || add.Op != llvm.OpAdd {
+				return 0, false
+			}
+			if add.Args[0] == phi {
+				step, _ = add.Args[1].(*llvm.ConstInt)
+			} else if add.Args[1] == phi {
+				step, _ = add.Args[0].(*llvm.ConstInt)
+			}
+		} else {
+			start, _ = inc.(*llvm.ConstInt)
+		}
+	}
+	if start == nil || step == nil || step.Val <= 0 {
+		return 0, false
+	}
+	if bound.Val <= start.Val {
+		return 0, true
+	}
+	return (bound.Val - start.Val + step.Val - 1) / step.Val, true
+}

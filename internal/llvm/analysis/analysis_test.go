@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/llvm"
+)
+
+// buildNestedLoops builds:
+//
+//	entry -> oh -> ob -> ih -> ib -> ih(latch) ; ih->oe ; oe -> oh(latch) ; oh -> exit
+//
+// a 2-deep nest with canonical phi/icmp/add shape (outer trip 4, inner 8).
+func buildNestedLoops(t *testing.T) (*llvm.Function, map[string]*llvm.Block) {
+	t.Helper()
+	f := llvm.NewFunction("nest", llvm.Void())
+	blocks := map[string]*llvm.Block{}
+	for _, n := range []string{"entry", "oh", "ob", "ih", "ib", "oe", "exit"} {
+		blocks[n] = f.AddBlock(n)
+	}
+	b := llvm.NewBuilder(f)
+
+	b.SetBlock(blocks["entry"])
+	b.Br(blocks["oh"])
+
+	b.SetBlock(blocks["oh"])
+	oiv := b.Phi(llvm.I64())
+	ocond := b.ICmp("slt", oiv, llvm.CI(llvm.I64(), 4))
+	b.CondBr(ocond, blocks["ob"], blocks["exit"])
+
+	b.SetBlock(blocks["ob"])
+	b.Br(blocks["ih"])
+
+	b.SetBlock(blocks["ih"])
+	iiv := b.Phi(llvm.I64())
+	icond := b.ICmp("slt", iiv, llvm.CI(llvm.I64(), 8))
+	b.CondBr(icond, blocks["ib"], blocks["oe"])
+
+	b.SetBlock(blocks["ib"])
+	inext := b.Add(iiv, llvm.CI(llvm.I64(), 1))
+	innerLatch := b.Br(blocks["ih"])
+	innerLatch.Loop = &llvm.LoopMD{Pipeline: true, II: 2}
+
+	b.SetBlock(blocks["oe"])
+	onext := b.Add(oiv, llvm.CI(llvm.I64(), 1))
+	b.Br(blocks["oh"])
+
+	b.SetBlock(blocks["exit"])
+	b.Ret(nil)
+
+	oiv.AddIncoming(llvm.CI(llvm.I64(), 0), blocks["entry"])
+	oiv.AddIncoming(onext, blocks["oe"])
+	iiv.AddIncoming(llvm.CI(llvm.I64(), 0), blocks["ob"])
+	iiv.AddIncoming(inext, blocks["ib"])
+
+	if err := f.Verify(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return f, blocks
+}
+
+func TestCFGOrderAndPreds(t *testing.T) {
+	f, blocks := buildNestedLoops(t)
+	cfg := NewCFG(f)
+	if len(cfg.Order) != 7 {
+		t.Fatalf("RPO should cover 7 blocks, got %d", len(cfg.Order))
+	}
+	if cfg.Order[0] != blocks["entry"] {
+		t.Error("RPO must start at entry")
+	}
+	if got := len(cfg.Preds[blocks["oh"]]); got != 2 {
+		t.Errorf("outer header should have 2 preds, got %d", got)
+	}
+	if got := len(cfg.Preds[blocks["ih"]]); got != 2 {
+		t.Errorf("inner header should have 2 preds, got %d", got)
+	}
+	if !cfg.Reachable(blocks["exit"]) {
+		t.Error("exit must be reachable")
+	}
+}
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	f, _ := buildNestedLoops(t)
+	orphan := f.AddBlock("orphan")
+	orphan.Append(&llvm.Instr{Op: llvm.OpRet})
+	cfg := NewCFG(f)
+	if cfg.Reachable(orphan) {
+		t.Error("orphan block should be unreachable")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f, blocks := buildNestedLoops(t)
+	cfg := NewCFG(f)
+	dt := NewDomTree(cfg)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"entry", "exit", true},
+		{"oh", "ih", true},
+		{"oh", "exit", true},
+		{"ih", "ib", true},
+		{"ib", "oe", false},
+		{"oe", "oh", false}, // back edge source does not dominate header
+		{"ih", "ih", true},  // reflexive
+	}
+	for _, c := range cases {
+		if got := dt.Dominates(blocks[c.a], blocks[c.b]); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if dt.IDom(blocks["ih"]) != blocks["ob"] {
+		t.Errorf("idom(ih) = %v", dt.IDom(blocks["ih"]).Name)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	f, blocks := buildNestedLoops(t)
+	cfg := NewCFG(f)
+	dt := NewDomTree(cfg)
+	li := FindLoops(cfg, dt)
+	if len(li.Loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(li.Loops))
+	}
+	outer := li.ByHeader[blocks["oh"]]
+	inner := li.ByHeader[blocks["ih"]]
+	if outer == nil || inner == nil {
+		t.Fatal("loops not keyed by header")
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop must nest inside outer")
+	}
+	if outer.Depth() != 1 || inner.Depth() != 2 {
+		t.Errorf("depths: outer=%d inner=%d", outer.Depth(), inner.Depth())
+	}
+	if !inner.IsInnermost() || outer.IsInnermost() {
+		t.Error("innermost classification wrong")
+	}
+	if !outer.Contains(blocks["ib"]) {
+		t.Error("outer loop must contain the inner body")
+	}
+	if inner.Contains(blocks["oe"]) {
+		t.Error("inner loop must not contain the outer latch")
+	}
+	// Loop metadata from the latch.
+	if inner.MD == nil || !inner.MD.Pipeline || inner.MD.II != 2 {
+		t.Errorf("inner loop metadata lost: %+v", inner.MD)
+	}
+	// Ordering: outer before inner.
+	if li.Loops[0] != outer || li.Loops[1] != inner {
+		t.Error("loops must be ordered outer-first")
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	f, blocks := buildNestedLoops(t)
+	cfg := NewCFG(f)
+	dt := NewDomTree(cfg)
+	li := FindLoops(cfg, dt)
+	if tc, ok := TripCount(li.ByHeader[blocks["oh"]]); !ok || tc != 4 {
+		t.Errorf("outer trip = %d ok=%v, want 4", tc, ok)
+	}
+	if tc, ok := TripCount(li.ByHeader[blocks["ih"]]); !ok || tc != 8 {
+		t.Errorf("inner trip = %d ok=%v, want 8", tc, ok)
+	}
+}
+
+func TestTripCountNonCanonical(t *testing.T) {
+	f, blocks := buildNestedLoops(t)
+	cfg := NewCFG(f)
+	dt := NewDomTree(cfg)
+	li := FindLoops(cfg, dt)
+	// Make the inner bound non-constant: compare against the outer IV.
+	ih := blocks["ih"]
+	var cmp *llvm.Instr
+	for _, in := range ih.Instrs {
+		if in.Op == llvm.OpICmp {
+			cmp = in
+		}
+	}
+	cmp.Args[1] = blocks["oh"].Instrs[0] // outer phi
+	if _, ok := TripCount(li.ByHeader[ih]); ok {
+		t.Error("variable-bound loop should not report a constant trip count")
+	}
+}
+
+func TestTripCountZero(t *testing.T) {
+	f, blocks := buildNestedLoops(t)
+	cfg := NewCFG(f)
+	dt := NewDomTree(cfg)
+	li := FindLoops(cfg, dt)
+	var cmp *llvm.Instr
+	for _, in := range blocks["ih"].Instrs {
+		if in.Op == llvm.OpICmp {
+			cmp = in
+		}
+	}
+	cmp.Args[1] = llvm.CI(llvm.I64(), 0) // bound below start
+	if tc, ok := TripCount(li.ByHeader[blocks["ih"]]); !ok || tc != 0 {
+		t.Errorf("empty loop trip = %d ok=%v, want 0", tc, ok)
+	}
+	_ = f
+}

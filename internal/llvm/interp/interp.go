@@ -1,0 +1,626 @@
+// Package interp executes llvm.Module functions on a byte-addressable memory
+// model. Both HLS flows' final IR is run through it and compared against the
+// Go reference implementations, standing in for RTL co-simulation.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/llvm"
+)
+
+// Mem is one allocation.
+type Mem struct {
+	Bytes []byte
+}
+
+// NewMem allocates n zeroed bytes.
+func NewMem(n int64) *Mem { return &Mem{Bytes: make([]byte, n)} }
+
+// Float64Slice interprets the memory as float64s.
+func (m *Mem) Float64Slice() []float64 {
+	out := make([]float64, len(m.Bytes)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(m.Bytes[i*8:]))
+	}
+	return out
+}
+
+// SetFloat64 stores v at element index i.
+func (m *Mem) SetFloat64(i int, v float64) {
+	binary.LittleEndian.PutUint64(m.Bytes[i*8:], math.Float64bits(v))
+}
+
+// Float32Slice interprets the memory as float32s.
+func (m *Mem) Float32Slice() []float32 {
+	out := make([]float32, len(m.Bytes)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(m.Bytes[i*4:]))
+	}
+	return out
+}
+
+// SetFloat32 stores v at element index i.
+func (m *Mem) SetFloat32(i int, v float32) {
+	binary.LittleEndian.PutUint32(m.Bytes[i*4:], math.Float32bits(v))
+}
+
+// Int32Slice interprets the memory as int32s.
+func (m *Mem) Int32Slice() []int32 {
+	out := make([]int32, len(m.Bytes)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(m.Bytes[i*4:]))
+	}
+	return out
+}
+
+// SetInt32 stores v at element index i.
+func (m *Mem) SetInt32(i int, v int32) {
+	binary.LittleEndian.PutUint32(m.Bytes[i*4:], uint32(v))
+}
+
+// val is a runtime value.
+type val struct {
+	i   int64
+	f   float64
+	mem *Mem
+	off int64
+}
+
+// Arg is a function-call argument.
+type Arg struct{ v val }
+
+// IntArg passes an integer.
+func IntArg(x int64) Arg { return Arg{val{i: x}} }
+
+// FloatArg passes a float/double.
+func FloatArg(x float64) Arg { return Arg{val{f: x}} }
+
+// PtrArg passes a pointer to offset off within m.
+func PtrArg(m *Mem, off int64) Arg { return Arg{val{mem: m, off: off}} }
+
+// Machine executes functions of one module.
+type Machine struct {
+	Mod *llvm.Module
+	// Fuel bounds the executed instruction count (default 500M).
+	Fuel int64
+}
+
+// NewMachine returns a machine for mod.
+func NewMachine(mod *llvm.Module) *Machine {
+	return &Machine{Mod: mod, Fuel: 500_000_000}
+}
+
+// Run executes the named function. The returned value is meaningful only
+// for non-void functions (i or f depending on the return type).
+func (mc *Machine) Run(name string, args ...Arg) (int64, float64, error) {
+	f := mc.Mod.FindFunc(name)
+	if f == nil {
+		return 0, 0, fmt.Errorf("interp: function @%s not found", name)
+	}
+	if len(args) != len(f.Params) {
+		return 0, 0, fmt.Errorf("interp: @%s takes %d params, got %d", name, len(f.Params), len(args))
+	}
+	vals := make([]val, len(args))
+	for i, a := range args {
+		vals[i] = a.v
+	}
+	r, err := mc.call(f, vals, 0)
+	return r.i, r.f, err
+}
+
+func (mc *Machine) call(f *llvm.Function, args []val, depth int) (val, error) {
+	if depth > 100 {
+		return val{}, fmt.Errorf("interp: call depth exceeded")
+	}
+	env := map[llvm.Value]val{}
+	for i, p := range f.Params {
+		env[p] = args[i]
+	}
+	blk := f.Entry()
+	var prev *llvm.Block
+	for {
+		// Phi nodes first, evaluated simultaneously.
+		var phiVals []val
+		var phis []*llvm.Instr
+		for _, in := range blk.Instrs {
+			if in.Op != llvm.OpPhi {
+				break
+			}
+			idx := -1
+			for i, b := range in.Blocks {
+				if b == prev {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return val{}, fmt.Errorf("interp: phi in %%%s has no incoming for %%%s",
+					blk.Name, blockName(prev))
+			}
+			v, err := mc.eval(env, in.Args[idx])
+			if err != nil {
+				return val{}, err
+			}
+			phis = append(phis, in)
+			phiVals = append(phiVals, v)
+		}
+		for i, p := range phis {
+			env[p] = phiVals[i]
+		}
+
+		for _, in := range blk.Instrs[len(phis):] {
+			mc.Fuel--
+			if mc.Fuel < 0 {
+				return val{}, fmt.Errorf("interp: out of fuel")
+			}
+			switch in.Op {
+			case llvm.OpBr:
+				prev, blk = blk, in.Blocks[0]
+			case llvm.OpCondBr:
+				c, err := mc.eval(env, in.Args[0])
+				if err != nil {
+					return val{}, err
+				}
+				if c.i != 0 {
+					prev, blk = blk, in.Blocks[0]
+				} else {
+					prev, blk = blk, in.Blocks[1]
+				}
+			case llvm.OpRet:
+				if len(in.Args) == 0 {
+					return val{}, nil
+				}
+				return mc.eval(env, in.Args[0])
+			case llvm.OpUnreachable:
+				return val{}, fmt.Errorf("interp: reached unreachable")
+			default:
+				v, err := mc.exec(env, in, depth)
+				if err != nil {
+					return val{}, fmt.Errorf("in @%s %%%s: %w", f.Name, in.Name, err)
+				}
+				if in.HasResult() {
+					env[in] = v
+				}
+			}
+			if in.IsTerminator() {
+				break
+			}
+		}
+		if blk == nil {
+			return val{}, fmt.Errorf("interp: fell off block")
+		}
+	}
+}
+
+func blockName(b *llvm.Block) string {
+	if b == nil {
+		return "<nil>"
+	}
+	return b.Name
+}
+
+func (mc *Machine) eval(env map[llvm.Value]val, v llvm.Value) (val, error) {
+	switch c := v.(type) {
+	case *llvm.ConstInt:
+		return val{i: c.Val}, nil
+	case *llvm.ConstFloat:
+		return val{f: c.Val}, nil
+	case *llvm.Undef:
+		return val{}, nil
+	}
+	x, ok := env[v]
+	if !ok {
+		return val{}, fmt.Errorf("use of undefined value %s", v.Ident())
+	}
+	return x, nil
+}
+
+func (mc *Machine) exec(env map[llvm.Value]val, in *llvm.Instr, depth int) (val, error) {
+	ev := func(i int) (val, error) { return mc.eval(env, in.Args[i]) }
+
+	switch in.Op {
+	case llvm.OpAdd, llvm.OpSub, llvm.OpMul, llvm.OpSDiv, llvm.OpSRem,
+		llvm.OpAnd, llvm.OpOr, llvm.OpXor, llvm.OpShl, llvm.OpAShr:
+		l, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		r, err := ev(1)
+		if err != nil {
+			return val{}, err
+		}
+		var x int64
+		switch in.Op {
+		case llvm.OpAdd:
+			x = l.i + r.i
+		case llvm.OpSub:
+			x = l.i - r.i
+		case llvm.OpMul:
+			x = l.i * r.i
+		case llvm.OpSDiv:
+			if r.i == 0 {
+				return val{}, fmt.Errorf("division by zero")
+			}
+			x = l.i / r.i
+		case llvm.OpSRem:
+			if r.i == 0 {
+				return val{}, fmt.Errorf("remainder by zero")
+			}
+			x = l.i % r.i
+		case llvm.OpAnd:
+			x = l.i & r.i
+		case llvm.OpOr:
+			x = l.i | r.i
+		case llvm.OpXor:
+			x = l.i ^ r.i
+		case llvm.OpShl:
+			x = l.i << uint(r.i)
+		case llvm.OpAShr:
+			x = l.i >> uint(r.i)
+		}
+		return val{i: truncInt(x, in.Ty)}, nil
+
+	case llvm.OpFAdd, llvm.OpFSub, llvm.OpFMul, llvm.OpFDiv:
+		l, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		r, err := ev(1)
+		if err != nil {
+			return val{}, err
+		}
+		var x float64
+		switch in.Op {
+		case llvm.OpFAdd:
+			x = l.f + r.f
+		case llvm.OpFSub:
+			x = l.f - r.f
+		case llvm.OpFMul:
+			x = l.f * r.f
+		case llvm.OpFDiv:
+			x = l.f / r.f
+		}
+		return val{f: roundFP(x, in.Ty)}, nil
+
+	case llvm.OpFNeg:
+		x, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		return val{f: -x.f}, nil
+
+	case llvm.OpICmp:
+		l, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		r, err := ev(1)
+		if err != nil {
+			return val{}, err
+		}
+		return val{i: b2i(icmp(in.Pred, l.i, r.i))}, nil
+
+	case llvm.OpFCmp:
+		l, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		r, err := ev(1)
+		if err != nil {
+			return val{}, err
+		}
+		return val{i: b2i(fcmp(in.Pred, l.f, r.f))}, nil
+
+	case llvm.OpSelect:
+		c, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		if c.i != 0 {
+			return ev(1)
+		}
+		return ev(2)
+
+	case llvm.OpZExt:
+		x, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		// Zero-extension must clear high bits of the (sign-represented)
+		// source value.
+		if t := in.Args[0].Type(); t.IsInt() && t.Bits < 64 {
+			x.i &= (int64(1) << uint(t.Bits)) - 1
+		}
+		return val{i: x.i}, nil
+
+	case llvm.OpSExt:
+		x, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		return val{i: x.i}, nil
+
+	case llvm.OpTrunc:
+		x, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		return val{i: truncInt(x.i, in.Ty)}, nil
+
+	case llvm.OpSIToFP:
+		x, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		return val{f: roundFP(float64(x.i), in.Ty)}, nil
+
+	case llvm.OpFPToSI:
+		x, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		return val{i: int64(x.f)}, nil
+
+	case llvm.OpFPExt:
+		return ev(0)
+
+	case llvm.OpFPTrunc:
+		x, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		return val{f: roundFP(x.f, in.Ty)}, nil
+
+	case llvm.OpBitcast, llvm.OpIntToPtr, llvm.OpPtrToInt:
+		return ev(0)
+
+	case llvm.OpAlloca:
+		return val{mem: NewMem(in.SrcElem.SizeBytes())}, nil
+
+	case llvm.OpGEP:
+		base, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		if base.mem == nil {
+			return val{}, fmt.Errorf("gep on non-pointer value")
+		}
+		off := base.off
+		t := in.SrcElem
+		for k := 1; k < len(in.Args); k++ {
+			idx, err := ev(k)
+			if err != nil {
+				return val{}, err
+			}
+			if k == 1 {
+				off += idx.i * t.SizeBytes()
+				continue
+			}
+			switch {
+			case t.IsArray():
+				t = t.Elem
+				off += idx.i * t.SizeBytes()
+			case t.IsStruct():
+				fi := idx.i
+				for j := int64(0); j < fi; j++ {
+					off += t.Fields[j].SizeBytes()
+				}
+				t = t.Fields[fi]
+			default:
+				return val{}, fmt.Errorf("gep steps through scalar type")
+			}
+		}
+		return val{mem: base.mem, off: off}, nil
+
+	case llvm.OpLoad:
+		p, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		return loadTyped(p, in.SrcElem)
+
+	case llvm.OpStore:
+		v, err := ev(0)
+		if err != nil {
+			return val{}, err
+		}
+		p, err := ev(1)
+		if err != nil {
+			return val{}, err
+		}
+		return val{}, storeTyped(p, in.Args[0].Type(), v)
+
+	case llvm.OpExtractValue:
+		// Aggregates are modeled as pointers here; extractvalue appears only
+		// in descriptor manipulation which the flows do not execute.
+		return val{}, fmt.Errorf("extractvalue is not executable in this model")
+
+	case llvm.OpCall:
+		return mc.execCall(env, in, depth)
+
+	case llvm.OpPhi:
+		return val{}, fmt.Errorf("phi executed out of order")
+	}
+	return val{}, fmt.Errorf("unsupported opcode %s", in.Op)
+}
+
+func (mc *Machine) execCall(env map[llvm.Value]val, in *llvm.Instr, depth int) (val, error) {
+	args := make([]val, len(in.Args))
+	for i := range in.Args {
+		v, err := mc.eval(env, in.Args[i])
+		if err != nil {
+			return val{}, err
+		}
+		args[i] = v
+	}
+	switch in.Callee {
+	case "llvm.sqrt.f64", "sqrt":
+		return val{f: math.Sqrt(args[0].f)}, nil
+	case "llvm.sqrt.f32", "sqrtf":
+		return val{f: float64(float32(math.Sqrt(args[0].f)))}, nil
+	case "llvm.exp.f64", "exp":
+		return val{f: math.Exp(args[0].f)}, nil
+	case "llvm.exp.f32", "expf":
+		return val{f: float64(float32(math.Exp(args[0].f)))}, nil
+	case "llvm.fmuladd.f64", "fma":
+		return val{f: args[0].f*args[1].f + args[2].f}, nil
+	case "llvm.fmuladd.f32", "fmaf":
+		return val{f: float64(float32(args[0].f*args[1].f + args[2].f))}, nil
+	case "malloc":
+		return val{mem: NewMem(args[0].i)}, nil
+	case "free", "llvm.lifetime.start.p0", "llvm.lifetime.end.p0":
+		return val{}, nil
+	case "llvm.memset.p0.i64", "memset":
+		m := args[0].mem
+		for i := int64(0); i < args[2].i; i++ {
+			m.Bytes[args[0].off+i] = byte(args[1].i)
+		}
+		return val{}, nil
+	case "llvm.memcpy.p0.p0.i64", "memcpy":
+		dst, src, n := args[0], args[1], args[2].i
+		copy(dst.mem.Bytes[dst.off:dst.off+n], src.mem.Bytes[src.off:src.off+n])
+		return val{}, nil
+	}
+	callee := mc.Mod.FindFunc(in.Callee)
+	if callee == nil || callee.IsDecl {
+		return val{}, fmt.Errorf("call to unknown function @%s", in.Callee)
+	}
+	return mc.call(callee, args, depth+1)
+}
+
+func loadTyped(p val, t *llvm.Type) (val, error) {
+	if p.mem == nil {
+		return val{}, fmt.Errorf("load through nil pointer")
+	}
+	b := p.mem.Bytes
+	o := p.off
+	if o < 0 || o+t.SizeBytes() > int64(len(b)) {
+		return val{}, fmt.Errorf("load out of bounds (off %d, size %d, alloc %d)", o, t.SizeBytes(), len(b))
+	}
+	switch {
+	case t.Kind == llvm.KindFloat:
+		return val{f: float64(math.Float32frombits(binary.LittleEndian.Uint32(b[o:])))}, nil
+	case t.Kind == llvm.KindDouble:
+		return val{f: math.Float64frombits(binary.LittleEndian.Uint64(b[o:]))}, nil
+	case t.IsInt():
+		switch t.SizeBytes() {
+		case 1:
+			return val{i: int64(int8(b[o]))}, nil
+		case 2:
+			return val{i: int64(int16(binary.LittleEndian.Uint16(b[o:])))}, nil
+		case 4:
+			return val{i: int64(int32(binary.LittleEndian.Uint32(b[o:])))}, nil
+		default:
+			return val{i: int64(binary.LittleEndian.Uint64(b[o:]))}, nil
+		}
+	}
+	return val{}, fmt.Errorf("load of unsupported type %s", t)
+}
+
+func storeTyped(p val, t *llvm.Type, v val) error {
+	if p.mem == nil {
+		return fmt.Errorf("store through nil pointer")
+	}
+	b := p.mem.Bytes
+	o := p.off
+	if o < 0 || o+t.SizeBytes() > int64(len(b)) {
+		return fmt.Errorf("store out of bounds (off %d, size %d, alloc %d)", o, t.SizeBytes(), len(b))
+	}
+	switch {
+	case t.Kind == llvm.KindFloat:
+		binary.LittleEndian.PutUint32(b[o:], math.Float32bits(float32(v.f)))
+		return nil
+	case t.Kind == llvm.KindDouble:
+		binary.LittleEndian.PutUint64(b[o:], math.Float64bits(v.f))
+		return nil
+	case t.IsInt():
+		switch t.SizeBytes() {
+		case 1:
+			b[o] = byte(v.i)
+		case 2:
+			binary.LittleEndian.PutUint16(b[o:], uint16(v.i))
+		case 4:
+			binary.LittleEndian.PutUint32(b[o:], uint32(v.i))
+		default:
+			binary.LittleEndian.PutUint64(b[o:], uint64(v.i))
+		}
+		return nil
+	case t.IsPtr():
+		// Pointers are not persisted to memory in this model.
+		return fmt.Errorf("storing pointers to memory is unsupported")
+	}
+	return fmt.Errorf("store of unsupported type %s", t)
+}
+
+func truncInt(x int64, t *llvm.Type) int64 {
+	if t == nil || !t.IsInt() || t.Bits >= 64 {
+		return x
+	}
+	shift := uint(64 - t.Bits)
+	return x << shift >> shift
+}
+
+func roundFP(x float64, t *llvm.Type) float64 {
+	if t != nil && t.Kind == llvm.KindFloat {
+		return float64(float32(x))
+	}
+	return x
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func icmp(pred string, l, r int64) bool {
+	switch pred {
+	case "eq":
+		return l == r
+	case "ne":
+		return l != r
+	case "slt":
+		return l < r
+	case "sle":
+		return l <= r
+	case "sgt":
+		return l > r
+	case "sge":
+		return l >= r
+	case "ult":
+		return uint64(l) < uint64(r)
+	case "ule":
+		return uint64(l) <= uint64(r)
+	case "ugt":
+		return uint64(l) > uint64(r)
+	case "uge":
+		return uint64(l) >= uint64(r)
+	}
+	return false
+}
+
+func fcmp(pred string, l, r float64) bool {
+	switch pred {
+	case "oeq":
+		return l == r
+	case "one":
+		return l != r
+	case "olt":
+		return l < r
+	case "ole":
+		return l <= r
+	case "ogt":
+		return l > r
+	case "oge":
+		return l >= r
+	case "ord":
+		return !math.IsNaN(l) && !math.IsNaN(r)
+	case "uno":
+		return math.IsNaN(l) || math.IsNaN(r)
+	}
+	return false
+}

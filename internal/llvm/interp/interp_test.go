@@ -1,0 +1,257 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/llvm"
+)
+
+func TestMemTypedViews(t *testing.T) {
+	m := NewMem(16)
+	m.SetFloat64(0, 3.25)
+	m.SetFloat64(1, -1.5)
+	f64 := m.Float64Slice()
+	if f64[0] != 3.25 || f64[1] != -1.5 {
+		t.Errorf("f64 view = %v", f64)
+	}
+	m2 := NewMem(8)
+	m2.SetFloat32(0, 1.25)
+	m2.SetFloat32(1, -2.5)
+	f32 := m2.Float32Slice()
+	if f32[0] != 1.25 || f32[1] != -2.5 {
+		t.Errorf("f32 view = %v", f32)
+	}
+	m3 := NewMem(8)
+	m3.SetInt32(0, -9)
+	m3.SetInt32(1, 1<<30)
+	i32 := m3.Int32Slice()
+	if i32[0] != -9 || i32[1] != 1<<30 {
+		t.Errorf("i32 view = %v", i32)
+	}
+}
+
+func TestMemRoundTripQuick(t *testing.T) {
+	f := func(v float64, idx uint8) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		i := int(idx % 8)
+		m := NewMem(64)
+		m.SetFloat64(i, v)
+		return m.Float64Slice()[i] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildScalarFn builds: i32 @sel(i32 %a, i32 %b) { return a<b ? a*2 : b-1 }.
+func buildScalarFn() *llvm.Module {
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("sel", llvm.I32(),
+		&llvm.Param{Name: "a", Ty: llvm.I32()}, &llvm.Param{Name: "b", Ty: llvm.I32()})
+	m.AddFunc(f)
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	c := b.ICmp("slt", f.Params[0], f.Params[1])
+	x := b.Mul(f.Params[0], llvm.CI(llvm.I32(), 2))
+	y := b.Sub(f.Params[1], llvm.CI(llvm.I32(), 1))
+	r := b.Select(c, x, y)
+	b.Ret(r)
+	return m
+}
+
+func TestScalarReturn(t *testing.T) {
+	mc := NewMachine(buildScalarFn())
+	i, _, err := mc.Run("sel", IntArg(3), IntArg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 6 {
+		t.Errorf("sel(3,10) = %d, want 6", i)
+	}
+	i, _, err = mc.Run("sel", IntArg(10), IntArg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 2 {
+		t.Errorf("sel(10,3) = %d, want 2", i)
+	}
+}
+
+func TestScalarSelectQuick(t *testing.T) {
+	mc := NewMachine(buildScalarFn())
+	f := func(a, b int16) bool {
+		i, _, err := mc.Run("sel", IntArg(int64(a)), IntArg(int64(b)))
+		if err != nil {
+			return false
+		}
+		want := int64(b) - 1
+		if int64(a) < int64(b) {
+			want = int64(a) * 2
+		}
+		// i32 truncation semantics.
+		return i == int64(int32(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("oob", llvm.Void(), &llvm.Param{Name: "p", Ty: llvm.Ptr(llvm.ArrayOf(4, llvm.FloatT()))})
+	m.AddFunc(f)
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	g := b.GEP(llvm.ArrayOf(4, llvm.FloatT()), f.Params[0], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 9))
+	v := b.Load(llvm.FloatT(), g)
+	_ = v
+	b.Ret(nil)
+	mc := NewMachine(m)
+	mem := NewMem(16) // only 4 floats
+	if _, _, err := mc.Run("oob", PtrArg(mem, 0)); err == nil {
+		t.Error("out-of-bounds load must error")
+	}
+}
+
+func TestFuelLimit(t *testing.T) {
+	// Infinite loop must hit the fuel limit, not hang.
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("spin", llvm.Void())
+	m.AddFunc(f)
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	loop := f.AddBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	x := b.Add(llvm.CI(llvm.I64(), 1), llvm.CI(llvm.I64(), 1))
+	_ = x
+	b.Br(loop)
+	mc := NewMachine(m)
+	mc.Fuel = 10000
+	if _, _, err := mc.Run("spin"); err == nil {
+		t.Error("infinite loop must exhaust fuel")
+	}
+}
+
+func TestIntrinsicCalls(t *testing.T) {
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("mathy", llvm.DoubleT(), &llvm.Param{Name: "x", Ty: llvm.DoubleT()})
+	m.AddFunc(f)
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	s := b.Call("llvm.sqrt.f64", llvm.DoubleT(), f.Params[0])
+	e := b.Call("exp", llvm.DoubleT(), llvm.CF(llvm.DoubleT(), 0))
+	r := b.FAdd(s, e)
+	b.Ret(r)
+	mc := NewMachine(m)
+	_, got, err := mc.Run("mathy", FloatArg(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 { // sqrt(16) + exp(0) = 4 + 1
+		t.Errorf("mathy(16) = %g, want 5", got)
+	}
+}
+
+func TestMemcpyMemset(t *testing.T) {
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("blk", llvm.Void(),
+		&llvm.Param{Name: "dst", Ty: llvm.Ptr(llvm.I8())},
+		&llvm.Param{Name: "src", Ty: llvm.Ptr(llvm.I8())})
+	m.AddFunc(f)
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	b.Call("llvm.memset.p0.i64", llvm.Void(), f.Params[1], llvm.CI(llvm.I8(), 7), llvm.CI(llvm.I64(), 4))
+	b.Call("llvm.memcpy.p0.p0.i64", llvm.Void(), f.Params[0], f.Params[1], llvm.CI(llvm.I64(), 4))
+	b.Ret(nil)
+	dst, src := NewMem(8), NewMem(8)
+	mc := NewMachine(m)
+	if _, _, err := mc.Run("blk", PtrArg(dst, 0), PtrArg(src, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if dst.Bytes[i] != 7 {
+			t.Errorf("dst[%d] = %d", i, dst.Bytes[i])
+		}
+	}
+	if dst.Bytes[4] != 0 {
+		t.Error("memcpy copied too much")
+	}
+}
+
+func TestUserFunctionCall(t *testing.T) {
+	m := llvm.NewModule("t")
+	sq := llvm.NewFunction("square", llvm.I32(), &llvm.Param{Name: "x", Ty: llvm.I32()})
+	m.AddFunc(sq)
+	e1 := sq.AddBlock("entry")
+	b := llvm.NewBuilder(sq)
+	b.SetBlock(e1)
+	b.Ret(b.Mul(sq.Params[0], sq.Params[0]))
+
+	main := llvm.NewFunction("main", llvm.I32())
+	m.AddFunc(main)
+	e2 := main.AddBlock("entry")
+	b2 := llvm.NewBuilder(main)
+	b2.SetBlock(e2)
+	r := b2.Call("square", llvm.I32(), llvm.CI(llvm.I32(), 9))
+	b2.Ret(r)
+
+	mc := NewMachine(m)
+	i, _, err := mc.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 81 {
+		t.Errorf("main() = %d, want 81", i)
+	}
+}
+
+func TestUnknownCallErrors(t *testing.T) {
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("bad", llvm.Void())
+	m.AddFunc(f)
+	e := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(e)
+	b.Call("mystery", llvm.Void())
+	b.Ret(nil)
+	mc := NewMachine(m)
+	if _, _, err := mc.Run("bad"); err == nil {
+		t.Error("unknown callee must error")
+	}
+}
+
+func TestF32RoundingPerOp(t *testing.T) {
+	// fadd float must round each op to single precision.
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("acc", llvm.FloatT())
+	m.AddFunc(f)
+	e := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(e)
+	big := llvm.CF(llvm.FloatT(), 1e8)
+	small := llvm.CF(llvm.FloatT(), 1)
+	s := b.FAdd(big, small) // 1e8 + 1 rounds to 1e8 in f32
+	b.Ret(s)
+	mc := NewMachine(m)
+	_, got, err := mc.Run("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(float32(1e8) + float32(1))
+	if got != want {
+		t.Errorf("f32 accumulation = %g, want %g", got, want)
+	}
+	if got == 1e8+1 {
+		t.Error("interpreter is using double precision for float ops")
+	}
+}

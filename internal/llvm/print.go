@@ -1,0 +1,238 @@
+package llvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the module as .ll text. FlavorHLS modules print typed
+// pointers; modern modules print opaque pointers.
+func (m *Module) Print() string {
+	opaque := m.Flavor != FlavorHLS
+	p := &llPrinter{opaque: opaque}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; ModuleID = '%s'\n", m.Name)
+	fmt.Fprintf(&sb, "; Flavor: %s\n\n", flavorOrModern(m.Flavor))
+	for _, f := range m.Funcs {
+		p.printFunc(&sb, f)
+		sb.WriteString("\n")
+	}
+	p.printAttrGroups(&sb)
+	p.printMetadata(&sb)
+	return sb.String()
+}
+
+func flavorOrModern(f string) string {
+	if f == "" {
+		return FlavorModern
+	}
+	return f
+}
+
+type llPrinter struct {
+	opaque bool
+	// attribute groups: rendered dict -> id
+	attrGroups []string
+	// loop metadata nodes in emission order
+	loopMDs []*LoopMD
+}
+
+func (p *llPrinter) ty(t *Type) string {
+	if t == nil {
+		return "void"
+	}
+	return t.str(p.opaque)
+}
+
+func (p *llPrinter) printFunc(sb *strings.Builder, f *Function) {
+	kw := "define"
+	if f.IsDecl {
+		kw = "declare"
+	}
+	fmt.Fprintf(sb, "%s %s @%s(", kw, p.ty(f.Ret), f.Name)
+	for i, a := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.ty(a.Ty))
+		for _, at := range a.Attrs {
+			sb.WriteString(" " + at)
+		}
+		sb.WriteString(" %" + a.Name)
+	}
+	sb.WriteString(")")
+	if len(f.Attrs) > 0 {
+		id := p.attrGroupID(f.Attrs)
+		fmt.Fprintf(sb, " #%d", id)
+	}
+	if f.IsDecl {
+		sb.WriteString("\n")
+		return
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  " + p.instr(in) + "\n")
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+func (p *llPrinter) attrGroupID(attrs map[string]string) int {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%q=%q", k, attrs[k])
+	}
+	dict := "{ " + strings.Join(parts, " ") + " }"
+	for i, g := range p.attrGroups {
+		if g == dict {
+			return i
+		}
+	}
+	p.attrGroups = append(p.attrGroups, dict)
+	return len(p.attrGroups) - 1
+}
+
+func (p *llPrinter) printAttrGroups(sb *strings.Builder) {
+	for i, g := range p.attrGroups {
+		fmt.Fprintf(sb, "attributes #%d = %s\n", i, g)
+	}
+}
+
+func (p *llPrinter) loopMDID(md *LoopMD) int {
+	p.loopMDs = append(p.loopMDs, md)
+	return len(p.loopMDs) - 1
+}
+
+func (p *llPrinter) printMetadata(sb *strings.Builder) {
+	for i, md := range p.loopMDs {
+		var parts []string
+		parts = append(parts, fmt.Sprintf("!%d", i))
+		if md.Pipeline {
+			parts = append(parts, `!"llvm.loop.pipeline.enable", i1 true`)
+			if md.II > 0 {
+				parts = append(parts, fmt.Sprintf(`!"llvm.loop.pipeline.ii", i32 %d`, md.II))
+			}
+		}
+		if md.Unroll == -1 {
+			parts = append(parts, `!"llvm.loop.unroll.full", i1 true`)
+		} else if md.Unroll > 0 {
+			parts = append(parts, fmt.Sprintf(`!"llvm.loop.unroll.count", i32 %d`, md.Unroll))
+		}
+		if md.Flatten {
+			parts = append(parts, `!"llvm.loop.flatten.enable", i1 true`)
+		}
+		if md.TripCount > 0 {
+			parts = append(parts, fmt.Sprintf(`!"llvm.loop.tripcount", i32 %d`, md.TripCount))
+		}
+		fmt.Fprintf(sb, "!%d = distinct !{%s}\n", i, strings.Join(parts, ", "))
+	}
+}
+
+// val renders an operand with its type prefix.
+func (p *llPrinter) val(v Value) string {
+	return p.ty(v.Type()) + " " + v.Ident()
+}
+
+func (p *llPrinter) instr(in *Instr) string {
+	res := ""
+	if in.HasResult() && in.Op != OpStore {
+		res = "%" + in.Name + " = "
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpAShr,
+		OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return fmt.Sprintf("%s%s %s %s, %s", res, in.Op, p.ty(in.Ty),
+			in.Args[0].Ident(), in.Args[1].Ident())
+	case OpFNeg:
+		return fmt.Sprintf("%s%s %s %s", res, in.Op, p.ty(in.Ty), in.Args[0].Ident())
+	case OpICmp, OpFCmp:
+		return fmt.Sprintf("%s%s %s %s %s, %s", res, in.Op, in.Pred,
+			p.ty(in.Args[0].Type()), in.Args[0].Ident(), in.Args[1].Ident())
+	case OpSelect:
+		return fmt.Sprintf("%sselect %s, %s, %s", res, p.val(in.Args[0]),
+			p.val(in.Args[1]), p.val(in.Args[2]))
+	case OpZExt, OpSExt, OpTrunc, OpSIToFP, OpFPToSI, OpFPExt, OpFPTrunc,
+		OpBitcast, OpPtrToInt, OpIntToPtr:
+		return fmt.Sprintf("%s%s %s to %s", res, in.Op, p.val(in.Args[0]), p.ty(in.Ty))
+	case OpLoad:
+		s := fmt.Sprintf("%sload %s, %s", res, p.ty(in.SrcElem), p.val(in.Args[0]))
+		if in.Align > 0 {
+			s += fmt.Sprintf(", align %d", in.Align)
+		}
+		return s
+	case OpStore:
+		s := fmt.Sprintf("store %s, %s", p.val(in.Args[0]), p.val(in.Args[1]))
+		if in.Align > 0 {
+			s += fmt.Sprintf(", align %d", in.Align)
+		}
+		return s
+	case OpGEP:
+		parts := []string{p.ty(in.SrcElem), p.val(in.Args[0])}
+		for _, a := range in.Args[1:] {
+			parts = append(parts, p.val(a))
+		}
+		return fmt.Sprintf("%sgetelementptr inbounds %s", res, strings.Join(parts, ", "))
+	case OpAlloca:
+		s := fmt.Sprintf("%salloca %s", res, p.ty(in.SrcElem))
+		if in.Align > 0 {
+			s += fmt.Sprintf(", align %d", in.Align)
+		}
+		return s
+	case OpPhi:
+		var inc []string
+		for i, a := range in.Args {
+			inc = append(inc, fmt.Sprintf("[ %s, %%%s ]", a.Ident(), in.Blocks[i].Name))
+		}
+		return fmt.Sprintf("%sphi %s %s", res, p.ty(in.Ty), strings.Join(inc, ", "))
+	case OpBr:
+		s := fmt.Sprintf("br label %%%s", in.Blocks[0].Name)
+		if in.Loop != nil {
+			s += fmt.Sprintf(", !llvm.loop !%d", p.loopMDID(in.Loop))
+		}
+		return s
+	case OpCondBr:
+		s := fmt.Sprintf("br %s, label %%%s, label %%%s", p.val(in.Args[0]),
+			in.Blocks[0].Name, in.Blocks[1].Name)
+		if in.Loop != nil {
+			s += fmt.Sprintf(", !llvm.loop !%d", p.loopMDID(in.Loop))
+		}
+		return s
+	case OpRet:
+		if len(in.Args) == 0 {
+			return "ret void"
+		}
+		return "ret " + p.val(in.Args[0])
+	case OpCall:
+		var args []string
+		for _, a := range in.Args {
+			args = append(args, p.val(a))
+		}
+		return fmt.Sprintf("%scall %s @%s(%s)", res, p.ty(in.Ty), in.Callee,
+			strings.Join(args, ", "))
+	case OpExtractValue:
+		idx := make([]string, len(in.Indices))
+		for i, x := range in.Indices {
+			idx[i] = fmt.Sprintf("%d", x)
+		}
+		return fmt.Sprintf("%sextractvalue %s, %s", res, p.val(in.Args[0]),
+			strings.Join(idx, ", "))
+	case OpInsertValue:
+		idx := make([]string, len(in.Indices))
+		for i, x := range in.Indices {
+			idx[i] = fmt.Sprintf("%d", x)
+		}
+		return fmt.Sprintf("%sinsertvalue %s, %s, %s", res, p.val(in.Args[0]),
+			p.val(in.Args[1]), strings.Join(idx, ", "))
+	case OpUnreachable:
+		return "unreachable"
+	}
+	return fmt.Sprintf("; <unknown op %s>", in.Op)
+}

@@ -1,0 +1,217 @@
+package mlir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineSimplification(t *testing.T) {
+	if got := Add(Const(2), Const(3)); !got.IsConst() || got.Val != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	d := Dim(0)
+	if got := Add(d, Const(0)); got != d {
+		t.Error("d0+0 should simplify to d0")
+	}
+	if got := Add(Const(0), d); got != d {
+		t.Error("0+d0 should simplify to d0")
+	}
+	if got := Mul(d, Const(1)); got != d {
+		t.Error("d0*1 should simplify to d0")
+	}
+	if got := Mul(d, Const(0)); !got.IsConst() || got.Val != 0 {
+		t.Error("d0*0 should simplify to 0")
+	}
+	if got := Mul(Const(4), Const(5)); !got.IsConst() || got.Val != 20 {
+		t.Error("4*5 should fold")
+	}
+	if got := FloorDiv(d, 1); got != d {
+		t.Error("d0 floordiv 1 should simplify to d0")
+	}
+}
+
+func TestAffineNonAffineMulPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("d0*d1 should panic")
+		}
+	}()
+	Mul(Dim(0), Dim(1))
+}
+
+func TestFloorCeilMod(t *testing.T) {
+	cases := []struct {
+		a, b        int64
+		floor, ceil int64
+		mod         int64
+	}{
+		{7, 2, 3, 4, 1},
+		{-7, 2, -4, -3, 1},
+		{6, 3, 2, 2, 0},
+		{-6, 3, -2, -2, 0},
+		{5, 4, 1, 2, 1},
+		{-5, 4, -2, -1, 3},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+		if got := floorMod(c.a, c.b); got != c.mod {
+			t.Errorf("floorMod(%d,%d) = %d, want %d", c.a, c.b, got, c.mod)
+		}
+	}
+}
+
+func TestAffineEval(t *testing.T) {
+	// (d0 * 8 + d1) mod 4
+	e := Mod(Add(Mul(Dim(0), Const(8)), Dim(1)), 4)
+	if got := e.Eval([]int64{3, 5}, nil); got != (3*8+5)%4 {
+		t.Errorf("eval = %d", got)
+	}
+	// s0 floordiv 2 + d0
+	e2 := Add(FloorDiv(Sym(0), 2), Dim(0))
+	if got := e2.Eval([]int64{10}, []int64{7}); got != 13 {
+		t.Errorf("eval = %d, want 13", got)
+	}
+}
+
+func TestAffineMapBasics(t *testing.T) {
+	id := IdentityMap(3)
+	if !id.IsIdentity() {
+		t.Error("IdentityMap should be identity")
+	}
+	got := id.Eval([]int64{1, 2, 3}, nil)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("identity eval = %v", got)
+	}
+	cm := ConstantMap(42)
+	if v, ok := cm.IsSingleConstant(); !ok || v != 42 {
+		t.Error("ConstantMap should be a single constant")
+	}
+	if cm.IsIdentity() {
+		t.Error("constant map is not identity")
+	}
+	m := NewMap(2, 1, Add(Dim(0), Sym(0)), Dim(1))
+	if m.IsIdentity() {
+		t.Error("map with symbol is not identity")
+	}
+	r := m.Eval([]int64{10, 20}, []int64{5})
+	if r[0] != 15 || r[1] != 20 {
+		t.Errorf("map eval = %v", r)
+	}
+}
+
+func TestAffineMapArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMap with out-of-range dim should panic")
+		}
+	}()
+	NewMap(1, 0, Dim(3))
+}
+
+func TestAffineMapEvalArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval with wrong arity should panic")
+		}
+	}()
+	IdentityMap(2).Eval([]int64{1}, nil)
+}
+
+// randomAffineExpr builds a bounded random affine expression.
+func randomAffineExpr(r *rand.Rand, depth, numDims, numSyms int) *AffineExpr {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Dim(r.Intn(numDims))
+		case 1:
+			if numSyms > 0 {
+				return Sym(r.Intn(numSyms))
+			}
+			return Dim(r.Intn(numDims))
+		default:
+			return Const(int64(r.Intn(21) - 10))
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return Add(randomAffineExpr(r, depth-1, numDims, numSyms), randomAffineExpr(r, depth-1, numDims, numSyms))
+	case 1:
+		return Mul(randomAffineExpr(r, depth-1, numDims, numSyms), Const(int64(r.Intn(9)-4)))
+	case 2:
+		return Mod(randomAffineExpr(r, depth-1, numDims, numSyms), int64(r.Intn(7)+1))
+	case 3:
+		return FloorDiv(randomAffineExpr(r, depth-1, numDims, numSyms), int64(r.Intn(7)+1))
+	default:
+		return CeilDiv(randomAffineExpr(r, depth-1, numDims, numSyms), int64(r.Intn(7)+1))
+	}
+}
+
+func TestAffineExprEqualReflexiveQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := randomAffineExpr(rr, 3, 2, 1)
+		return e.Equal(e)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineModNonNegativeQuick(t *testing.T) {
+	// Property: mod results are always in [0, m).
+	f := func(a int64, m uint8) bool {
+		mm := int64(m%20) + 1
+		got := floorMod(a%100000, mm)
+		return got >= 0 && got < mm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineDivIdentityQuick(t *testing.T) {
+	// Property: a == floorDiv(a,b)*b + floorMod(a,b).
+	f := func(a int64, b uint8) bool {
+		bb := int64(b%50) + 1
+		aa := a % 1000000
+		return aa == floorDiv(aa, bb)*bb+floorMod(aa, bb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineMaxDimSym(t *testing.T) {
+	e := Add(Mul(Dim(2), Const(3)), Sym(1))
+	if e.MaxDim() != 2 {
+		t.Errorf("MaxDim = %d", e.MaxDim())
+	}
+	if e.MaxSym() != 1 {
+		t.Errorf("MaxSym = %d", e.MaxSym())
+	}
+	if Const(5).MaxDim() != -1 || Const(5).MaxSym() != -1 {
+		t.Error("constants reference no dims/syms")
+	}
+}
+
+func TestAffineStrings(t *testing.T) {
+	e := Add(Mul(Dim(0), Const(32)), Dim(1))
+	if got := e.String(); got != "((d0 * 32) + d1)" {
+		t.Errorf("String = %q", got)
+	}
+	m := NewMap(2, 0, e)
+	if got := m.String(); got != "(d0, d1) -> (((d0 * 32) + d1))" {
+		t.Errorf("map String = %q", got)
+	}
+	m2 := NewMap(1, 1, Add(Dim(0), Sym(0)))
+	if got := m2.String(); got != "(d0)[s0] -> ((d0 + s0))" {
+		t.Errorf("map String = %q", got)
+	}
+}

@@ -1,0 +1,202 @@
+package mlir
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Attr is an immutable op attribute.
+type Attr interface {
+	// String renders the attribute in MLIR-like syntax.
+	String() string
+	// EqualAttr reports structural equality with another attribute.
+	EqualAttr(Attr) bool
+}
+
+// IntAttr is a 64-bit integer attribute, optionally carrying an element type.
+type IntAttr struct {
+	Value int64
+	Ty    *Type // nil means index/i64 default
+}
+
+// I is shorthand for an integer attribute without an explicit type.
+func I(v int64) IntAttr { return IntAttr{Value: v} }
+
+// String implements Attr.
+func (a IntAttr) String() string {
+	if a.Ty != nil && !a.Ty.IsIndex() {
+		return fmt.Sprintf("%d : %s", a.Value, a.Ty)
+	}
+	return strconv.FormatInt(a.Value, 10)
+}
+
+// EqualAttr implements Attr.
+func (a IntAttr) EqualAttr(o Attr) bool {
+	b, ok := o.(IntAttr)
+	if !ok || a.Value != b.Value {
+		return false
+	}
+	if a.Ty == nil || b.Ty == nil {
+		return a.Ty == b.Ty
+	}
+	return a.Ty.Equal(b.Ty)
+}
+
+// FloatAttr is a float attribute with an element type.
+type FloatAttr struct {
+	Value float64
+	Ty    *Type
+}
+
+// String implements Attr.
+func (a FloatAttr) String() string {
+	s := strconv.FormatFloat(a.Value, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	if a.Ty != nil {
+		return s + " : " + a.Ty.String()
+	}
+	return s
+}
+
+// EqualAttr implements Attr.
+func (a FloatAttr) EqualAttr(o Attr) bool {
+	b, ok := o.(FloatAttr)
+	if !ok || a.Value != b.Value {
+		return false
+	}
+	if a.Ty == nil || b.Ty == nil {
+		return a.Ty == b.Ty
+	}
+	return a.Ty.Equal(b.Ty)
+}
+
+// StringAttr is a quoted string attribute.
+type StringAttr string
+
+// String implements Attr.
+func (a StringAttr) String() string { return strconv.Quote(string(a)) }
+
+// EqualAttr implements Attr.
+func (a StringAttr) EqualAttr(o Attr) bool {
+	b, ok := o.(StringAttr)
+	return ok && a == b
+}
+
+// BoolAttr is true/false.
+type BoolAttr bool
+
+// String implements Attr.
+func (a BoolAttr) String() string {
+	if a {
+		return "true"
+	}
+	return "false"
+}
+
+// EqualAttr implements Attr.
+func (a BoolAttr) EqualAttr(o Attr) bool {
+	b, ok := o.(BoolAttr)
+	return ok && a == b
+}
+
+// UnitAttr marks presence with no payload.
+type UnitAttr struct{}
+
+// String implements Attr.
+func (UnitAttr) String() string { return "unit" }
+
+// EqualAttr implements Attr.
+func (UnitAttr) EqualAttr(o Attr) bool {
+	_, ok := o.(UnitAttr)
+	return ok
+}
+
+// TypeAttr wraps a type as an attribute.
+type TypeAttr struct{ Ty *Type }
+
+// String implements Attr.
+func (a TypeAttr) String() string { return a.Ty.String() }
+
+// EqualAttr implements Attr.
+func (a TypeAttr) EqualAttr(o Attr) bool {
+	b, ok := o.(TypeAttr)
+	return ok && a.Ty.Equal(b.Ty)
+}
+
+// ArrayAttr is an ordered list of attributes.
+type ArrayAttr []Attr
+
+// String implements Attr.
+func (a ArrayAttr) String() string {
+	parts := make([]string, len(a))
+	for i, e := range a {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// EqualAttr implements Attr.
+func (a ArrayAttr) EqualAttr(o Attr) bool {
+	b, ok := o.(ArrayAttr)
+	if !ok || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].EqualAttr(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AffineMapAttr wraps an affine map as an attribute.
+type AffineMapAttr struct{ Map *AffineMap }
+
+// String implements Attr.
+func (a AffineMapAttr) String() string { return "affine_map<" + a.Map.String() + ">" }
+
+// EqualAttr implements Attr.
+func (a AffineMapAttr) EqualAttr(o Attr) bool {
+	b, ok := o.(AffineMapAttr)
+	return ok && a.Map.Equal(b.Map)
+}
+
+// SymbolRefAttr references a symbol such as a function name.
+type SymbolRefAttr string
+
+// String implements Attr.
+func (a SymbolRefAttr) String() string { return "@" + string(a) }
+
+// EqualAttr implements Attr.
+func (a SymbolRefAttr) EqualAttr(o Attr) bool {
+	b, ok := o.(SymbolRefAttr)
+	return ok && a == b
+}
+
+// attrsString renders an attribute dictionary deterministically.
+func attrsString(attrs map[string]Attr, skip map[string]bool) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		if skip != nil && skip[k] {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		if _, isUnit := attrs[k].(UnitAttr); isUnit {
+			parts[i] = k
+		} else {
+			parts[i] = k + " = " + attrs[k].String()
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,397 @@
+package mlir
+
+import (
+	"fmt"
+	"math"
+)
+
+// MemBuf is a flat row-major buffer backing a memref during interpretation.
+type MemBuf struct {
+	Ty *Type
+	F  []float64 // used when the element type is float
+	I  []int64   // used when the element type is int/index
+}
+
+// NewMemBuf allocates a zeroed buffer for a static memref type.
+func NewMemBuf(ty *Type) *MemBuf {
+	if !ty.HasStaticShape() {
+		panic("mlir: NewMemBuf requires a static memref type")
+	}
+	n := ty.NumElements()
+	b := &MemBuf{Ty: ty}
+	if ty.Elem.IsFloat() {
+		b.F = make([]float64, n)
+	} else {
+		b.I = make([]int64, n)
+	}
+	return b
+}
+
+// linearIndex converts multi-dimensional indices to a row-major offset.
+func (b *MemBuf) linearIndex(idxs []int64) (int64, error) {
+	if len(idxs) != len(b.Ty.Shape) {
+		return 0, fmt.Errorf("index rank %d != memref rank %d", len(idxs), len(b.Ty.Shape))
+	}
+	off := int64(0)
+	for i, x := range idxs {
+		if x < 0 || x >= b.Ty.Shape[i] {
+			return 0, fmt.Errorf("index %d out of bounds [0,%d) in dim %d", x, b.Ty.Shape[i], i)
+		}
+		off = off*b.Ty.Shape[i] + x
+	}
+	return off, nil
+}
+
+// interpVal is a dynamically-typed interpreter value.
+type interpVal struct {
+	i   int64
+	f   float64
+	buf *MemBuf
+}
+
+// Interpret executes the named function on the given memref arguments,
+// mutating them in place. Scalar arguments and results are not supported
+// (the HLS kernels communicate exclusively through memrefs).
+func (m *Module) Interpret(funcName string, args ...*MemBuf) error {
+	f := m.FindFunc(funcName)
+	if f == nil {
+		return fmt.Errorf("interp: function %q not found", funcName)
+	}
+	body := FuncBody(f)
+	if len(f.Regions[0].Blocks) != 1 {
+		return fmt.Errorf("interp: %q is not in structured (single-block) form", funcName)
+	}
+	if len(args) != len(body.Args) {
+		return fmt.Errorf("interp: %q takes %d args, got %d", funcName, len(body.Args), len(args))
+	}
+	env := map[*Value]interpVal{}
+	for i, a := range body.Args {
+		if !a.Type().IsMemRef() {
+			return fmt.Errorf("interp: argument %d is not a memref", i)
+		}
+		if !a.Type().Equal(args[i].Ty) {
+			return fmt.Errorf("interp: argument %d type mismatch: %s vs %s", i, a.Type(), args[i].Ty)
+		}
+		env[a] = interpVal{buf: args[i]}
+	}
+	it := &interpreter{m: m, env: env}
+	return it.runBlock(body)
+}
+
+type interpreter struct {
+	m   *Module
+	env map[*Value]interpVal
+}
+
+func (it *interpreter) val(v *Value) interpVal { return it.env[v] }
+
+func (it *interpreter) intVal(v *Value) int64 { return it.env[v].i }
+
+func (it *interpreter) runBlock(b *Block) error {
+	for _, op := range b.Ops {
+		if err := it.runOp(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (it *interpreter) evalMap(m *AffineMap, operands []*Value) []int64 {
+	vals := make([]int64, len(operands))
+	for i, v := range operands {
+		vals[i] = it.intVal(v)
+	}
+	return m.Eval(vals[:m.NumDims], vals[m.NumDims:])
+}
+
+func (it *interpreter) runOp(op *Op) error {
+	switch op.Name {
+	case OpConstant:
+		switch a := op.Attrs[AttrValue].(type) {
+		case IntAttr:
+			it.env[op.Result(0)] = interpVal{i: a.Value}
+		case FloatAttr:
+			it.env[op.Result(0)] = interpVal{f: a.Value}
+		}
+		return nil
+
+	case OpAddI, OpSubI, OpMulI, OpDivSI, OpRemSI, OpMinSI, OpMaxSI:
+		l, r := it.intVal(op.Operands[0]), it.intVal(op.Operands[1])
+		var v int64
+		switch op.Name {
+		case OpAddI:
+			v = l + r
+		case OpSubI:
+			v = l - r
+		case OpMulI:
+			v = l * r
+		case OpDivSI:
+			if r == 0 {
+				return fmt.Errorf("interp: division by zero")
+			}
+			v = l / r
+		case OpRemSI:
+			if r == 0 {
+				return fmt.Errorf("interp: remainder by zero")
+			}
+			v = l % r
+		case OpMinSI:
+			v = l
+			if r < l {
+				v = r
+			}
+		case OpMaxSI:
+			v = l
+			if r > l {
+				v = r
+			}
+		}
+		it.env[op.Result(0)] = interpVal{i: v}
+		return nil
+
+	case OpAddF, OpSubF, OpMulF, OpDivF:
+		l, r := it.val(op.Operands[0]).f, it.val(op.Operands[1]).f
+		var v float64
+		switch op.Name {
+		case OpAddF:
+			v = l + r
+		case OpSubF:
+			v = l - r
+		case OpMulF:
+			v = l * r
+		case OpDivF:
+			v = l / r
+		}
+		v = truncToElem(v, op.Result(0).Type())
+		it.env[op.Result(0)] = interpVal{f: v}
+		return nil
+
+	case OpNegF:
+		it.env[op.Result(0)] = interpVal{f: -it.val(op.Operands[0]).f}
+		return nil
+
+	case OpMathSqrt:
+		it.env[op.Result(0)] = interpVal{f: math.Sqrt(it.val(op.Operands[0]).f)}
+		return nil
+
+	case OpMathExp:
+		it.env[op.Result(0)] = interpVal{f: truncToElem(math.Exp(it.val(op.Operands[0]).f), op.Result(0).Type())}
+		return nil
+
+	case OpCmpI:
+		pred, _ := op.StringAttr(AttrPredicate)
+		l, r := it.intVal(op.Operands[0]), it.intVal(op.Operands[1])
+		it.env[op.Result(0)] = interpVal{i: boolToInt(evalIntPred(pred, l, r))}
+		return nil
+
+	case OpCmpF:
+		pred, _ := op.StringAttr(AttrPredicate)
+		l, r := it.val(op.Operands[0]).f, it.val(op.Operands[1]).f
+		it.env[op.Result(0)] = interpVal{i: boolToInt(evalFloatPred(pred, l, r))}
+		return nil
+
+	case OpSelect:
+		if it.intVal(op.Operands[0]) != 0 {
+			it.env[op.Result(0)] = it.val(op.Operands[1])
+		} else {
+			it.env[op.Result(0)] = it.val(op.Operands[2])
+		}
+		return nil
+
+	case OpIndexCast:
+		it.env[op.Result(0)] = interpVal{i: it.intVal(op.Operands[0])}
+		return nil
+
+	case OpSIToFP:
+		it.env[op.Result(0)] = interpVal{f: float64(it.intVal(op.Operands[0]))}
+		return nil
+
+	case OpFPToSI:
+		it.env[op.Result(0)] = interpVal{i: int64(it.val(op.Operands[0]).f)}
+		return nil
+
+	case OpExtF:
+		it.env[op.Result(0)] = it.val(op.Operands[0])
+		return nil
+
+	case OpTruncF:
+		it.env[op.Result(0)] = interpVal{f: truncToElem(it.val(op.Operands[0]).f, op.Result(0).Type())}
+		return nil
+
+	case OpAlloc, OpAlloca:
+		it.env[op.Result(0)] = interpVal{buf: NewMemBuf(op.Result(0).Type())}
+		return nil
+
+	case OpDealloc:
+		return nil
+
+	case OpLoad:
+		return it.doLoad(op, op.Operands[0], op.Operands[1:], nil)
+
+	case OpStore:
+		return it.doStore(op, op.Operands[0], op.Operands[1], op.Operands[2:], nil)
+
+	case OpAffineLoad:
+		v := AffineAccessView{op}
+		return it.doLoad(op, v.MemRef(), v.MapOperands(), v.Map())
+
+	case OpAffineStore:
+		v := AffineAccessView{op}
+		return it.doStore(op, v.StoredValue(), v.MemRef(), v.MapOperands(), v.Map())
+
+	case OpAffineApply:
+		m, _ := op.MapAttr(AttrMap)
+		it.env[op.Result(0)] = interpVal{i: it.evalMap(m, op.Operands)[0]}
+		return nil
+
+	case OpAffineFor:
+		fv := AffineForView{Op: op}
+		lo := it.evalMap(fv.LowerMap(), fv.LowerOperands())[0]
+		hi := it.evalMap(fv.UpperMap(), fv.UpperOperands())[0]
+		step := fv.Step()
+		body := fv.Body()
+		for i := lo; i < hi; i += step {
+			it.env[body.Args[0]] = interpVal{i: i}
+			if err := it.runBlock(body); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case OpSCFFor:
+		lo := it.intVal(op.Operands[0])
+		hi := it.intVal(op.Operands[1])
+		step := it.intVal(op.Operands[2])
+		if step <= 0 {
+			return fmt.Errorf("interp: non-positive scf.for step")
+		}
+		body := op.Regions[0].Blocks[0]
+		for i := lo; i < hi; i += step {
+			it.env[body.Args[0]] = interpVal{i: i}
+			if err := it.runBlock(body); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case OpSCFIf:
+		if it.intVal(op.Operands[0]) != 0 {
+			return it.runBlock(op.Regions[0].Blocks[0])
+		}
+		if len(op.Regions) > 1 {
+			return it.runBlock(op.Regions[1].Blocks[0])
+		}
+		return nil
+
+	case OpAffineYield, OpSCFYield, OpReturn:
+		return nil
+
+	case OpCall:
+		return fmt.Errorf("interp: func.call is not supported")
+	}
+	return fmt.Errorf("interp: unsupported op %s", op.Name)
+}
+
+func (it *interpreter) doLoad(op *Op, mem *Value, idxOperands []*Value, m *AffineMap) error {
+	buf := it.val(mem).buf
+	if buf == nil {
+		return fmt.Errorf("interp: load from unmaterialized memref")
+	}
+	var idxs []int64
+	if m != nil {
+		idxs = it.evalMap(m, idxOperands)
+	} else {
+		idxs = make([]int64, len(idxOperands))
+		for i, v := range idxOperands {
+			idxs[i] = it.intVal(v)
+		}
+	}
+	off, err := buf.linearIndex(idxs)
+	if err != nil {
+		return fmt.Errorf("interp: %s: %w", op.Name, err)
+	}
+	if buf.Ty.Elem.IsFloat() {
+		it.env[op.Result(0)] = interpVal{f: buf.F[off]}
+	} else {
+		it.env[op.Result(0)] = interpVal{i: buf.I[off]}
+	}
+	return nil
+}
+
+func (it *interpreter) doStore(op *Op, val, mem *Value, idxOperands []*Value, m *AffineMap) error {
+	buf := it.val(mem).buf
+	if buf == nil {
+		return fmt.Errorf("interp: store to unmaterialized memref")
+	}
+	var idxs []int64
+	if m != nil {
+		idxs = it.evalMap(m, idxOperands)
+	} else {
+		idxs = make([]int64, len(idxOperands))
+		for i, v := range idxOperands {
+			idxs[i] = it.intVal(v)
+		}
+	}
+	off, err := buf.linearIndex(idxs)
+	if err != nil {
+		return fmt.Errorf("interp: %s: %w", op.Name, err)
+	}
+	if buf.Ty.Elem.IsFloat() {
+		buf.F[off] = truncToElem(it.val(val).f, buf.Ty.Elem)
+	} else {
+		buf.I[off] = it.intVal(val)
+	}
+	return nil
+}
+
+// truncToElem rounds a float64 through the precision of the element type so
+// f32 kernels behave like f32 hardware.
+func truncToElem(v float64, ty *Type) float64 {
+	if ty != nil && ty.IsFloat() && ty.Width == 32 {
+		return float64(float32(v))
+	}
+	return v
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalIntPred(pred string, l, r int64) bool {
+	switch pred {
+	case PredEQ:
+		return l == r
+	case PredNE:
+		return l != r
+	case PredSLT:
+		return l < r
+	case PredSLE:
+		return l <= r
+	case PredSGT:
+		return l > r
+	case PredSGE:
+		return l >= r
+	}
+	return false
+}
+
+func evalFloatPred(pred string, l, r float64) bool {
+	switch pred {
+	case PredOEQ:
+		return l == r
+	case PredONE:
+		return l != r
+	case PredOLT:
+		return l < r
+	case PredOLE:
+		return l <= r
+	case PredOGT:
+		return l > r
+	case PredOGE:
+		return l >= r
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+package mlir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInterpScalarOps(t *testing.T) {
+	m := NewModule()
+	ty := MemRef([]int64{6}, F64())
+	ity := MemRef([]int64{6}, I64())
+	_, args := m.AddFunc("ops", []*Type{ty, ity}, nil)
+	b := NewBuilder(FuncBody(m.FindFunc("ops")))
+	i0 := b.ConstantIndex(0)
+	i1 := b.ConstantIndex(1)
+	i2 := b.ConstantIndex(2)
+	i3 := b.ConstantIndex(3)
+	i4 := b.ConstantIndex(4)
+	i5 := b.ConstantIndex(5)
+	f2 := b.ConstantFloat(2, F64())
+	f3 := b.ConstantFloat(3, F64())
+	b.AffineStore(b.AddF(f2, f3), args[0], i0) // 5
+	b.AffineStore(b.SubF(f2, f3), args[0], i1) // -1
+	b.AffineStore(b.MulF(f2, f3), args[0], i2) // 6
+	b.AffineStore(b.DivF(f3, f2), args[0], i3) // 1.5
+	b.AffineStore(b.NegF(f2), args[0], i4)     // -2
+	sqrtv := b.Create(OpMathSqrt, []*Value{b.ConstantFloat(9, F64())}, []*Type{F64()}).Result(0)
+	b.AffineStore(sqrtv, args[0], i5) // 3
+
+	c7 := b.ConstantInt(7, I64())
+	c3 := b.ConstantInt(3, I64())
+	st := func(v *Value, at *Value) {
+		b.Create(OpAffineStore, []*Value{v, args[1], at}, nil).SetAttr(AttrMap, AffineMapAttr{IdentityMap(1)})
+	}
+	st(b.AddI(c7, c3), i0)  // 10
+	st(b.SubI(c7, c3), i1)  // 4
+	st(b.MulI(c7, c3), i2)  // 21
+	st(b.DivSI(c7, c3), i3) // 2
+	st(b.RemSI(c7, c3), i4) // 1
+	st(b.MinSI(c7, c3), i5) // 3
+	b.Return()
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	fb := NewMemBuf(ty)
+	ib := NewMemBuf(ity)
+	if err := m.Interpret("ops", fb, ib); err != nil {
+		t.Fatal(err)
+	}
+	wantF := []float64{5, -1, 6, 1.5, -2, 3}
+	for i, w := range wantF {
+		if fb.F[i] != w {
+			t.Errorf("float slot %d = %g, want %g", i, fb.F[i], w)
+		}
+	}
+	wantI := []int64{10, 4, 21, 2, 1, 3}
+	for i, w := range wantI {
+		if ib.I[i] != w {
+			t.Errorf("int slot %d = %d, want %d", i, ib.I[i], w)
+		}
+	}
+}
+
+func TestInterpSelectAndCmp(t *testing.T) {
+	m := NewModule()
+	ty := MemRef([]int64{2}, F64())
+	_, args := m.AddFunc("sel", []*Type{ty}, nil)
+	b := NewBuilder(FuncBody(m.FindFunc("sel")))
+	i0 := b.ConstantIndex(0)
+	i1 := b.ConstantIndex(1)
+	a := b.ConstantFloat(1, F64())
+	c := b.ConstantFloat(2, F64())
+	lt := b.CmpF(PredOLT, a, c)
+	b.AffineStore(b.Select(lt, a, c), args[0], i0) // 1
+	ge := b.CmpI(PredSGE, i1, i0)
+	b.AffineStore(b.Select(ge, c, a), args[0], i1) // 2
+	b.Return()
+	buf := NewMemBuf(ty)
+	if err := m.Interpret("sel", buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.F[0] != 1 || buf.F[1] != 2 {
+		t.Errorf("select results: %v", buf.F)
+	}
+}
+
+func TestInterpSCFIfBothArms(t *testing.T) {
+	m := NewModule()
+	ty := MemRef([]int64{4}, F64())
+	_, args := m.AddFunc("arms", []*Type{ty}, nil)
+	b := NewBuilder(FuncBody(m.FindFunc("arms")))
+	b.AffineForConst(0, 4, 1, func(b *Builder, i *Value) {
+		two := b.ConstantIndex(2)
+		cond := b.CmpI(PredSLT, i, two)
+		b.SCFIf(cond, func(b *Builder) {
+			v := b.ConstantFloat(1, F64())
+			b.AffineStore(v, args[0], i)
+		}, func(b *Builder) {
+			v := b.ConstantFloat(-1, F64())
+			b.AffineStore(v, args[0], i)
+		})
+	})
+	b.Return()
+	buf := NewMemBuf(ty)
+	if err := m.Interpret("arms", buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, -1, -1}
+	for i, w := range want {
+		if buf.F[i] != w {
+			t.Errorf("arms[%d] = %g, want %g", i, buf.F[i], w)
+		}
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	ty := MemRef([]int64{4}, F64())
+
+	t.Run("missing function", func(t *testing.T) {
+		m := NewModule()
+		if err := m.Interpret("ghost"); err == nil {
+			t.Error("expected missing-function error")
+		}
+	})
+
+	t.Run("wrong arg count", func(t *testing.T) {
+		m := NewModule()
+		m.AddFunc("f", []*Type{ty}, nil)
+		b := NewBuilder(FuncBody(m.FindFunc("f")))
+		b.Return()
+		if err := m.Interpret("f"); err == nil {
+			t.Error("expected arity error")
+		}
+	})
+
+	t.Run("type mismatch", func(t *testing.T) {
+		m := NewModule()
+		m.AddFunc("f", []*Type{ty}, nil)
+		b := NewBuilder(FuncBody(m.FindFunc("f")))
+		b.Return()
+		wrong := NewMemBuf(MemRef([]int64{8}, F64()))
+		if err := m.Interpret("f", wrong); err == nil {
+			t.Error("expected shape mismatch error")
+		}
+	})
+
+	t.Run("out of bounds", func(t *testing.T) {
+		m := NewModule()
+		_, args := m.AddFunc("oob", []*Type{ty}, nil)
+		b := NewBuilder(FuncBody(m.FindFunc("oob")))
+		i9 := b.ConstantIndex(9)
+		v := b.ConstantFloat(1, F64())
+		b.AffineStore(v, args[0], i9)
+		b.Return()
+		err := m.Interpret("oob", NewMemBuf(ty))
+		if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+			t.Errorf("expected bounds error, got %v", err)
+		}
+	})
+
+	t.Run("division by zero", func(t *testing.T) {
+		m := NewModule()
+		_, args := m.AddFunc("dz", []*Type{MemRef([]int64{1}, I64())}, nil)
+		b := NewBuilder(FuncBody(m.FindFunc("dz")))
+		z := b.ConstantInt(0, I64())
+		one := b.ConstantInt(1, I64())
+		q := b.DivSI(one, z)
+		op := NewOp(OpAffineStore, []*Value{q, args[0], b.ConstantIndex(0)}, nil)
+		op.SetAttr(AttrMap, AffineMapAttr{IdentityMap(1)})
+		b.Block().Append(op)
+		b.Return()
+		if err := m.Interpret("dz", NewMemBuf(MemRef([]int64{1}, I64()))); err == nil {
+			t.Error("expected division-by-zero error")
+		}
+	})
+}
+
+func TestInterpF32Rounding(t *testing.T) {
+	// f32 arithmetic must round per op, like hardware would.
+	m := NewModule()
+	ty := MemRef([]int64{1}, F32())
+	_, args := m.AddFunc("r", []*Type{ty}, nil)
+	b := NewBuilder(FuncBody(m.FindFunc("r")))
+	big := b.ConstantFloat(1e8, F32())
+	one := b.ConstantFloat(1, F32())
+	s := b.AddF(big, one)
+	b.AffineStore(s, args[0], b.ConstantIndex(0))
+	b.Return()
+	buf := NewMemBuf(ty)
+	if err := m.Interpret("r", buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.F[0] != float64(float32(1e8)) {
+		t.Errorf("f32 addition not rounded: %g", buf.F[0])
+	}
+}
+
+func TestCloneOpDeep(t *testing.T) {
+	m := NewModule()
+	ty := MemRef([]int64{4}, F64())
+	_, args := m.AddFunc("src", []*Type{ty}, nil)
+	b := NewBuilder(FuncBody(m.FindFunc("src")))
+	loop := b.AffineForConst(0, 4, 1, func(b *Builder, i *Value) {
+		v := b.AffineLoad(args[0], i)
+		b.AffineStore(b.AddF(v, v), args[0], i)
+	})
+	b.Return()
+
+	vmap := map[*Value]*Value{}
+	clone := CloneOp(loop, vmap, nil)
+	if clone == loop {
+		t.Fatal("clone is the original")
+	}
+	if len(clone.Regions) != 1 || len(clone.Regions[0].Blocks) != 1 {
+		t.Fatal("region structure not cloned")
+	}
+	origBody := loop.Regions[0].Blocks[0]
+	cloneBody := clone.Regions[0].Blocks[0]
+	if cloneBody == origBody || cloneBody.Args[0] == origBody.Args[0] {
+		t.Error("body not deep-copied")
+	}
+	if len(cloneBody.Ops) != len(origBody.Ops) {
+		t.Error("ops not copied")
+	}
+	// Cloned ops must reference cloned values, not originals.
+	for _, op := range cloneBody.Ops {
+		for _, v := range op.Operands {
+			if v == origBody.Args[0] {
+				t.Error("clone references original IV")
+			}
+		}
+	}
+	// External references (the memref arg) stay shared.
+	load := cloneBody.Ops[0]
+	if load.Operands[0] != args[0] {
+		t.Error("external operand should remain shared")
+	}
+}

@@ -1,0 +1,235 @@
+package lower
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mlir"
+	"repro/internal/mlir/passes"
+)
+
+func buildGemm(n int64) *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{n, n}, mlir.F64())
+	_, args := m.AddFunc("gemm", []*mlir.Type{ty, ty, ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("gemm")))
+	b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, k *mlir.Value) {
+				a := b.AffineLoad(args[0], i, k)
+				x := b.AffineLoad(args[1], k, j)
+				c := b.AffineLoad(args[2], i, j)
+				s := b.AddF(c, b.MulF(a, x))
+				b.AffineStore(s, args[2], i, j)
+			})
+		})
+	})
+	b.Return()
+	return m
+}
+
+func buildStencil(n int64) *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{n}, mlir.F64())
+	_, args := m.AddFunc("sten", []*mlir.Type{ty, ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("sten")))
+	b.AffineForConst(1, n-1, 1, func(b *mlir.Builder, i *mlir.Value) {
+		left := b.AffineLoadMap(args[0], mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(-1))), i)
+		mid := b.AffineLoad(args[0], i)
+		right := b.AffineLoadMap(args[0], mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(1))), i)
+		s := b.AddF(b.AddF(left, mid), right)
+		b.AffineStore(s, args[1], i)
+	})
+	b.Return()
+	return m
+}
+
+func run(t *testing.T, m *mlir.Module, name string, n int64, rank int, seed int64) [][]float64 {
+	t.Helper()
+	f := m.FindFunc(name)
+	if f == nil {
+		t.Fatalf("func %s missing", name)
+	}
+	var bufs []*mlir.MemBuf
+	r := rand.New(rand.NewSource(seed))
+	for _, a := range mlir.FuncBody(f).Args {
+		buf := mlir.NewMemBuf(a.Type())
+		for i := range buf.F {
+			buf.F[i] = r.Float64()
+		}
+		bufs = append(bufs, buf)
+	}
+	if err := m.Interpret(name, bufs...); err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	out := make([][]float64, len(bufs))
+	for i, b := range bufs {
+		out[i] = b.F
+	}
+	_ = n
+	_ = rank
+	return out
+}
+
+func sameAll(t *testing.T, a, b [][]float64) {
+	t.Helper()
+	for bi := range a {
+		for i := range a[bi] {
+			d := a[bi][i] - b[bi][i]
+			if d < -1e-9 || d > 1e-9 {
+				t.Fatalf("buffer %d element %d differs: %g vs %g", bi, i, a[bi][i], b[bi][i])
+			}
+		}
+	}
+}
+
+func TestAffineToSCFPreservesSemantics(t *testing.T) {
+	ref := run(t, buildGemm(5), "gemm", 5, 2, 7)
+	m := buildGemm(5)
+	if err := AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	// No affine ops should remain.
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		if o.Dialect() == "affine" {
+			t.Errorf("affine op %s survived lowering", o.Name)
+		}
+		return true
+	})
+	got := run(t, m, "gemm", 5, 2, 7)
+	sameAll(t, ref, got)
+}
+
+func TestAffineToSCFStencilMaps(t *testing.T) {
+	ref := run(t, buildStencil(16), "sten", 16, 1, 3)
+	m := buildStencil(16)
+	if err := AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, m, "sten", 16, 1, 3)
+	sameAll(t, ref, got)
+	// The -1/+1 access maps must expand into index arithmetic.
+	adds := 0
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		if o.Name == mlir.OpAddI {
+			adds++
+		}
+		return true
+	})
+	if adds == 0 {
+		t.Error("expected expanded index arithmetic")
+	}
+}
+
+func TestAffineToSCFKeepsDirectives(t *testing.T) {
+	m := buildGemm(4)
+	if err := passes.PipelineInnermost(2).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		if o.Name == mlir.OpSCFFor && o.HasAttr(mlir.AttrPipeline) {
+			found = true
+			if ii, _ := o.IntAttr(mlir.AttrII); ii != 2 {
+				t.Error("II lost in lowering")
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Error("pipeline directive lost in affine lowering")
+	}
+}
+
+func TestSCFToCFStructure(t *testing.T) {
+	m := buildGemm(4)
+	if err := passes.PipelineInnermost(1).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	f := m.FindFunc("gemm")
+	// 3 nested loops: entry + 3*(header+body) + 3 cont blocks = 10 blocks.
+	if n := len(f.Regions[0].Blocks); n != 10 {
+		t.Errorf("want 10 blocks after CFG lowering, got %d", n)
+	}
+	// No structured ops remain.
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		switch o.Name {
+		case mlir.OpSCFFor, mlir.OpSCFIf, mlir.OpAffineFor:
+			t.Errorf("structured op %s survived lowering", o.Name)
+		}
+		return true
+	})
+	// Every block terminated.
+	for _, b := range f.Regions[0].Blocks {
+		term := b.Terminator()
+		if term == nil || !term.IsTerminator() {
+			t.Error("block without terminator after lowering")
+		}
+	}
+	// Pipeline directive must ride on exactly one latch branch.
+	latches := 0
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		if o.Name == mlir.OpBr && o.HasAttr(mlir.AttrPipeline) {
+			latches++
+		}
+		return true
+	})
+	if latches != 1 {
+		t.Errorf("want pipeline metadata on 1 latch, got %d", latches)
+	}
+}
+
+func TestSCFToCFWithIf(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8}, mlir.F64())
+	_, args := m.AddFunc("clamp", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("clamp")))
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		zero := b.ConstantFloat(0, mlir.F64())
+		neg := b.CmpF(mlir.PredOLT, v, zero)
+		b.SCFIf(neg, func(b *mlir.Builder) {
+			z := b.ConstantFloat(0, mlir.F64())
+			b.AffineStore(z, args[0], i)
+		}, nil)
+	})
+	b.Return()
+	if err := AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	// entry + header + body + body-cont(if cont) + then + exit-cont: at
+	// least 6 blocks, all terminated.
+	f := m.FindFunc("clamp")
+	if n := len(f.Regions[0].Blocks); n < 6 {
+		t.Errorf("expected >= 6 blocks, got %d", n)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCFToCFRoundTripsThroughText(t *testing.T) {
+	m := buildGemm(3)
+	if err := AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Print()
+	if out == "" {
+		t.Fatal("empty print")
+	}
+}

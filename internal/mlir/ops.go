@@ -1,0 +1,232 @@
+package mlir
+
+// Op names for the supported dialect subset.
+const (
+	OpModule = "builtin.module"
+
+	OpFunc   = "func.func"
+	OpReturn = "func.return"
+	OpCall   = "func.call"
+
+	OpConstant  = "arith.constant"
+	OpAddI      = "arith.addi"
+	OpSubI      = "arith.subi"
+	OpMulI      = "arith.muli"
+	OpDivSI     = "arith.divsi"
+	OpRemSI     = "arith.remsi"
+	OpAddF      = "arith.addf"
+	OpSubF      = "arith.subf"
+	OpMulF      = "arith.mulf"
+	OpDivF      = "arith.divf"
+	OpNegF      = "arith.negf"
+	OpCmpI      = "arith.cmpi"
+	OpCmpF      = "arith.cmpf"
+	OpSelect    = "arith.select"
+	OpIndexCast = "arith.index_cast"
+	OpSIToFP    = "arith.sitofp"
+	OpFPToSI    = "arith.fptosi"
+	OpExtF      = "arith.extf"
+	OpTruncF    = "arith.truncf"
+	OpMinSI     = "arith.minsi"
+	OpMaxSI     = "arith.maxsi"
+
+	OpMathSqrt = "math.sqrt"
+	OpMathExp  = "math.exp"
+
+	OpAlloc   = "memref.alloc"
+	OpAlloca  = "memref.alloca"
+	OpDealloc = "memref.dealloc"
+	OpLoad    = "memref.load"
+	OpStore   = "memref.store"
+
+	OpAffineFor   = "affine.for"
+	OpAffineLoad  = "affine.load"
+	OpAffineStore = "affine.store"
+	OpAffineApply = "affine.apply"
+	OpAffineYield = "affine.yield"
+
+	OpSCFFor       = "scf.for"
+	OpSCFIf        = "scf.if"
+	OpSCFYield     = "scf.yield"
+	OpSCFCondition = "scf.condition"
+
+	OpBr     = "cf.br"
+	OpCondBr = "cf.cond_br"
+)
+
+// Attribute keys used across dialects and the flow.
+const (
+	AttrSymName     = "sym_name"
+	AttrResultTypes = "res_types" // ArrayAttr of TypeAttr for func results
+	AttrValue       = "value"     // arith.constant payload
+	AttrPredicate   = "predicate" // cmpi/cmpf predicate string
+	AttrCallee      = "callee"
+
+	AttrLowerMap = "lowerBound"
+	AttrUpperMap = "upperBound"
+	AttrStep     = "step"
+	AttrLBCount  = "lbOperands" // number of operands feeding the lower map
+
+	AttrMap = "map" // affine.load/store/apply map
+
+	// HLS optimization directives attached by the directive passes; these
+	// travel through lowering and translation into LLVM loop metadata.
+	AttrPipeline  = "hls.pipeline"
+	AttrII        = "hls.ii"
+	AttrUnroll    = "hls.unroll"
+	AttrPartition = "hls.array_partition" // on alloc / func arg index attrs
+	AttrFlatten   = "hls.flatten"
+	AttrDataflow  = "hls.dataflow" // function-level task parallelism
+	AttrTopFunc   = "hls.top"
+
+	// cf.cond_br operand segmentation.
+	AttrTrueCount  = "trueOperands"
+	AttrFalseCount = "falseOperands"
+)
+
+// Cmp predicates (shared spelling between cmpi and cmpf where sensible).
+const (
+	PredEQ  = "eq"
+	PredNE  = "ne"
+	PredSLT = "slt"
+	PredSLE = "sle"
+	PredSGT = "sgt"
+	PredSGE = "sge"
+	PredOLT = "olt"
+	PredOLE = "ole"
+	PredOGT = "ogt"
+	PredOGE = "oge"
+	PredOEQ = "oeq"
+	PredONE = "one"
+)
+
+// AffineForView provides typed access to an affine.for op.
+//
+// Representation: operands are the lower-map operands followed by the
+// upper-map operands (AttrLBCount holds the split); AttrLowerMap and
+// AttrUpperMap are single-result affine maps; AttrStep is a positive int.
+// The single region has one block whose only argument is the induction var.
+type AffineForView struct{ Op *Op }
+
+// AsAffineFor wraps op, with ok=false when op is not affine.for.
+func AsAffineFor(op *Op) (AffineForView, bool) {
+	return AffineForView{op}, op != nil && op.Name == OpAffineFor
+}
+
+// IV returns the induction variable.
+func (f AffineForView) IV() *Value { return f.Op.Regions[0].Blocks[0].Args[0] }
+
+// Body returns the loop body block.
+func (f AffineForView) Body() *Block { return f.Op.Regions[0].Blocks[0] }
+
+// LowerMap returns the lower-bound map.
+func (f AffineForView) LowerMap() *AffineMap {
+	m, _ := f.Op.MapAttr(AttrLowerMap)
+	return m
+}
+
+// UpperMap returns the upper-bound (exclusive) map.
+func (f AffineForView) UpperMap() *AffineMap {
+	m, _ := f.Op.MapAttr(AttrUpperMap)
+	return m
+}
+
+// Step returns the loop step.
+func (f AffineForView) Step() int64 {
+	s, _ := f.Op.IntAttr(AttrStep)
+	return s
+}
+
+// LowerOperands returns the operands feeding the lower map.
+func (f AffineForView) LowerOperands() []*Value {
+	n, _ := f.Op.IntAttr(AttrLBCount)
+	return f.Op.Operands[:n]
+}
+
+// UpperOperands returns the operands feeding the upper map.
+func (f AffineForView) UpperOperands() []*Value {
+	n, _ := f.Op.IntAttr(AttrLBCount)
+	return f.Op.Operands[n:]
+}
+
+// ConstantBounds returns the trip bounds when both maps are constant.
+func (f AffineForView) ConstantBounds() (lo, hi int64, ok bool) {
+	lo, lok := f.LowerMap().IsSingleConstant()
+	hi, hok := f.UpperMap().IsSingleConstant()
+	return lo, hi, lok && hok
+}
+
+// ConstantTripCount returns the trip count when bounds are constant.
+func (f AffineForView) ConstantTripCount() (int64, bool) {
+	lo, hi, ok := f.ConstantBounds()
+	if !ok {
+		return 0, false
+	}
+	step := f.Step()
+	if step <= 0 {
+		return 0, false
+	}
+	if hi <= lo {
+		return 0, true
+	}
+	return ceilDiv(hi-lo, step), true
+}
+
+// AffineAccessView provides typed access to affine.load / affine.store.
+//
+// affine.load operands: memref, mapOperands... (result: element)
+// affine.store operands: value, memref, mapOperands...
+type AffineAccessView struct{ Op *Op }
+
+// IsStore reports whether the access is a store.
+func (a AffineAccessView) IsStore() bool { return a.Op.Name == OpAffineStore }
+
+// MemRef returns the accessed memref value.
+func (a AffineAccessView) MemRef() *Value {
+	if a.IsStore() {
+		return a.Op.Operands[1]
+	}
+	return a.Op.Operands[0]
+}
+
+// MapOperands returns the values feeding the access map.
+func (a AffineAccessView) MapOperands() []*Value {
+	if a.IsStore() {
+		return a.Op.Operands[2:]
+	}
+	return a.Op.Operands[1:]
+}
+
+// Map returns the access map.
+func (a AffineAccessView) Map() *AffineMap {
+	m, _ := a.Op.MapAttr(AttrMap)
+	return m
+}
+
+// StoredValue returns the value stored by an affine.store.
+func (a AffineAccessView) StoredValue() *Value { return a.Op.Operands[0] }
+
+// IsArithOp reports whether name is an arith dialect computation.
+func IsArithOp(name string) bool {
+	switch name {
+	case OpAddI, OpSubI, OpMulI, OpDivSI, OpRemSI,
+		OpAddF, OpSubF, OpMulF, OpDivF, OpNegF,
+		OpCmpI, OpCmpF, OpSelect, OpIndexCast, OpSIToFP, OpFPToSI,
+		OpExtF, OpTruncF, OpMinSI, OpMaxSI:
+		return true
+	}
+	return false
+}
+
+// IsPure reports whether the op has no side effects and can be erased when
+// unused or deduplicated.
+func IsPure(op *Op) bool {
+	if IsArithOp(op.Name) {
+		return true
+	}
+	switch op.Name {
+	case OpConstant, OpAffineApply, OpMathSqrt, OpMathExp:
+		return true
+	}
+	return false
+}

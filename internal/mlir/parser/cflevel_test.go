@@ -1,0 +1,104 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/mlir"
+	"repro/internal/mlir/lower"
+	"repro/internal/mlir/passes"
+)
+
+// TestRoundTripLoweredModules prints fully-lowered (cf-level, multi-block)
+// modules and re-parses them, covering block labels, block arguments, and
+// branch syntax in the printer/parser pair.
+func TestRoundTripLoweredModules(t *testing.T) {
+	build := func() *mlir.Module {
+		m := mlir.NewModule()
+		ty := mlir.MemRef([]int64{6, 6}, mlir.F32())
+		_, args := m.AddFunc("low", []*mlir.Type{ty}, nil)
+		b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("low")))
+		b.AffineForConst(0, 6, 1, func(b *mlir.Builder, i *mlir.Value) {
+			b.AffineForConst(0, 6, 1, func(b *mlir.Builder, j *mlir.Value) {
+				v := b.AffineLoad(args[0], i, j)
+				zero := b.ConstantFloat(0, mlir.F32())
+				neg := b.CmpF(mlir.PredOLT, v, zero)
+				b.SCFIf(neg, func(b *mlir.Builder) {
+					z := b.ConstantFloat(0, mlir.F32())
+					b.AffineStore(z, args[0], i, j)
+				}, nil)
+			})
+		})
+		b.Return()
+		return m
+	}
+
+	for _, stage := range []string{"affine", "scf", "cf"} {
+		m := build()
+		if err := passes.PipelineInnermost(1).Run(m); err != nil {
+			t.Fatal(err)
+		}
+		if stage != "affine" {
+			if err := lower.AffineToSCF(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if stage == "cf" {
+			if err := lower.SCFToCF(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		first := m.Print()
+		m2, err := Parse(first)
+		if err != nil {
+			t.Fatalf("stage %s: reparse failed: %v\n%s", stage, err, first)
+		}
+		second := m2.Print()
+		if first != second {
+			t.Fatalf("stage %s: round trip unstable.\nfirst:\n%s\nsecond:\n%s",
+				stage, first, second)
+		}
+		if err := m2.Verify(); err != nil {
+			t.Fatalf("stage %s: reparsed module invalid: %v", stage, err)
+		}
+	}
+}
+
+// TestLoweredDirectivesSurvive checks that hls attrs on latch branches
+// survive the text round trip at the cf level.
+func TestLoweredDirectivesSurvive(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8}, mlir.F32())
+	_, args := m.AddFunc("d", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("d")))
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		b.AffineStore(v, args[0], i)
+	})
+	b.Return()
+	if err := passes.PipelineInnermost(2).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse(m.Print())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	mlir.Walk(m2.Op, func(o *mlir.Op) bool {
+		if o.Name == mlir.OpBr && o.HasAttr(mlir.AttrPipeline) {
+			found = true
+			if ii, _ := o.IntAttr(mlir.AttrII); ii != 2 {
+				t.Errorf("II lost: %d", ii)
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Error("latch directives lost in text round trip")
+	}
+}

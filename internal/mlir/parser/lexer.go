@@ -1,0 +1,222 @@
+// Package parser parses the textual MLIR format produced by mlir.Module.Print.
+// The grammar covers the dialect subset this repository uses (func, arith,
+// math, memref, affine, scf, cf) plus the generic quoted-op fallback form, so
+// printer output round-trips.
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokValueID // %x
+	tokSymbol  // @x
+	tokBlockID // ^x
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // single punctuation or "->"
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.advance()
+			continue
+		}
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	t := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		t.kind = tokEOF
+		return t, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.advance()
+		}
+		t.kind = tokIdent
+		t.text = l.src[start:l.pos]
+		return t, nil
+
+	case c == '%' || c == '@' || c == '^':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.advance()
+		}
+		if start == l.pos {
+			return t, fmt.Errorf("line %d: empty identifier after %q", t.line, string(c))
+		}
+		t.text = l.src[start:l.pos]
+		switch c {
+		case '%':
+			t.kind = tokValueID
+		case '@':
+			t.kind = tokSymbol
+		default:
+			t.kind = tokBlockID
+		}
+		return t, nil
+
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		start := l.pos
+		if c == '-' {
+			l.advance()
+		}
+		isFloat := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.advance()
+				continue
+			}
+			if ch == '.' && !isFloat {
+				isFloat = true
+				l.advance()
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && l.pos+1 < len(l.src) {
+				nxt := l.src[l.pos+1]
+				if isDigit(nxt) || ((nxt == '+' || nxt == '-') && l.pos+2 < len(l.src) && isDigit(l.src[l.pos+2])) {
+					isFloat = true
+					l.advance() // e
+					l.advance() // sign or digit
+					continue
+				}
+			}
+			break
+		}
+		t.text = l.src[start:l.pos]
+		if isFloat {
+			t.kind = tokFloat
+		} else {
+			t.kind = tokInt
+		}
+		return t, nil
+
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.advance()
+			if ch == '\\' && l.pos < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"', '\\':
+					sb.WriteByte(esc)
+				default:
+					sb.WriteByte('\\')
+					sb.WriteByte(esc)
+				}
+				continue
+			}
+			if ch == '"' {
+				t.kind = tokString
+				t.text = sb.String()
+				return t, nil
+			}
+			sb.WriteByte(ch)
+		}
+		return t, fmt.Errorf("line %d: unterminated string", t.line)
+
+	case c == '-':
+		l.advance()
+		if l.peekByte() == '>' {
+			l.advance()
+			t.kind = tokPunct
+			t.text = "->"
+			return t, nil
+		}
+		t.kind = tokPunct
+		t.text = "-"
+		return t, nil
+
+	default:
+		l.advance()
+		t.kind = tokPunct
+		t.text = string(c)
+		return t, nil
+	}
+}

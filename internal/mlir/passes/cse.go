@@ -1,0 +1,102 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mlir"
+)
+
+// CSE returns the common-subexpression-elimination pass. It deduplicates
+// pure ops whose operands and attributes match, scoped so that an op can
+// reuse an equivalent op from the same block or any structurally enclosing
+// block (which always dominates it in structured control flow).
+func CSE() Pass {
+	return funcPass{name: "cse", fn: cseFunc}
+}
+
+func cseFunc(f *mlir.Op) error {
+	valueIDs := map[*mlir.Value]int{}
+	nextID := 0
+	id := func(v *mlir.Value) int {
+		if n, ok := valueIDs[v]; ok {
+			return n
+		}
+		nextID++
+		valueIDs[v] = nextID
+		return nextID
+	}
+
+	key := func(op *mlir.Op) string {
+		var sb strings.Builder
+		sb.WriteString(op.Name)
+		for _, v := range op.Operands {
+			fmt.Fprintf(&sb, "|%d", id(v))
+		}
+		keys := make([]string, 0, len(op.Attrs))
+		for k := range op.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sb.WriteString("|" + k + "=" + op.Attrs[k].String())
+		}
+		for _, r := range op.Results {
+			sb.WriteString("|" + r.Type().String())
+		}
+		return sb.String()
+	}
+
+	// scope is a stack of available-expression maps; entering a nested
+	// block pushes a child scope that can still see ancestors.
+	type scope struct {
+		parent *scope
+		exprs  map[string]*mlir.Op
+	}
+	lookup := func(s *scope, k string) (*mlir.Op, bool) {
+		for cur := s; cur != nil; cur = cur.parent {
+			if op, ok := cur.exprs[k]; ok {
+				return op, true
+			}
+		}
+		return nil, false
+	}
+
+	var visitBlock func(b *mlir.Block, s *scope)
+	visitBlock = func(b *mlir.Block, s *scope) {
+		ops := make([]*mlir.Op, len(b.Ops))
+		copy(ops, b.Ops)
+		for _, op := range ops {
+			if mlir.IsPure(op) && len(op.Results) == 1 {
+				k := key(op)
+				if prev, ok := lookup(s, k); ok {
+					mlir.ReplaceAllUses(f, op.Result(0), prev.Result(0))
+					op.Erase()
+					continue
+				}
+				s.exprs[k] = op
+			}
+			for _, r := range op.Regions {
+				for _, nb := range r.Blocks {
+					visitBlock(nb, &scope{parent: s, exprs: map[string]*mlir.Op{}})
+				}
+			}
+		}
+	}
+
+	body := mlir.FuncBody(f)
+	if body == nil {
+		return nil
+	}
+	// Only apply scoped CSE in the structured (single-block) regime; cf-level
+	// functions get per-block CSE without inheritance.
+	if len(f.Regions[0].Blocks) == 1 {
+		visitBlock(body, &scope{exprs: map[string]*mlir.Op{}})
+		return nil
+	}
+	for _, b := range f.Regions[0].Blocks {
+		visitBlock(b, &scope{exprs: map[string]*mlir.Op{}})
+	}
+	return nil
+}

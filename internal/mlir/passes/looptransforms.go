@@ -1,0 +1,142 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/mlir"
+)
+
+// LoopInterchange returns a pass that swaps the named function's outermost
+// perfectly-nested loop pair (a user-directed transform; legality is the
+// caller's responsibility, as with MLIR's own affine-loop-interchange on
+// explicit permutation maps).
+func LoopInterchange(funcName string) Pass {
+	return funcPass{name: "affine-loop-interchange", fn: func(f *mlir.Op) error {
+		if mlir.FuncName(f) != funcName {
+			return nil
+		}
+		outer := firstLoop(mlir.FuncBody(f))
+		if outer == nil {
+			return fmt.Errorf("interchange: no loop in %s", funcName)
+		}
+		inner := onlyNestedLoop(outer)
+		if inner == nil {
+			return fmt.Errorf("interchange: %s outermost loop is not perfectly nested", funcName)
+		}
+		return interchange(outer, inner)
+	}}
+}
+
+func firstLoop(b *mlir.Block) *mlir.Op {
+	for _, op := range b.Ops {
+		if op.Name == mlir.OpAffineFor {
+			return op
+		}
+	}
+	return nil
+}
+
+// onlyNestedLoop returns the single affine.for making up outer's body (plus
+// the terminator), or nil when the nest is not perfect.
+func onlyNestedLoop(outer *mlir.Op) *mlir.Op {
+	body := mlir.AffineForView{Op: outer}.Body()
+	var inner *mlir.Op
+	for _, op := range body.Ops {
+		switch {
+		case op.Name == mlir.OpAffineFor:
+			if inner != nil {
+				return nil
+			}
+			inner = op
+		case op.IsTerminator():
+		default:
+			return nil
+		}
+	}
+	return inner
+}
+
+// interchange swaps two perfectly nested constant-bound loops by exchanging
+// their bound/step attributes and induction variables.
+func interchange(outer, inner *mlir.Op) error {
+	ov := mlir.AffineForView{Op: outer}
+	iv := mlir.AffineForView{Op: inner}
+	if len(ov.LowerOperands()) != 0 || len(ov.UpperOperands()) != 0 ||
+		len(iv.LowerOperands()) != 0 || len(iv.UpperOperands()) != 0 {
+		return fmt.Errorf("interchange: only constant-bound loops supported")
+	}
+	for _, key := range []string{mlir.AttrLowerMap, mlir.AttrUpperMap, mlir.AttrStep} {
+		a, b := outer.Attrs[key], inner.Attrs[key]
+		outer.SetAttr(key, b)
+		inner.SetAttr(key, a)
+	}
+	// Swap the IV meanings by swapping uses inside the inner body.
+	f := mlir.EnclosingFunc(outer)
+	outerIV, innerIV := ov.IV(), iv.IV()
+	tmp := &mlir.Value{Ty: mlir.Index()}
+	mlir.ReplaceAllUses(f, outerIV, tmp)
+	mlir.ReplaceAllUses(f, innerIV, outerIV)
+	mlir.ReplaceAllUses(f, tmp, innerIV)
+	return nil
+}
+
+// LoopTile returns a pass that tiles the outermost 2-deep perfect nest of
+// the named function by the given tile sizes, producing a 4-deep nest
+// (ii, jj, i, j). Bounds must be constant and divisible by the tile sizes.
+func LoopTile(funcName string, ti, tj int64) Pass {
+	return funcPass{name: "affine-loop-tile", fn: func(f *mlir.Op) error {
+		if mlir.FuncName(f) != funcName {
+			return nil
+		}
+		outer := firstLoop(mlir.FuncBody(f))
+		if outer == nil {
+			return fmt.Errorf("tile: no loop in %s", funcName)
+		}
+		inner := onlyNestedLoop(outer)
+		if inner == nil {
+			return fmt.Errorf("tile: %s outermost loop is not perfectly nested", funcName)
+		}
+		return tileNest(outer, inner, ti, tj)
+	}}
+}
+
+func tileNest(outer, inner *mlir.Op, ti, tj int64) error {
+	ov := mlir.AffineForView{Op: outer}
+	iv := mlir.AffineForView{Op: inner}
+	oLo, oHi, ok1 := ov.ConstantBounds()
+	iLo, iHi, ok2 := iv.ConstantBounds()
+	if !ok1 || !ok2 || ov.Step() != 1 || iv.Step() != 1 {
+		return fmt.Errorf("tile: loops must have constant bounds and unit step")
+	}
+	if (oHi-oLo)%ti != 0 || (iHi-iLo)%tj != 0 {
+		return fmt.Errorf("tile: bounds not divisible by tile sizes %dx%d", ti, tj)
+	}
+
+	parent := outer.Block()
+	b := mlir.NewBuilder(parent)
+	// Detach the original nest; rebuild as ii/jj outer loops whose bodies
+	// iterate the tile and reuse the original inner body via cloning.
+	origInnerBody := iv.Body()
+	origOuterIV := ov.IV()
+	origInnerIV := iv.IV()
+
+	nest := b.AffineForConst(oLo, oHi, ti, func(b *mlir.Builder, ii *mlir.Value) {
+		b.AffineForConst(iLo, iHi, tj, func(b *mlir.Builder, jj *mlir.Value) {
+			iMap := mlir.NewMap(1, 0, mlir.Dim(0))
+			upIMap := mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(ti)))
+			b.AffineFor(iMap, []*mlir.Value{ii}, upIMap, []*mlir.Value{ii}, 1, func(b *mlir.Builder, i *mlir.Value) {
+				jMap := mlir.NewMap(1, 0, mlir.Dim(0))
+				upJMap := mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(tj)))
+				b.AffineFor(jMap, []*mlir.Value{jj}, upJMap, []*mlir.Value{jj}, 1, func(b *mlir.Builder, j *mlir.Value) {
+					vmap := map[*mlir.Value]*mlir.Value{origOuterIV: i, origInnerIV: j}
+					mlir.CloneBlockOpsInto(origInnerBody, b.Block(), vmap, true)
+				})
+			})
+		})
+	})
+	// Move the new nest before the old one, then drop the old nest.
+	parent.Remove(nest)
+	parent.InsertBefore(nest, outer)
+	outer.Erase()
+	return nil
+}

@@ -1,0 +1,68 @@
+// Package passes implements the MLIR-level transformation passes the HLS
+// flow uses: canonicalization, CSE, affine loop unrolling, interchange,
+// tiling, and the HLS directive annotation passes (pipeline, array
+// partition) whose attributes travel through lowering into LLVM metadata.
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/mlir"
+)
+
+// Pass transforms a module in place.
+type Pass interface {
+	Name() string
+	Run(m *mlir.Module) error
+}
+
+// PassManager runs a pipeline of passes, verifying after each.
+type PassManager struct {
+	passes []Pass
+	// VerifyEach enables module verification after every pass (default on
+	// via NewPassManager).
+	VerifyEach bool
+}
+
+// NewPassManager returns a pass manager that verifies after each pass.
+func NewPassManager() *PassManager { return &PassManager{VerifyEach: true} }
+
+// Add appends passes to the pipeline.
+func (pm *PassManager) Add(ps ...Pass) *PassManager {
+	pm.passes = append(pm.passes, ps...)
+	return pm
+}
+
+// Run executes the pipeline.
+func (pm *PassManager) Run(m *mlir.Module) error {
+	for _, p := range pm.passes {
+		if err := p.Run(m); err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+		if pm.VerifyEach {
+			if err := m.Verify(); err != nil {
+				return fmt.Errorf("verification after pass %s: %w", p.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// funcPass adapts a per-function transformation.
+type funcPass struct {
+	name string
+	fn   func(f *mlir.Op) error
+}
+
+// Name implements Pass.
+func (p funcPass) Name() string { return p.name }
+
+// Run implements Pass.
+func (p funcPass) Run(m *mlir.Module) error {
+	for _, f := range m.Funcs() {
+		if err := p.fn(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

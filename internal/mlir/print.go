@@ -1,0 +1,394 @@
+package mlir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the module in the textual format understood by the parser.
+func (m *Module) Print() string {
+	var sb strings.Builder
+	sb.WriteString("module {\n")
+	for _, op := range m.Body().Ops {
+		p := &printer{sb: &sb, names: map[*Value]string{}, blockNames: map[*Block]string{}}
+		p.printOp(op, 1)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+type printer struct {
+	sb         *strings.Builder
+	names      map[*Value]string
+	blockNames map[*Block]string
+	nextID     int
+	nextBlock  int
+}
+
+func (p *printer) name(v *Value) string {
+	if n, ok := p.names[v]; ok {
+		return n
+	}
+	n := fmt.Sprintf("%%%d", p.nextID)
+	p.nextID++
+	p.names[v] = n
+	return n
+}
+
+func (p *printer) argName(v *Value) string {
+	if n, ok := p.names[v]; ok {
+		return n
+	}
+	n := fmt.Sprintf("%%arg%d", v.ArgNo)
+	p.names[v] = n
+	return n
+}
+
+func (p *printer) blockName(b *Block) string {
+	if n, ok := p.blockNames[b]; ok {
+		return n
+	}
+	n := fmt.Sprintf("^bb%d", p.nextBlock)
+	p.nextBlock++
+	p.blockNames[b] = n
+	return n
+}
+
+func (p *printer) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		p.sb.WriteString("  ")
+	}
+}
+
+func (p *printer) operandList(vals []*Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = p.name(v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// trailingAttrs renders the non-syntax attributes of op.
+func (p *printer) trailingAttrs(op *Op, skip ...string) string {
+	sk := map[string]bool{}
+	for _, s := range skip {
+		sk[s] = true
+	}
+	s := attrsString(op.Attrs, sk)
+	if s == "" {
+		return ""
+	}
+	return " " + s
+}
+
+func (p *printer) printRegionBody(r *Region, depth int) {
+	for _, blk := range r.Blocks {
+		if len(r.Blocks) > 1 {
+			p.indent(depth)
+			p.sb.WriteString(p.blockName(blk))
+			if len(blk.Args) > 0 {
+				p.sb.WriteString("(")
+				for i, a := range blk.Args {
+					if i > 0 {
+						p.sb.WriteString(", ")
+					}
+					fmt.Fprintf(p.sb, "%s: %s", p.name(a), a.Type())
+				}
+				p.sb.WriteString(")")
+			}
+			p.sb.WriteString(":\n")
+		}
+		for _, op := range blk.Ops {
+			// Elide trivially-empty implicit terminators.
+			if (op.Name == OpAffineYield || op.Name == OpSCFYield) &&
+				len(op.Operands) == 0 && len(op.Attrs) == 0 {
+				continue
+			}
+			p.printOp(op, depth+1)
+		}
+	}
+}
+
+func (p *printer) mapWithOperands(m *AffineMap, operands []*Value) string {
+	if v, ok := m.IsSingleConstant(); ok && len(operands) == 0 {
+		return fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("affine_map<%s>(%s)", m, p.operandList(operands))
+}
+
+func (p *printer) printOp(op *Op, depth int) {
+	p.indent(depth)
+	switch op.Name {
+	case OpFunc:
+		name, _ := op.StringAttr(AttrSymName)
+		fmt.Fprintf(p.sb, "func.func @%s(", name)
+		entry := FuncBody(op)
+		for i, a := range entry.Args {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			fmt.Fprintf(p.sb, "%s: %s", p.argName(a), a.Type())
+		}
+		p.sb.WriteString(")")
+		if res, ok := op.Attrs[AttrResultTypes].(ArrayAttr); ok && len(res) > 0 {
+			parts := make([]string, len(res))
+			for i, r := range res {
+				parts[i] = r.(TypeAttr).Ty.String()
+			}
+			p.sb.WriteString(" -> (" + strings.Join(parts, ", ") + ")")
+		}
+		extra := p.trailingAttrs(op, AttrSymName, AttrResultTypes)
+		if extra != "" {
+			p.sb.WriteString(" attributes" + extra)
+		}
+		p.sb.WriteString(" {\n")
+		p.printRegionBody(op.Regions[0], depth)
+		p.indent(depth)
+		p.sb.WriteString("}\n")
+		return
+
+	case OpConstant:
+		fmt.Fprintf(p.sb, "%s = arith.constant ", p.name(op.Result(0)))
+		switch a := op.Attrs[AttrValue].(type) {
+		case IntAttr:
+			fmt.Fprintf(p.sb, "%d", a.Value)
+		case FloatAttr:
+			s := a.String()
+			// Strip the ": type" suffix; the result type is printed below.
+			if i := strings.Index(s, " : "); i >= 0 {
+				s = s[:i]
+			}
+			p.sb.WriteString(s)
+		}
+		fmt.Fprintf(p.sb, " : %s%s\n", op.Result(0).Type(), p.trailingAttrs(op, AttrValue))
+		return
+
+	case OpAddI, OpSubI, OpMulI, OpDivSI, OpRemSI, OpAddF, OpSubF, OpMulF, OpDivF,
+		OpMinSI, OpMaxSI:
+		fmt.Fprintf(p.sb, "%s = %s %s : %s%s\n", p.name(op.Result(0)), op.Name,
+			p.operandList(op.Operands), op.Result(0).Type(), p.trailingAttrs(op))
+		return
+
+	case OpNegF, OpMathSqrt, OpMathExp:
+		fmt.Fprintf(p.sb, "%s = %s %s : %s%s\n", p.name(op.Result(0)), op.Name,
+			p.operandList(op.Operands), op.Result(0).Type(), p.trailingAttrs(op))
+		return
+
+	case OpCmpI, OpCmpF:
+		pred, _ := op.StringAttr(AttrPredicate)
+		fmt.Fprintf(p.sb, "%s = %s %s, %s : %s%s\n", p.name(op.Result(0)), op.Name,
+			pred, p.operandList(op.Operands), op.Operands[0].Type(),
+			p.trailingAttrs(op, AttrPredicate))
+		return
+
+	case OpSelect:
+		fmt.Fprintf(p.sb, "%s = arith.select %s : %s%s\n", p.name(op.Result(0)),
+			p.operandList(op.Operands), op.Result(0).Type(), p.trailingAttrs(op))
+		return
+
+	case OpIndexCast, OpSIToFP, OpFPToSI, OpExtF, OpTruncF:
+		fmt.Fprintf(p.sb, "%s = %s %s : %s to %s%s\n", p.name(op.Result(0)), op.Name,
+			p.name(op.Operands[0]), op.Operands[0].Type(), op.Result(0).Type(),
+			p.trailingAttrs(op))
+		return
+
+	case OpAlloc, OpAlloca:
+		fmt.Fprintf(p.sb, "%s = %s() : %s%s\n", p.name(op.Result(0)), op.Name,
+			op.Result(0).Type(), p.trailingAttrs(op))
+		return
+
+	case OpDealloc:
+		fmt.Fprintf(p.sb, "memref.dealloc %s : %s%s\n", p.name(op.Operands[0]),
+			op.Operands[0].Type(), p.trailingAttrs(op))
+		return
+
+	case OpLoad:
+		fmt.Fprintf(p.sb, "%s = memref.load %s[%s] : %s%s\n", p.name(op.Result(0)),
+			p.name(op.Operands[0]), p.operandList(op.Operands[1:]),
+			op.Operands[0].Type(), p.trailingAttrs(op))
+		return
+
+	case OpStore:
+		fmt.Fprintf(p.sb, "memref.store %s, %s[%s] : %s%s\n", p.name(op.Operands[0]),
+			p.name(op.Operands[1]), p.operandList(op.Operands[2:]),
+			op.Operands[1].Type(), p.trailingAttrs(op))
+		return
+
+	case OpAffineLoad:
+		v := AffineAccessView{op}
+		m := v.Map()
+		mapPart := ""
+		if !m.IsIdentity() {
+			mapPart = fmt.Sprintf(" map affine_map<%s>", m)
+		}
+		fmt.Fprintf(p.sb, "%s = affine.load %s[%s]%s : %s%s\n", p.name(op.Result(0)),
+			p.name(v.MemRef()), p.operandList(v.MapOperands()), mapPart,
+			v.MemRef().Type(), p.trailingAttrs(op, AttrMap))
+		return
+
+	case OpAffineStore:
+		v := AffineAccessView{op}
+		m := v.Map()
+		mapPart := ""
+		if !m.IsIdentity() {
+			mapPart = fmt.Sprintf(" map affine_map<%s>", m)
+		}
+		fmt.Fprintf(p.sb, "affine.store %s, %s[%s]%s : %s%s\n", p.name(v.StoredValue()),
+			p.name(v.MemRef()), p.operandList(v.MapOperands()), mapPart,
+			v.MemRef().Type(), p.trailingAttrs(op, AttrMap))
+		return
+
+	case OpAffineApply:
+		m, _ := op.MapAttr(AttrMap)
+		fmt.Fprintf(p.sb, "%s = affine.apply affine_map<%s>(%s)%s\n", p.name(op.Result(0)),
+			m, p.operandList(op.Operands), p.trailingAttrs(op, AttrMap))
+		return
+
+	case OpAffineFor:
+		f := AffineForView{op}
+		iv := p.name(f.IV())
+		fmt.Fprintf(p.sb, "affine.for %s = %s to %s step %d {\n", iv,
+			p.mapWithOperands(f.LowerMap(), f.LowerOperands()),
+			p.mapWithOperands(f.UpperMap(), f.UpperOperands()), f.Step())
+		p.printRegionBody(op.Regions[0], depth)
+		p.indent(depth)
+		p.sb.WriteString("}")
+		extra := p.trailingAttrs(op, AttrLowerMap, AttrUpperMap, AttrStep, AttrLBCount)
+		p.sb.WriteString(extra + "\n")
+		return
+
+	case OpSCFFor:
+		iv := p.name(op.Regions[0].Blocks[0].Args[0])
+		fmt.Fprintf(p.sb, "scf.for %s = %s to %s step %s {\n", iv,
+			p.name(op.Operands[0]), p.name(op.Operands[1]), p.name(op.Operands[2]))
+		p.printRegionBody(op.Regions[0], depth)
+		p.indent(depth)
+		p.sb.WriteString("}" + p.trailingAttrs(op) + "\n")
+		return
+
+	case OpSCFIf:
+		fmt.Fprintf(p.sb, "scf.if %s {\n", p.name(op.Operands[0]))
+		p.printRegionBody(op.Regions[0], depth)
+		p.indent(depth)
+		p.sb.WriteString("}")
+		if len(op.Regions) > 1 {
+			p.sb.WriteString(" else {\n")
+			p.printRegionBody(op.Regions[1], depth)
+			p.indent(depth)
+			p.sb.WriteString("}")
+		}
+		p.sb.WriteString(p.trailingAttrs(op) + "\n")
+		return
+
+	case OpAffineYield, OpSCFYield:
+		fmt.Fprintf(p.sb, "%s", op.Name)
+		if len(op.Operands) > 0 {
+			p.sb.WriteString(" " + p.operandList(op.Operands))
+		}
+		p.sb.WriteString(p.trailingAttrs(op) + "\n")
+		return
+
+	case OpReturn:
+		p.sb.WriteString("func.return")
+		if len(op.Operands) > 0 {
+			parts := make([]string, len(op.Operands))
+			for i, v := range op.Operands {
+				parts[i] = fmt.Sprintf("%s : %s", p.name(v), v.Type())
+			}
+			p.sb.WriteString(" " + strings.Join(parts, ", "))
+		}
+		p.sb.WriteString(p.trailingAttrs(op) + "\n")
+		return
+
+	case OpCall:
+		callee, _ := op.Attrs[AttrCallee].(SymbolRefAttr)
+		if len(op.Results) > 0 {
+			names := make([]string, len(op.Results))
+			for i, r := range op.Results {
+				names[i] = p.name(r)
+			}
+			p.sb.WriteString(strings.Join(names, ", ") + " = ")
+		}
+		argTypes := make([]string, len(op.Operands))
+		for i, v := range op.Operands {
+			argTypes[i] = v.Type().String()
+		}
+		resTypes := make([]string, len(op.Results))
+		for i, r := range op.Results {
+			resTypes[i] = r.Type().String()
+		}
+		fmt.Fprintf(p.sb, "func.call @%s(%s) : (%s) -> (%s)%s\n", string(callee),
+			p.operandList(op.Operands), strings.Join(argTypes, ", "),
+			strings.Join(resTypes, ", "), p.trailingAttrs(op, AttrCallee))
+		return
+
+	case OpBr:
+		fmt.Fprintf(p.sb, "cf.br %s", p.blockName(op.Succs[0]))
+		if len(op.Operands) > 0 {
+			p.sb.WriteString("(" + p.operandList(op.Operands) + ")")
+		}
+		p.sb.WriteString(p.trailingAttrs(op) + "\n")
+		return
+
+	case OpCondBr:
+		tc, _ := op.IntAttr(AttrTrueCount)
+		tArgs := op.Operands[1 : 1+tc]
+		fArgs := op.Operands[1+tc:]
+		fmt.Fprintf(p.sb, "cf.cond_br %s, %s", p.name(op.Operands[0]), p.blockName(op.Succs[0]))
+		if len(tArgs) > 0 {
+			p.sb.WriteString("(" + p.operandList(tArgs) + ")")
+		}
+		p.sb.WriteString(", " + p.blockName(op.Succs[1]))
+		if len(fArgs) > 0 {
+			p.sb.WriteString("(" + p.operandList(fArgs) + ")")
+		}
+		p.sb.WriteString(p.trailingAttrs(op, AttrTrueCount, AttrFalseCount) + "\n")
+		return
+	}
+
+	// Generic fallback form: %r = "name"(%ops) {attrs} : (inTypes) -> (outTypes)
+	if len(op.Results) > 0 {
+		names := make([]string, len(op.Results))
+		for i, r := range op.Results {
+			names[i] = p.name(r)
+		}
+		p.sb.WriteString(strings.Join(names, ", ") + " = ")
+	}
+	fmt.Fprintf(p.sb, "%q(%s)", op.Name, p.operandList(op.Operands))
+	if s := attrsString(op.Attrs, nil); s != "" {
+		p.sb.WriteString(" " + s)
+	}
+	inT := make([]string, len(op.Operands))
+	for i, v := range op.Operands {
+		inT[i] = v.Type().String()
+	}
+	outT := make([]string, len(op.Results))
+	for i, r := range op.Results {
+		outT[i] = r.Type().String()
+	}
+	fmt.Fprintf(p.sb, " : (%s) -> (%s)\n", strings.Join(inT, ", "), strings.Join(outT, ", "))
+	for _, r := range op.Regions {
+		p.indent(depth)
+		p.sb.WriteString("{\n")
+		p.printRegionBody(r, depth)
+		p.indent(depth)
+		p.sb.WriteString("}\n")
+	}
+}
+
+// OpNamesUsed returns the sorted set of op names appearing in the module,
+// useful for diagnostics and tests.
+func (m *Module) OpNamesUsed() []string {
+	set := map[string]bool{}
+	Walk(m.Op, func(o *Op) bool {
+		set[o.Name] = true
+		return true
+	})
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

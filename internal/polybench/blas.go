@@ -1,0 +1,240 @@
+package polybench
+
+import "repro/internal/mlir"
+
+func init() {
+	registerAtax()
+	registerBicg()
+	registerGesummv()
+	registerMvt()
+}
+
+func registerAtax() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"M": 9, "N": 11}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"M": 19, "N": 23}},
+	}
+	register(&Kernel{
+		Name:        "atax",
+		Description: "y = A^T (A x)",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			mm, n := s.Dim("M"), s.Dim("N")
+			return []*mlir.Type{mem2(mm, n), mem1(n), mem1(n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			mm, n := s.Dim("M"), s.Dim("N")
+			m, b, args := kernelFunc("atax", []*mlir.Type{mem2(mm, n), mem1(n), mem1(n)})
+			A, x, y := args[0], args[1], args[2]
+			zero := b.ConstantFloat(0, mlir.F32())
+			tmp := b.Alloc(mem1(mm))
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineStore(zero, y, i)
+			})
+			b.AffineForConst(0, mm, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineStore(zero, tmp, i)
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					a := b.AffineLoad(A, i, j)
+					xv := b.AffineLoad(x, j)
+					p := b.MulF(a, xv)
+					cur := b.AffineLoad(tmp, i)
+					b.AffineStore(b.AddF(cur, p), tmp, i)
+				})
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					a := b.AffineLoad(A, i, j)
+					t := b.AffineLoad(tmp, i)
+					p := b.MulF(a, t)
+					cur := b.AffineLoad(y, j)
+					b.AffineStore(b.AddF(cur, p), y, j)
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			mm, n := s.Dim("M"), s.Dim("N")
+			A, x, y := bufs[0], bufs[1], bufs[2]
+			tmp := make([]float32, mm)
+			for i := int64(0); i < n; i++ {
+				y[i] = 0
+			}
+			for i := int64(0); i < mm; i++ {
+				tmp[i] = 0
+				for j := int64(0); j < n; j++ {
+					p := A[i*n+j] * x[j]
+					tmp[i] = tmp[i] + p
+				}
+				for j := int64(0); j < n; j++ {
+					p := A[i*n+j] * tmp[i]
+					y[j] = y[j] + p
+				}
+			}
+		},
+	})
+}
+
+func registerBicg() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"M": 9, "N": 11}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"M": 19, "N": 23}},
+	}
+	register(&Kernel{
+		Name:        "bicg",
+		Description: "s = A^T r; q = A p",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			mm, n := s.Dim("M"), s.Dim("N")
+			// A[N][M], s[M], q[N], p[M], r[N]
+			return []*mlir.Type{mem2(n, mm), mem1(mm), mem1(n), mem1(mm), mem1(n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			mm, n := s.Dim("M"), s.Dim("N")
+			m, b, args := kernelFunc("bicg",
+				[]*mlir.Type{mem2(n, mm), mem1(mm), mem1(n), mem1(mm), mem1(n)})
+			A, sv, q, p, r := args[0], args[1], args[2], args[3], args[4]
+			zero := b.ConstantFloat(0, mlir.F32())
+			b.AffineForConst(0, mm, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineStore(zero, sv, i)
+			})
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineStore(zero, q, i)
+				b.AffineForConst(0, mm, 1, func(b *mlir.Builder, j *mlir.Value) {
+					rv := b.AffineLoad(r, i)
+					a := b.AffineLoad(A, i, j)
+					p1 := b.MulF(rv, a)
+					cur := b.AffineLoad(sv, j)
+					b.AffineStore(b.AddF(cur, p1), sv, j)
+					a2 := b.AffineLoad(A, i, j)
+					pv := b.AffineLoad(p, j)
+					p2 := b.MulF(a2, pv)
+					qv := b.AffineLoad(q, i)
+					b.AffineStore(b.AddF(qv, p2), q, i)
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			mm, n := s.Dim("M"), s.Dim("N")
+			A, sv, q, p, r := bufs[0], bufs[1], bufs[2], bufs[3], bufs[4]
+			for i := int64(0); i < mm; i++ {
+				sv[i] = 0
+			}
+			for i := int64(0); i < n; i++ {
+				q[i] = 0
+				for j := int64(0); j < mm; j++ {
+					p1 := r[i] * A[i*mm+j]
+					sv[j] = sv[j] + p1
+					p2 := A[i*mm+j] * p[j]
+					q[i] = q[i] + p2
+				}
+			}
+		},
+	})
+}
+
+func registerGesummv() {
+	sizes := sizes1(10, 20, "N")
+	register(&Kernel{
+		Name:        "gesummv",
+		Description: "y = alpha*A*x + beta*B*x",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n := s.Dim("N")
+			return []*mlir.Type{mem2(n, n), mem2(n, n), mem1(n), mem1(n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n := s.Dim("N")
+			m, b, args := kernelFunc("gesummv",
+				[]*mlir.Type{mem2(n, n), mem2(n, n), mem1(n), mem1(n)})
+			A, B, x, y := args[0], args[1], args[2], args[3]
+			alpha, beta := cAlpha(b), cBeta(b)
+			zero := b.ConstantFloat(0, mlir.F32())
+			tmp := b.Alloc(mem1(n))
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineStore(zero, tmp, i)
+				b.AffineStore(zero, y, i)
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					a := b.AffineLoad(A, i, j)
+					xv := b.AffineLoad(x, j)
+					t := b.AffineLoad(tmp, i)
+					b.AffineStore(b.AddF(b.MulF(a, xv), t), tmp, i)
+					bb := b.AffineLoad(B, i, j)
+					xv2 := b.AffineLoad(x, j)
+					yv := b.AffineLoad(y, i)
+					b.AffineStore(b.AddF(b.MulF(bb, xv2), yv), y, i)
+				})
+				t := b.AffineLoad(tmp, i)
+				yv := b.AffineLoad(y, i)
+				b.AffineStore(b.AddF(b.MulF(alpha, t), b.MulF(beta, yv)), y, i)
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n := s.Dim("N")
+			A, B, x, y := bufs[0], bufs[1], bufs[2], bufs[3]
+			tmp := make([]float32, n)
+			for i := int64(0); i < n; i++ {
+				tmp[i] = 0
+				y[i] = 0
+				for j := int64(0); j < n; j++ {
+					tmp[i] = A[i*n+j]*x[j] + tmp[i]
+					y[i] = B[i*n+j]*x[j] + y[i]
+				}
+				y[i] = Alpha*tmp[i] + Beta*y[i]
+			}
+		},
+	})
+}
+
+func registerMvt() {
+	sizes := sizes1(10, 20, "N")
+	register(&Kernel{
+		Name:        "mvt",
+		Description: "x1 += A*y1; x2 += A^T*y2",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n := s.Dim("N")
+			return []*mlir.Type{mem2(n, n), mem1(n), mem1(n), mem1(n), mem1(n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n := s.Dim("N")
+			m, b, args := kernelFunc("mvt",
+				[]*mlir.Type{mem2(n, n), mem1(n), mem1(n), mem1(n), mem1(n)})
+			A, x1, x2, y1, y2 := args[0], args[1], args[2], args[3], args[4]
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					cur := b.AffineLoad(x1, i)
+					a := b.AffineLoad(A, i, j)
+					yv := b.AffineLoad(y1, j)
+					b.AffineStore(b.AddF(cur, b.MulF(a, yv)), x1, i)
+				})
+			})
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					cur := b.AffineLoad(x2, i)
+					a := b.AffineLoad(A, j, i)
+					yv := b.AffineLoad(y2, j)
+					b.AffineStore(b.AddF(cur, b.MulF(a, yv)), x2, i)
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n := s.Dim("N")
+			A, x1, x2, y1, y2 := bufs[0], bufs[1], bufs[2], bufs[3], bufs[4]
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					x1[i] = x1[i] + A[i*n+j]*y1[j]
+				}
+			}
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					x2[i] = x2[i] + A[j*n+i]*y2[j]
+				}
+			}
+		},
+	})
+}

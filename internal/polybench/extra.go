@@ -1,0 +1,303 @@
+package polybench
+
+import "repro/internal/mlir"
+
+func init() {
+	registerDoitgen()
+	registerGemver()
+	registerFdtd2D()
+	registerSymm()
+}
+
+// mem3 returns an NxMxK f32 memref type.
+func mem3(n, m, k int64) *mlir.Type { return mlir.MemRef([]int64{n, m, k}, mlir.F32()) }
+
+func registerDoitgen() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"NR": 4, "NQ": 5, "NP": 6}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"NR": 8, "NQ": 10, "NP": 12}},
+	}
+	register(&Kernel{
+		Name:        "doitgen",
+		Description: "multiresolution analysis: A[r][q][*] = A[r][q][*] x C4",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			nr, nq, np := s.Dim("NR"), s.Dim("NQ"), s.Dim("NP")
+			return []*mlir.Type{mem3(nr, nq, np), mem2(np, np)}
+		},
+		Build: func(s Size) *mlir.Module {
+			nr, nq, np := s.Dim("NR"), s.Dim("NQ"), s.Dim("NP")
+			m, b, args := kernelFunc("doitgen", []*mlir.Type{mem3(nr, nq, np), mem2(np, np)})
+			A, C4 := args[0], args[1]
+			zero := b.ConstantFloat(0, mlir.F32())
+			sum := b.Alloc(mem1(np))
+			b.AffineForConst(0, nr, 1, func(b *mlir.Builder, r *mlir.Value) {
+				b.AffineForConst(0, nq, 1, func(b *mlir.Builder, q *mlir.Value) {
+					b.AffineForConst(0, np, 1, func(b *mlir.Builder, p *mlir.Value) {
+						b.AffineStore(zero, sum, p)
+						b.AffineForConst(0, np, 1, func(b *mlir.Builder, sIV *mlir.Value) {
+							a := b.AffineLoad(A, r, q, sIV)
+							c := b.AffineLoad(C4, sIV, p)
+							t := b.MulF(a, c)
+							cur := b.AffineLoad(sum, p)
+							b.AffineStore(b.AddF(cur, t), sum, p)
+						})
+					})
+					b.AffineForConst(0, np, 1, func(b *mlir.Builder, p *mlir.Value) {
+						v := b.AffineLoad(sum, p)
+						b.AffineStore(v, A, r, q, p)
+					})
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			nr, nq, np := s.Dim("NR"), s.Dim("NQ"), s.Dim("NP")
+			A, C4 := bufs[0], bufs[1]
+			sum := make([]float32, np)
+			for r := int64(0); r < nr; r++ {
+				for q := int64(0); q < nq; q++ {
+					for p := int64(0); p < np; p++ {
+						sum[p] = 0
+						for sv := int64(0); sv < np; sv++ {
+							t := A[(r*nq+q)*np+sv] * C4[sv*np+p]
+							sum[p] = sum[p] + t
+						}
+					}
+					for p := int64(0); p < np; p++ {
+						A[(r*nq+q)*np+p] = sum[p]
+					}
+				}
+			}
+		},
+	})
+}
+
+func registerGemver() {
+	sizes := sizes1(10, 20, "N")
+	register(&Kernel{
+		Name:        "gemver",
+		Description: "A += u1*v1^T + u2*v2^T; x = beta*A^T*y + z; w = alpha*A*x",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n := s.Dim("N")
+			// A, u1, v1, u2, v2, x, y, z, w
+			return []*mlir.Type{mem2(n, n), mem1(n), mem1(n), mem1(n), mem1(n),
+				mem1(n), mem1(n), mem1(n), mem1(n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n := s.Dim("N")
+			m, b, args := kernelFunc("gemver", []*mlir.Type{mem2(n, n), mem1(n),
+				mem1(n), mem1(n), mem1(n), mem1(n), mem1(n), mem1(n), mem1(n)})
+			A, u1, v1, u2, v2, x, y, z, w := args[0], args[1], args[2], args[3],
+				args[4], args[5], args[6], args[7], args[8]
+			alpha, beta := cAlpha(b), cBeta(b)
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					a := b.AffineLoad(A, i, j)
+					u1v := b.AffineLoad(u1, i)
+					v1v := b.AffineLoad(v1, j)
+					u2v := b.AffineLoad(u2, i)
+					v2v := b.AffineLoad(v2, j)
+					t := b.AddF(b.AddF(a, b.MulF(u1v, v1v)), b.MulF(u2v, v2v))
+					b.AffineStore(t, A, i, j)
+				})
+			})
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					xv := b.AffineLoad(x, i)
+					a := b.AffineLoad(A, j, i)
+					yv := b.AffineLoad(y, j)
+					t := b.AddF(xv, b.MulF(b.MulF(beta, a), yv))
+					b.AffineStore(t, x, i)
+				})
+			})
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				xv := b.AffineLoad(x, i)
+				zv := b.AffineLoad(z, i)
+				b.AffineStore(b.AddF(xv, zv), x, i)
+			})
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					wv := b.AffineLoad(w, i)
+					a := b.AffineLoad(A, i, j)
+					xv := b.AffineLoad(x, j)
+					t := b.AddF(wv, b.MulF(b.MulF(alpha, a), xv))
+					b.AffineStore(t, w, i)
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n := s.Dim("N")
+			A, u1, v1, u2, v2, x, y, z, w := bufs[0], bufs[1], bufs[2], bufs[3],
+				bufs[4], bufs[5], bufs[6], bufs[7], bufs[8]
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					A[i*n+j] = (A[i*n+j] + u1[i]*v1[j]) + u2[i]*v2[j]
+				}
+			}
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					x[i] = x[i] + (Beta*A[j*n+i])*y[j]
+				}
+			}
+			for i := int64(0); i < n; i++ {
+				x[i] = x[i] + z[i]
+			}
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					w[i] = w[i] + (Alpha*A[i*n+j])*x[j]
+				}
+			}
+		},
+	})
+}
+
+func registerFdtd2D() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"NX": 6, "NY": 8, "T": 2}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"NX": 12, "NY": 14, "T": 3}},
+	}
+	register(&Kernel{
+		Name:        "fdtd2d",
+		Description: "2-D finite-difference time-domain (ex/ey/hz updates)",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			nx, ny := s.Dim("NX"), s.Dim("NY")
+			return []*mlir.Type{mem2(nx, ny), mem2(nx, ny), mem2(nx, ny)}
+		},
+		Build: func(s Size) *mlir.Module {
+			nx, ny, T := s.Dim("NX"), s.Dim("NY"), s.Dim("T")
+			m, b, args := kernelFunc("fdtd2d",
+				[]*mlir.Type{mem2(nx, ny), mem2(nx, ny), mem2(nx, ny)})
+			ex, ey, hz := args[0], args[1], args[2]
+			half := b.ConstantFloat(0.5, mlir.F32())
+			seven := b.ConstantFloat(0.7, mlir.F32())
+			im1 := mlir.NewMap(2, 0, mlir.Add(mlir.Dim(0), mlir.Const(-1)), mlir.Dim(1))
+			jm1 := mlir.NewMap(2, 0, mlir.Dim(0), mlir.Add(mlir.Dim(1), mlir.Const(-1)))
+			ip1 := mlir.NewMap(2, 0, mlir.Add(mlir.Dim(0), mlir.Const(1)), mlir.Dim(1))
+			jp1 := mlir.NewMap(2, 0, mlir.Dim(0), mlir.Add(mlir.Dim(1), mlir.Const(1)))
+			b.AffineForConst(0, T, 1, func(b *mlir.Builder, t *mlir.Value) {
+				b.AffineForConst(1, nx, 1, func(b *mlir.Builder, i *mlir.Value) {
+					b.AffineForConst(0, ny, 1, func(b *mlir.Builder, j *mlir.Value) {
+						e := b.AffineLoad(ey, i, j)
+						h1 := b.AffineLoad(hz, i, j)
+						h2 := b.AffineLoadMap(hz, im1, i, j)
+						b.AffineStore(b.SubF(e, b.MulF(half, b.SubF(h1, h2))), ey, i, j)
+					})
+				})
+				b.AffineForConst(0, nx, 1, func(b *mlir.Builder, i *mlir.Value) {
+					b.AffineForConst(1, ny, 1, func(b *mlir.Builder, j *mlir.Value) {
+						e := b.AffineLoad(ex, i, j)
+						h1 := b.AffineLoad(hz, i, j)
+						h2 := b.AffineLoadMap(hz, jm1, i, j)
+						b.AffineStore(b.SubF(e, b.MulF(half, b.SubF(h1, h2))), ex, i, j)
+					})
+				})
+				b.AffineForConst(0, nx-1, 1, func(b *mlir.Builder, i *mlir.Value) {
+					b.AffineForConst(0, ny-1, 1, func(b *mlir.Builder, j *mlir.Value) {
+						h := b.AffineLoad(hz, i, j)
+						x1 := b.AffineLoadMap(ex, jp1, i, j)
+						x0 := b.AffineLoad(ex, i, j)
+						y1 := b.AffineLoadMap(ey, ip1, i, j)
+						y0 := b.AffineLoad(ey, i, j)
+						sum := b.AddF(b.SubF(x1, x0), b.SubF(y1, y0))
+						b.AffineStore(b.SubF(h, b.MulF(seven, sum)), hz, i, j)
+					})
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			nx, ny, T := s.Dim("NX"), s.Dim("NY"), s.Dim("T")
+			ex, ey, hz := bufs[0], bufs[1], bufs[2]
+			for t := int64(0); t < T; t++ {
+				for i := int64(1); i < nx; i++ {
+					for j := int64(0); j < ny; j++ {
+						ey[i*ny+j] = ey[i*ny+j] - float32(0.5)*(hz[i*ny+j]-hz[(i-1)*ny+j])
+					}
+				}
+				for i := int64(0); i < nx; i++ {
+					for j := int64(1); j < ny; j++ {
+						ex[i*ny+j] = ex[i*ny+j] - float32(0.5)*(hz[i*ny+j]-hz[i*ny+j-1])
+					}
+				}
+				for i := int64(0); i < nx-1; i++ {
+					for j := int64(0); j < ny-1; j++ {
+						sum := (ex[i*ny+j+1] - ex[i*ny+j]) + (ey[(i+1)*ny+j] - ey[i*ny+j])
+						hz[i*ny+j] = hz[i*ny+j] - float32(0.7)*sum
+					}
+				}
+			}
+		},
+	})
+}
+
+func registerSymm() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"M": 8, "N": 10}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"M": 14, "N": 18}},
+	}
+	register(&Kernel{
+		Name:        "symm",
+		Description: "C = alpha*A*B + beta*C with A symmetric (lower stored)",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			mm, n := s.Dim("M"), s.Dim("N")
+			return []*mlir.Type{mem2(mm, mm), mem2(mm, n), mem2(mm, n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			mm, n := s.Dim("M"), s.Dim("N")
+			m, b, args := kernelFunc("symm", []*mlir.Type{mem2(mm, mm), mem2(mm, n), mem2(mm, n)})
+			A, B, C := args[0], args[1], args[2]
+			alpha, beta := cAlpha(b), cBeta(b)
+			zero := b.ConstantFloat(0, mlir.F32())
+			temp2 := b.Alloc(mem1(1))
+			b.AffineForConst(0, mm, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					c0 := b.ConstantIndex(0)
+					b.AffineStore(zero, temp2, c0)
+					// for k < i: C[k][j] += alpha*B[i][j]*A[i][k]; temp2 += B[k][j]*A[i][k]
+					b.AffineFor(mlir.ConstantMap(0), nil,
+						mlir.NewMap(1, 0, mlir.Dim(0)), []*mlir.Value{i}, 1,
+						func(b *mlir.Builder, k *mlir.Value) {
+							bij := b.AffineLoad(B, i, j)
+							aik := b.AffineLoad(A, i, k)
+							ckj := b.AffineLoad(C, k, j)
+							b.AffineStore(b.AddF(ckj, b.MulF(b.MulF(alpha, bij), aik)), C, k, j)
+							bkj := b.AffineLoad(B, k, j)
+							t2 := b.AffineLoad(temp2, c0)
+							b.AffineStore(b.AddF(t2, b.MulF(bkj, aik)), temp2, c0)
+						})
+					cij := b.AffineLoad(C, i, j)
+					bij := b.AffineLoad(B, i, j)
+					aii := b.AffineLoad(A, i, i)
+					t2 := b.AffineLoad(temp2, c0)
+					v := b.AddF(b.AddF(b.MulF(beta, cij), b.MulF(b.MulF(alpha, bij), aii)),
+						b.MulF(alpha, t2))
+					b.AffineStore(v, C, i, j)
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			mm, n := s.Dim("M"), s.Dim("N")
+			A, B, C := bufs[0], bufs[1], bufs[2]
+			for i := int64(0); i < mm; i++ {
+				for j := int64(0); j < n; j++ {
+					var temp2 float32
+					for k := int64(0); k < i; k++ {
+						C[k*n+j] = C[k*n+j] + (Alpha*B[i*n+j])*A[i*mm+k]
+						temp2 = temp2 + B[k*n+j]*A[i*mm+k]
+					}
+					C[i*n+j] = (Beta*C[i*n+j] + (Alpha*B[i*n+j])*A[i*mm+i]) + Alpha*temp2
+				}
+			}
+		},
+	})
+}

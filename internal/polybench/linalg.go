@@ -1,0 +1,382 @@
+package polybench
+
+import "repro/internal/mlir"
+
+// boundIPlus1 is the affine upper bound (d0) -> (d0 + 1) used for
+// triangular j <= i loops.
+func boundIPlus1() *mlir.AffineMap {
+	return mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(1)))
+}
+
+// boundIdentity is the affine lower bound (d0) -> (d0 + c).
+func boundPlus(c int64) *mlir.AffineMap {
+	return mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(c)))
+}
+
+func init() {
+	registerGemm()
+	register2mm()
+	register3mm()
+	registerSyrk()
+	registerSyr2k()
+	registerTrmm()
+}
+
+func registerGemm() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"NI": 8, "NJ": 10, "NK": 12}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"NI": 16, "NJ": 18, "NK": 22}},
+	}
+	register(&Kernel{
+		Name:        "gemm",
+		Description: "C = alpha*A*B + beta*C",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			ni, nj, nk := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK")
+			return []*mlir.Type{mem2(ni, nk), mem2(nk, nj), mem2(ni, nj)}
+		},
+		Build: func(s Size) *mlir.Module {
+			ni, nj, nk := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK")
+			m, b, args := kernelFunc("gemm", []*mlir.Type{mem2(ni, nk), mem2(nk, nj), mem2(ni, nj)})
+			A, B, C := args[0], args[1], args[2]
+			alpha, beta := cAlpha(b), cBeta(b)
+			b.AffineForConst(0, ni, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, nj, 1, func(b *mlir.Builder, j *mlir.Value) {
+					c := b.AffineLoad(C, i, j)
+					b.AffineStore(b.MulF(c, beta), C, i, j)
+				})
+				b.AffineForConst(0, nk, 1, func(b *mlir.Builder, k *mlir.Value) {
+					b.AffineForConst(0, nj, 1, func(b *mlir.Builder, j *mlir.Value) {
+						a := b.AffineLoad(A, i, k)
+						x := b.AffineLoad(B, k, j)
+						t := b.MulF(b.MulF(alpha, a), x)
+						c := b.AffineLoad(C, i, j)
+						b.AffineStore(b.AddF(c, t), C, i, j)
+					})
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			ni, nj, nk := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK")
+			A, B, C := bufs[0], bufs[1], bufs[2]
+			for i := int64(0); i < ni; i++ {
+				for j := int64(0); j < nj; j++ {
+					C[i*nj+j] = C[i*nj+j] * Beta
+				}
+				for k := int64(0); k < nk; k++ {
+					for j := int64(0); j < nj; j++ {
+						t := (Alpha * A[i*nk+k]) * B[k*nj+j]
+						C[i*nj+j] = C[i*nj+j] + t
+					}
+				}
+			}
+		},
+	})
+}
+
+func register2mm() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"NI": 6, "NJ": 7, "NK": 8, "NL": 9}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"NI": 12, "NJ": 14, "NK": 16, "NL": 18}},
+	}
+	register(&Kernel{
+		Name:        "k2mm",
+		Description: "D = alpha*A*B*C + beta*D (tmp buffered locally)",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			ni, nj, nk, nl := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK"), s.Dim("NL")
+			return []*mlir.Type{mem2(ni, nk), mem2(nk, nj), mem2(nj, nl), mem2(ni, nl)}
+		},
+		Build: func(s Size) *mlir.Module {
+			ni, nj, nk, nl := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK"), s.Dim("NL")
+			m, b, args := kernelFunc("k2mm", []*mlir.Type{mem2(ni, nk), mem2(nk, nj), mem2(nj, nl), mem2(ni, nl)})
+			A, B, C, D := args[0], args[1], args[2], args[3]
+			alpha, beta := cAlpha(b), cBeta(b)
+			zero := b.ConstantFloat(0, mlir.F32())
+			tmp := b.Alloc(mem2(ni, nj))
+			b.AffineForConst(0, ni, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, nj, 1, func(b *mlir.Builder, j *mlir.Value) {
+					b.AffineStore(zero, tmp, i, j)
+					b.AffineForConst(0, nk, 1, func(b *mlir.Builder, k *mlir.Value) {
+						a := b.AffineLoad(A, i, k)
+						x := b.AffineLoad(B, k, j)
+						t := b.MulF(b.MulF(alpha, a), x)
+						cur := b.AffineLoad(tmp, i, j)
+						b.AffineStore(b.AddF(cur, t), tmp, i, j)
+					})
+				})
+			})
+			b.AffineForConst(0, ni, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, nl, 1, func(b *mlir.Builder, j *mlir.Value) {
+					d := b.AffineLoad(D, i, j)
+					b.AffineStore(b.MulF(d, beta), D, i, j)
+					b.AffineForConst(0, nj, 1, func(b *mlir.Builder, k *mlir.Value) {
+						t := b.AffineLoad(tmp, i, k)
+						c := b.AffineLoad(C, k, j)
+						p := b.MulF(t, c)
+						d2 := b.AffineLoad(D, i, j)
+						b.AffineStore(b.AddF(d2, p), D, i, j)
+					})
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			ni, nj, nk, nl := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK"), s.Dim("NL")
+			A, B, C, D := bufs[0], bufs[1], bufs[2], bufs[3]
+			tmp := make([]float32, ni*nj)
+			for i := int64(0); i < ni; i++ {
+				for j := int64(0); j < nj; j++ {
+					tmp[i*nj+j] = 0
+					for k := int64(0); k < nk; k++ {
+						t := (Alpha * A[i*nk+k]) * B[k*nj+j]
+						tmp[i*nj+j] = tmp[i*nj+j] + t
+					}
+				}
+			}
+			for i := int64(0); i < ni; i++ {
+				for j := int64(0); j < nl; j++ {
+					D[i*nl+j] = D[i*nl+j] * Beta
+					for k := int64(0); k < nj; k++ {
+						p := tmp[i*nj+k] * C[k*nl+j]
+						D[i*nl+j] = D[i*nl+j] + p
+					}
+				}
+			}
+		},
+	})
+}
+
+func register3mm() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"NI": 6, "NJ": 7, "NK": 8, "NL": 9, "NM": 10}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"NI": 12, "NJ": 14, "NK": 16, "NL": 18, "NM": 20}},
+	}
+	register(&Kernel{
+		Name:        "k3mm",
+		Description: "G = (A*B)*(C*D) with two local products",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			ni, nj, nk, nl, nm := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK"), s.Dim("NL"), s.Dim("NM")
+			return []*mlir.Type{mem2(ni, nk), mem2(nk, nj), mem2(nj, nm), mem2(nm, nl), mem2(ni, nl)}
+		},
+		Build: func(s Size) *mlir.Module {
+			ni, nj, nk, nl, nm := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK"), s.Dim("NL"), s.Dim("NM")
+			m, b, args := kernelFunc("k3mm",
+				[]*mlir.Type{mem2(ni, nk), mem2(nk, nj), mem2(nj, nm), mem2(nm, nl), mem2(ni, nl)})
+			A, B, C, D, G := args[0], args[1], args[2], args[3], args[4]
+			zero := b.ConstantFloat(0, mlir.F32())
+			E := b.Alloc(mem2(ni, nj))
+			F := b.Alloc(mem2(nj, nl))
+			matmulZero := func(dst, l, r *mlir.Value, n1, n2, n3 int64) {
+				b.AffineForConst(0, n1, 1, func(b *mlir.Builder, i *mlir.Value) {
+					b.AffineForConst(0, n2, 1, func(b *mlir.Builder, j *mlir.Value) {
+						b.AffineStore(zero, dst, i, j)
+						b.AffineForConst(0, n3, 1, func(b *mlir.Builder, k *mlir.Value) {
+							x := b.AffineLoad(l, i, k)
+							y := b.AffineLoad(r, k, j)
+							p := b.MulF(x, y)
+							cur := b.AffineLoad(dst, i, j)
+							b.AffineStore(b.AddF(cur, p), dst, i, j)
+						})
+					})
+				})
+			}
+			matmulZero(E, A, B, ni, nj, nk)
+			matmulZero(F, C, D, nj, nl, nm)
+			matmulZero(G, E, F, ni, nl, nj)
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			ni, nj, nk, nl, nm := s.Dim("NI"), s.Dim("NJ"), s.Dim("NK"), s.Dim("NL"), s.Dim("NM")
+			A, B, C, D, G := bufs[0], bufs[1], bufs[2], bufs[3], bufs[4]
+			E := make([]float32, ni*nj)
+			F := make([]float32, nj*nl)
+			mm := func(dst, l, r []float32, n1, n2, n3 int64) {
+				for i := int64(0); i < n1; i++ {
+					for j := int64(0); j < n2; j++ {
+						dst[i*n2+j] = 0
+						for k := int64(0); k < n3; k++ {
+							p := l[i*n3+k] * r[k*n2+j]
+							dst[i*n2+j] = dst[i*n2+j] + p
+						}
+					}
+				}
+			}
+			mm(E, A, B, ni, nj, nk)
+			mm(F, C, D, nj, nl, nm)
+			mm(G, E, F, ni, nl, nj)
+		},
+	})
+}
+
+func registerSyrk() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"N": 8, "M": 10}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"N": 16, "M": 20}},
+	}
+	register(&Kernel{
+		Name:        "syrk",
+		Description: "C = alpha*A*A^T + beta*C (lower triangle)",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n, mm := s.Dim("N"), s.Dim("M")
+			return []*mlir.Type{mem2(n, mm), mem2(n, n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n, mm := s.Dim("N"), s.Dim("M")
+			m, b, args := kernelFunc("syrk", []*mlir.Type{mem2(n, mm), mem2(n, n)})
+			A, C := args[0], args[1]
+			alpha, beta := cAlpha(b), cBeta(b)
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineFor(mlir.ConstantMap(0), nil, boundIPlus1(), []*mlir.Value{i}, 1,
+					func(b *mlir.Builder, j *mlir.Value) {
+						c := b.AffineLoad(C, i, j)
+						b.AffineStore(b.MulF(c, beta), C, i, j)
+					})
+				b.AffineForConst(0, mm, 1, func(b *mlir.Builder, k *mlir.Value) {
+					b.AffineFor(mlir.ConstantMap(0), nil, boundIPlus1(), []*mlir.Value{i}, 1,
+						func(b *mlir.Builder, j *mlir.Value) {
+							a1 := b.AffineLoad(A, i, k)
+							a2 := b.AffineLoad(A, j, k)
+							t := b.MulF(b.MulF(alpha, a1), a2)
+							c := b.AffineLoad(C, i, j)
+							b.AffineStore(b.AddF(c, t), C, i, j)
+						})
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n, mm := s.Dim("N"), s.Dim("M")
+			A, C := bufs[0], bufs[1]
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j <= i; j++ {
+					C[i*n+j] = C[i*n+j] * Beta
+				}
+				for k := int64(0); k < mm; k++ {
+					for j := int64(0); j <= i; j++ {
+						t := (Alpha * A[i*mm+k]) * A[j*mm+k]
+						C[i*n+j] = C[i*n+j] + t
+					}
+				}
+			}
+		},
+	})
+}
+
+func registerSyr2k() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"N": 8, "M": 10}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"N": 16, "M": 20}},
+	}
+	register(&Kernel{
+		Name:        "syr2k",
+		Description: "C = alpha*(A*B^T + B*A^T) + beta*C (lower triangle)",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n, mm := s.Dim("N"), s.Dim("M")
+			return []*mlir.Type{mem2(n, mm), mem2(n, mm), mem2(n, n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n, mm := s.Dim("N"), s.Dim("M")
+			m, b, args := kernelFunc("syr2k", []*mlir.Type{mem2(n, mm), mem2(n, mm), mem2(n, n)})
+			A, B, C := args[0], args[1], args[2]
+			alpha, beta := cAlpha(b), cBeta(b)
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineFor(mlir.ConstantMap(0), nil, boundIPlus1(), []*mlir.Value{i}, 1,
+					func(b *mlir.Builder, j *mlir.Value) {
+						c := b.AffineLoad(C, i, j)
+						b.AffineStore(b.MulF(c, beta), C, i, j)
+					})
+				b.AffineForConst(0, mm, 1, func(b *mlir.Builder, k *mlir.Value) {
+					b.AffineFor(mlir.ConstantMap(0), nil, boundIPlus1(), []*mlir.Value{i}, 1,
+						func(b *mlir.Builder, j *mlir.Value) {
+							aj := b.AffineLoad(A, j, k)
+							bi := b.AffineLoad(B, i, k)
+							t1 := b.MulF(b.MulF(aj, alpha), bi)
+							bj := b.AffineLoad(B, j, k)
+							ai := b.AffineLoad(A, i, k)
+							t2 := b.MulF(b.MulF(bj, alpha), ai)
+							c := b.AffineLoad(C, i, j)
+							b.AffineStore(b.AddF(b.AddF(c, t1), t2), C, i, j)
+						})
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n, mm := s.Dim("N"), s.Dim("M")
+			A, B, C := bufs[0], bufs[1], bufs[2]
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j <= i; j++ {
+					C[i*n+j] = C[i*n+j] * Beta
+				}
+				for k := int64(0); k < mm; k++ {
+					for j := int64(0); j <= i; j++ {
+						t1 := (A[j*mm+k] * Alpha) * B[i*mm+k]
+						t2 := (B[j*mm+k] * Alpha) * A[i*mm+k]
+						C[i*n+j] = (C[i*n+j] + t1) + t2
+					}
+				}
+			}
+		},
+	})
+}
+
+func registerTrmm() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"M": 8, "N": 10}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"M": 16, "N": 20}},
+	}
+	register(&Kernel{
+		Name:        "trmm",
+		Description: "B = alpha*A^T*B, A unit lower triangular",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			mm, n := s.Dim("M"), s.Dim("N")
+			return []*mlir.Type{mem2(mm, mm), mem2(mm, n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			mm, n := s.Dim("M"), s.Dim("N")
+			m, b, args := kernelFunc("trmm", []*mlir.Type{mem2(mm, mm), mem2(mm, n)})
+			A, B := args[0], args[1]
+			alpha := cAlpha(b)
+			b.AffineForConst(0, mm, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+					b.AffineFor(boundPlus(1), []*mlir.Value{i}, mlir.ConstantMap(mm), nil, 1,
+						func(b *mlir.Builder, k *mlir.Value) {
+							a := b.AffineLoad(A, k, i)
+							x := b.AffineLoad(B, k, j)
+							p := b.MulF(a, x)
+							cur := b.AffineLoad(B, i, j)
+							b.AffineStore(b.AddF(cur, p), B, i, j)
+						})
+					v := b.AffineLoad(B, i, j)
+					b.AffineStore(b.MulF(alpha, v), B, i, j)
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			mm, n := s.Dim("M"), s.Dim("N")
+			A, B := bufs[0], bufs[1]
+			for i := int64(0); i < mm; i++ {
+				for j := int64(0); j < n; j++ {
+					for k := i + 1; k < mm; k++ {
+						p := A[k*mm+i] * B[k*n+j]
+						B[i*n+j] = B[i*n+j] + p
+					}
+					B[i*n+j] = Alpha * B[i*n+j]
+				}
+			}
+		},
+	})
+}

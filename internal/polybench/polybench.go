@@ -1,0 +1,134 @@
+// Package polybench provides the kernel suite of the evaluation: MLIR
+// builders, Go float32 reference implementations (mirroring each kernel's
+// exact operation order so the interpreter comparison is bit-exact), input
+// generators, and size presets in the PolyBench MINI/SMALL tradition scaled
+// to simulator-friendly extents.
+package polybench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mlir"
+)
+
+// Size is a named dimension assignment.
+type Size struct {
+	Name string
+	D    map[string]int64
+}
+
+// Dim returns dimension k, panicking when absent (kernel bug).
+func (s Size) Dim(k string) int64 {
+	v, ok := s.D[k]
+	if !ok {
+		panic("polybench: size " + s.Name + " lacks dim " + k)
+	}
+	return v
+}
+
+// Kernel describes one benchmark.
+type Kernel struct {
+	Name        string
+	Description string
+	// Sizes holds the presets, keyed MINI and SMALL.
+	Sizes map[string]Size
+	// Build constructs the MLIR module with a single top function named
+	// after the kernel taking only memref arguments.
+	Build func(s Size) *mlir.Module
+	// ArgTypes lists the argument memref types for buffer allocation.
+	ArgTypes func(s Size) []*mlir.Type
+	// Ref runs the float32 reference on flat row-major buffers (one per
+	// argument, mutated in place).
+	Ref func(s Size, bufs [][]float32)
+}
+
+// Alpha and Beta are the scalar constants used by the BLAS-style kernels.
+const (
+	Alpha = float32(1.5)
+	Beta  = float32(1.2)
+)
+
+var registry = map[string]*Kernel{}
+
+func register(k *Kernel) {
+	if _, dup := registry[k.Name]; dup {
+		panic("polybench: duplicate kernel " + k.Name)
+	}
+	registry[k.Name] = k
+}
+
+// All returns every kernel sorted by name.
+func All() []*Kernel {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Kernel, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Get returns the named kernel, or nil.
+func Get(name string) *Kernel { return registry[name] }
+
+// SizeOf returns the kernel's preset by name (MINI or SMALL).
+func (k *Kernel) SizeOf(name string) (Size, error) {
+	s, ok := k.Sizes[name]
+	if !ok {
+		return Size{}, fmt.Errorf("polybench: kernel %s has no size %q", k.Name, name)
+	}
+	return s, nil
+}
+
+// Init fills the argument buffers with the deterministic PolyBench-style
+// pattern (values in [0,1), dependent on position and argument index).
+func Init(bufs [][]float32) {
+	for ai, b := range bufs {
+		for i := range b {
+			b[i] = float32((i*7+ai*13)%17) / 17
+		}
+	}
+}
+
+// NewBuffers allocates flat buffers matching the kernel's argument types.
+func (k *Kernel) NewBuffers(s Size) [][]float32 {
+	types := k.ArgTypes(s)
+	out := make([][]float32, len(types))
+	for i, t := range types {
+		out[i] = make([]float32, t.NumElements())
+	}
+	return out
+}
+
+// sizes2 is a helper for kernels parameterized by a single extent.
+func sizes1(mini, small int64, key string) map[string]Size {
+	return map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{key: mini}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{key: small}},
+	}
+}
+
+// mem2 returns an NxM f32 memref type.
+func mem2(n, m int64) *mlir.Type { return mlir.MemRef([]int64{n, m}, mlir.F32()) }
+
+// mem1 returns an N-element f32 memref type.
+func mem1(n int64) *mlir.Type { return mlir.MemRef([]int64{n}, mlir.F32()) }
+
+// kernelFunc starts a module with one function and returns the builder and
+// argument values.
+func kernelFunc(name string, argTypes []*mlir.Type) (*mlir.Module, *mlir.Builder, []*mlir.Value) {
+	m := mlir.NewModule()
+	_, args := m.AddFunc(name, argTypes, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc(name)))
+	return m, b, args
+}
+
+// cAlpha materializes the alpha constant.
+func cAlpha(b *mlir.Builder) *mlir.Value { return b.ConstantFloat(float64(Alpha), mlir.F32()) }
+
+// cBeta materializes the beta constant.
+func cBeta(b *mlir.Builder) *mlir.Value { return b.ConstantFloat(float64(Beta), mlir.F32()) }

@@ -1,0 +1,145 @@
+package polybench
+
+import (
+	"testing"
+
+	"repro/internal/mlir"
+)
+
+// interpBuffers runs the kernel through the MLIR interpreter on initialized
+// buffers and returns them alongside an identically-initialized reference
+// copy processed by Ref.
+func runBoth(t *testing.T, k *Kernel, sizeName string) (got, want [][]float32) {
+	t.Helper()
+	s, err := k.SizeOf(sizeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = k.NewBuffers(s)
+	want = k.NewBuffers(s)
+	Init(got)
+	Init(want)
+
+	m := k.Build(s)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("%s: invalid module: %v", k.Name, err)
+	}
+	types := k.ArgTypes(s)
+	bufs := make([]*mlir.MemBuf, len(types))
+	for i, ty := range types {
+		bufs[i] = mlir.NewMemBuf(ty)
+		for j, v := range got[i] {
+			bufs[i].F[j] = float64(v)
+		}
+	}
+	if err := m.Interpret(k.Name, bufs...); err != nil {
+		t.Fatalf("%s: interpret: %v", k.Name, err)
+	}
+	for i := range bufs {
+		for j, v := range bufs[i].F {
+			got[i][j] = float32(v)
+		}
+	}
+	k.Ref(s, want)
+	return got, want
+}
+
+func TestAllKernelsMatchReference(t *testing.T) {
+	kernels := All()
+	if len(kernels) < 14 {
+		t.Fatalf("expected at least 14 kernels, have %d", len(kernels))
+	}
+	for _, k := range kernels {
+		for _, sz := range []string{"MINI", "SMALL"} {
+			t.Run(k.Name+"/"+sz, func(t *testing.T) {
+				got, want := runBoth(t, k, sz)
+				for ai := range want {
+					for i := range want[ai] {
+						if got[ai][i] != want[ai][i] {
+							t.Fatalf("%s arg %d elem %d: kernel %g vs reference %g",
+								k.Name, ai, i, got[ai][i], want[ai][i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestKernelsMutateOutputs(t *testing.T) {
+	// Guard against degenerate kernels: at least one buffer must change.
+	for _, k := range All() {
+		s, _ := k.SizeOf("MINI")
+		bufs := k.NewBuffers(s)
+		Init(bufs)
+		before := make([][]float32, len(bufs))
+		for i := range bufs {
+			before[i] = append([]float32(nil), bufs[i]...)
+		}
+		k.Ref(s, bufs)
+		changed := false
+		for i := range bufs {
+			for j := range bufs[i] {
+				if bufs[i][j] != before[i][j] {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			t.Errorf("%s reference left all buffers unchanged", k.Name)
+		}
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if Get("gemm") == nil {
+		t.Error("gemm missing from registry")
+	}
+	if Get("nonexistent") != nil {
+		t.Error("lookup of missing kernel should be nil")
+	}
+	if _, err := Get("gemm").SizeOf("HUGE"); err == nil {
+		t.Error("unknown size should error")
+	}
+}
+
+func TestArgTypesMatchFunctionSignature(t *testing.T) {
+	for _, k := range All() {
+		s, _ := k.SizeOf("MINI")
+		m := k.Build(s)
+		f := m.FindFunc(k.Name)
+		if f == nil {
+			t.Fatalf("%s: top function missing", k.Name)
+		}
+		args := mlir.FuncBody(f).Args
+		types := k.ArgTypes(s)
+		if len(args) != len(types) {
+			t.Fatalf("%s: %d args vs %d declared types", k.Name, len(args), len(types))
+		}
+		for i := range args {
+			if !args[i].Type().Equal(types[i]) {
+				t.Errorf("%s arg %d: %s vs %s", k.Name, i, args[i].Type(), types[i])
+			}
+		}
+	}
+}
+
+func TestInitDeterministic(t *testing.T) {
+	a := [][]float32{make([]float32, 8), make([]float32, 8)}
+	b := [][]float32{make([]float32, 8), make([]float32, 8)}
+	Init(a)
+	Init(b)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("Init is not deterministic")
+			}
+			if a[i][j] < 0 || a[i][j] >= 1 {
+				t.Fatalf("Init value out of range: %g", a[i][j])
+			}
+		}
+	}
+	if a[0][1] == a[1][1] {
+		t.Error("different args should get different patterns")
+	}
+}

@@ -1,0 +1,258 @@
+package polybench
+
+import "repro/internal/mlir"
+
+func init() {
+	registerJacobi1D()
+	registerJacobi2D()
+	registerSeidel2D()
+	registerConv2D()
+}
+
+// oneThird is the stencil scaling constant (multiplication, as the HLS
+// variants of PolyBench use, to avoid a divider in the datapath).
+const oneThird = float32(1.0 / 3.0)
+
+func registerJacobi1D() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"N": 16, "T": 2}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"N": 30, "T": 4}},
+	}
+	register(&Kernel{
+		Name:        "jacobi1d",
+		Description: "T sweeps of the 3-point Jacobi stencil (ping-pong A/B)",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n := s.Dim("N")
+			return []*mlir.Type{mem1(n), mem1(n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n, T := s.Dim("N"), s.Dim("T")
+			m, b, args := kernelFunc("jacobi1d", []*mlir.Type{mem1(n), mem1(n)})
+			A, B := args[0], args[1]
+			third := b.ConstantFloat(float64(oneThird), mlir.F32())
+			sweep := func(src, dst *mlir.Value) func(*mlir.Builder, *mlir.Value) {
+				return func(b *mlir.Builder, i *mlir.Value) {
+					l := b.AffineLoadMap(src, mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(-1))), i)
+					c := b.AffineLoad(src, i)
+					r := b.AffineLoadMap(src, mlir.NewMap(1, 0, mlir.Add(mlir.Dim(0), mlir.Const(1))), i)
+					sum := b.AddF(b.AddF(l, c), r)
+					b.AffineStore(b.MulF(oneThirdVal(b, third), sum), dst, i)
+				}
+			}
+			b.AffineForConst(0, T, 1, func(b *mlir.Builder, t *mlir.Value) {
+				b.AffineForConst(1, n-1, 1, sweep(A, B))
+				b.AffineForConst(1, n-1, 1, sweep(B, A))
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n, T := s.Dim("N"), s.Dim("T")
+			A, B := bufs[0], bufs[1]
+			for t := int64(0); t < T; t++ {
+				for i := int64(1); i < n-1; i++ {
+					sum := (A[i-1] + A[i]) + A[i+1]
+					B[i] = oneThird * sum
+				}
+				for i := int64(1); i < n-1; i++ {
+					sum := (B[i-1] + B[i]) + B[i+1]
+					A[i] = oneThird * sum
+				}
+			}
+		},
+	})
+}
+
+// oneThirdVal just returns the captured constant (hook for per-sweep
+// rematerialization if a variant needs it).
+func oneThirdVal(_ *mlir.Builder, v *mlir.Value) *mlir.Value { return v }
+
+func registerJacobi2D() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"N": 8, "T": 2}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"N": 14, "T": 3}},
+	}
+	register(&Kernel{
+		Name:        "jacobi2d",
+		Description: "T sweeps of the 5-point Jacobi stencil (ping-pong A/B)",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n := s.Dim("N")
+			return []*mlir.Type{mem2(n, n), mem2(n, n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n, T := s.Dim("N"), s.Dim("T")
+			m, b, args := kernelFunc("jacobi2d", []*mlir.Type{mem2(n, n), mem2(n, n)})
+			A, B := args[0], args[1]
+			fifth := b.ConstantFloat(0.2, mlir.F32())
+			up := mlir.NewMap(2, 0, mlir.Add(mlir.Dim(0), mlir.Const(-1)), mlir.Dim(1))
+			down := mlir.NewMap(2, 0, mlir.Add(mlir.Dim(0), mlir.Const(1)), mlir.Dim(1))
+			left := mlir.NewMap(2, 0, mlir.Dim(0), mlir.Add(mlir.Dim(1), mlir.Const(-1)))
+			right := mlir.NewMap(2, 0, mlir.Dim(0), mlir.Add(mlir.Dim(1), mlir.Const(1)))
+			sweep := func(b *mlir.Builder, src, dst *mlir.Value) {
+				b.AffineForConst(1, n-1, 1, func(b *mlir.Builder, i *mlir.Value) {
+					b.AffineForConst(1, n-1, 1, func(b *mlir.Builder, j *mlir.Value) {
+						c := b.AffineLoad(src, i, j)
+						u := b.AffineLoadMap(src, up, i, j)
+						d := b.AffineLoadMap(src, down, i, j)
+						l := b.AffineLoadMap(src, left, i, j)
+						r := b.AffineLoadMap(src, right, i, j)
+						sum := b.AddF(b.AddF(b.AddF(b.AddF(c, u), d), l), r)
+						b.AffineStore(b.MulF(fifth, sum), dst, i, j)
+					})
+				})
+			}
+			b.AffineForConst(0, T, 1, func(b *mlir.Builder, t *mlir.Value) {
+				sweep(b, A, B)
+				sweep(b, B, A)
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n, T := s.Dim("N"), s.Dim("T")
+			A, B := bufs[0], bufs[1]
+			sweep := func(src, dst []float32) {
+				for i := int64(1); i < n-1; i++ {
+					for j := int64(1); j < n-1; j++ {
+						sum := (((src[i*n+j] + src[(i-1)*n+j]) + src[(i+1)*n+j]) +
+							src[i*n+j-1]) + src[i*n+j+1]
+						dst[i*n+j] = 0.2 * sum
+					}
+				}
+			}
+			for t := int64(0); t < T; t++ {
+				sweep(A, B)
+				sweep(B, A)
+			}
+		},
+	})
+}
+
+func registerSeidel2D() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"N": 8, "T": 2}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"N": 14, "T": 3}},
+	}
+	register(&Kernel{
+		Name:        "seidel2d",
+		Description: "T sweeps of the in-place 9-point Gauss-Seidel stencil",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n := s.Dim("N")
+			return []*mlir.Type{mem2(n, n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n, T := s.Dim("N"), s.Dim("T")
+			m, b, args := kernelFunc("seidel2d", []*mlir.Type{mem2(n, n)})
+			A := args[0]
+			ninth := b.ConstantFloat(float64(float32(1.0/9.0)), mlir.F32())
+			off := func(di, dj int64) *mlir.AffineMap {
+				return mlir.NewMap(2, 0,
+					mlir.Add(mlir.Dim(0), mlir.Const(di)),
+					mlir.Add(mlir.Dim(1), mlir.Const(dj)))
+			}
+			b.AffineForConst(0, T, 1, func(b *mlir.Builder, t *mlir.Value) {
+				b.AffineForConst(1, n-1, 1, func(b *mlir.Builder, i *mlir.Value) {
+					b.AffineForConst(1, n-1, 1, func(b *mlir.Builder, j *mlir.Value) {
+						var sum *mlir.Value
+						for _, d := range [][2]int64{{-1, -1}, {-1, 0}, {-1, 1},
+							{0, -1}, {0, 0}, {0, 1}, {1, -1}, {1, 0}, {1, 1}} {
+							v := b.AffineLoadMap(A, off(d[0], d[1]), i, j)
+							if sum == nil {
+								sum = v
+							} else {
+								sum = b.AddF(sum, v)
+							}
+						}
+						b.AffineStore(b.MulF(sum, ninth), A, i, j)
+					})
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n, T := s.Dim("N"), s.Dim("T")
+			A := bufs[0]
+			ninth := float32(1.0 / 9.0)
+			for t := int64(0); t < T; t++ {
+				for i := int64(1); i < n-1; i++ {
+					for j := int64(1); j < n-1; j++ {
+						var sum float32
+						first := true
+						for _, d := range [][2]int64{{-1, -1}, {-1, 0}, {-1, 1},
+							{0, -1}, {0, 0}, {0, 1}, {1, -1}, {1, 0}, {1, 1}} {
+							v := A[(i+d[0])*n+(j+d[1])]
+							if first {
+								sum = v
+								first = false
+							} else {
+								sum = sum + v
+							}
+						}
+						A[i*n+j] = sum * ninth
+					}
+				}
+			}
+		},
+	})
+}
+
+func registerConv2D() {
+	sizes := map[string]Size{
+		"MINI":  {Name: "MINI", D: map[string]int64{"N": 10}},
+		"SMALL": {Name: "SMALL", D: map[string]int64{"N": 18}},
+	}
+	register(&Kernel{
+		Name:        "conv2d",
+		Description: "3x3 convolution with a weight array port",
+		Sizes:       sizes,
+		ArgTypes: func(s Size) []*mlir.Type {
+			n := s.Dim("N")
+			return []*mlir.Type{mem2(n, n), mem2(3, 3), mem2(n, n)}
+		},
+		Build: func(s Size) *mlir.Module {
+			n := s.Dim("N")
+			m, b, args := kernelFunc("conv2d", []*mlir.Type{mem2(n, n), mem2(3, 3), mem2(n, n)})
+			in, w, out := args[0], args[1], args[2]
+			zero := b.ConstantFloat(0, mlir.F32())
+			// out[i][j] = sum_{ki,kj} in[i+ki][j+kj] * w[ki][kj]
+			inOff := mlir.NewMap(4, 0,
+				mlir.Add(mlir.Dim(0), mlir.Dim(2)),
+				mlir.Add(mlir.Dim(1), mlir.Dim(3)))
+			b.AffineForConst(0, n-2, 1, func(b *mlir.Builder, i *mlir.Value) {
+				b.AffineForConst(0, n-2, 1, func(b *mlir.Builder, j *mlir.Value) {
+					b.AffineStore(zero, out, i, j)
+					b.AffineForConst(0, 3, 1, func(b *mlir.Builder, ki *mlir.Value) {
+						b.AffineForConst(0, 3, 1, func(b *mlir.Builder, kj *mlir.Value) {
+							x := b.AffineLoadMap(in, inOff, i, j, ki, kj)
+							wv := b.AffineLoad(w, ki, kj)
+							p := b.MulF(x, wv)
+							cur := b.AffineLoad(out, i, j)
+							b.AffineStore(b.AddF(cur, p), out, i, j)
+						})
+					})
+				})
+			})
+			b.Return()
+			return m
+		},
+		Ref: func(s Size, bufs [][]float32) {
+			n := s.Dim("N")
+			in, w, out := bufs[0], bufs[1], bufs[2]
+			for i := int64(0); i < n-2; i++ {
+				for j := int64(0); j < n-2; j++ {
+					out[i*n+j] = 0
+					for ki := int64(0); ki < 3; ki++ {
+						for kj := int64(0); kj < 3; kj++ {
+							p := in[(i+ki)*n+(j+kj)] * w[ki*3+kj]
+							out[i*n+j] = out[i*n+j] + p
+						}
+					}
+				}
+			}
+		},
+	})
+}

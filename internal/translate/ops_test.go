@@ -1,0 +1,174 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/llvm"
+	"repro/internal/llvm/interp"
+	"repro/internal/mlir"
+	"repro/internal/mlir/lower"
+)
+
+// TestTranslateScalarOpsExecute covers the scalar op translations: min/max,
+// select, float compare, conversions — verified by execution.
+func TestTranslateScalarOpsExecute(t *testing.T) {
+	m := mlir.NewModule()
+	fty := mlir.MemRef([]int64{8}, mlir.F64())
+	_, args := m.AddFunc("scalars", []*mlir.Type{fty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("scalars")))
+
+	i0 := b.ConstantIndex(0)
+	i1 := b.ConstantIndex(1)
+	i2 := b.ConstantIndex(2)
+	i3 := b.ConstantIndex(3)
+	i4 := b.ConstantIndex(4)
+	i5 := b.ConstantIndex(5)
+	i7 := b.ConstantIndex(7)
+
+	// min/max via index values, stored as converted doubles.
+	mn := b.MinSI(i3, i7) // 3
+	mx := b.MaxSI(i3, i7) // 7
+	mnI := b.IndexCast(mn, mlir.I64())
+	mxI := b.IndexCast(mx, mlir.I64())
+	b.AffineStore(b.SIToFP(mnI, mlir.F64()), args[0], i0)
+	b.AffineStore(b.SIToFP(mxI, mlir.F64()), args[0], i1)
+
+	// fcmp + select.
+	a := b.ConstantFloat(2.5, mlir.F64())
+	c := b.ConstantFloat(1.5, mlir.F64())
+	gt := b.CmpF(mlir.PredOGT, a, c)
+	b.AffineStore(b.Select(gt, a, c), args[0], i2)
+
+	// negf, subf, divf.
+	b.AffineStore(b.NegF(a), args[0], i3)
+	b.AffineStore(b.SubF(a, c), args[0], i4)
+	b.AffineStore(b.DivF(a, c), args[0], i5)
+	b.Return()
+
+	if err := lower.AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Translate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := lm.Print()
+	for _, want := range []string{"select", "fcmp ogt", "fneg", "fsub", "fdiv", "sitofp"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("translation missing %q:\n%s", want, txt)
+		}
+	}
+
+	mem := interp.NewMem(64)
+	f := lm.FindFunc("scalars")
+	var cArgs []interp.Arg
+	for range f.Params {
+		cArgs = append(cArgs, interp.PtrArg(mem, 0))
+	}
+	// Descriptor ABI: fill properly (base, aligned, offset, size, stride).
+	cArgs = []interp.Arg{interp.PtrArg(mem, 0), interp.PtrArg(mem, 0),
+		interp.IntArg(0), interp.IntArg(8), interp.IntArg(1)}
+	mc := interp.NewMachine(lm)
+	if _, _, err := mc.Run("scalars", cArgs...); err != nil {
+		t.Fatal(err)
+	}
+	got := mem.Float64Slice()
+	want := []float64{3, 7, 2.5, -2.5, 1, 2.5 / 1.5}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("slot %d = %g, want %g", i, got[i], w)
+		}
+	}
+}
+
+func TestTranslateScalarParams(t *testing.T) {
+	// Scalar (non-memref) parameters translate to value params.
+	m := mlir.NewModule()
+	fty := mlir.MemRef([]int64{4}, mlir.F64())
+	_, args := m.AddFunc("scale", []*mlir.Type{fty, mlir.F64()}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("scale")))
+	b.AffineForConst(0, 4, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		b.AffineStore(b.MulF(v, args[1]), args[0], i)
+	})
+	b.Return()
+	if err := lower.AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Translate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := lm.FindFunc("scale")
+	// 5 descriptor params + 1 scalar.
+	if len(f.Params) != 6 {
+		t.Fatalf("want 6 params, got %d", len(f.Params))
+	}
+	last := f.Params[5]
+	if last.Ty.Kind != llvm.KindDouble {
+		t.Errorf("scalar param type = %s", last.Ty)
+	}
+	mem := interp.NewMem(32)
+	for i := 0; i < 4; i++ {
+		mem.SetFloat64(i, float64(i))
+	}
+	mc := interp.NewMachine(lm)
+	if _, _, err := mc.Run("scale",
+		interp.PtrArg(mem, 0), interp.PtrArg(mem, 0), interp.IntArg(0),
+		interp.IntArg(4), interp.IntArg(1), interp.FloatArg(3)); err != nil {
+		t.Fatal(err)
+	}
+	got := mem.Float64Slice()
+	for i := 0; i < 4; i++ {
+		if got[i] != float64(3*i) {
+			t.Errorf("scale[%d] = %g", i, got[i])
+		}
+	}
+}
+
+func TestTranslateRejectsUnknownOp(t *testing.T) {
+	m := mlir.NewModule()
+	_, _ = m.AddFunc("bad", nil, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("bad")))
+	b.Block().Append(mlir.NewOp("exotic.thing", nil, nil))
+	b.Return()
+	if _, err := Translate(m, Options{}); err == nil {
+		t.Error("unknown op must fail translation")
+	}
+}
+
+func TestTranslateCall(t *testing.T) {
+	m := mlir.NewModule()
+	fty := mlir.MemRef([]int64{2}, mlir.F64())
+	_, hargs := m.AddFunc("helper", []*mlir.Type{fty}, nil)
+	hb := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("helper")))
+	two := hb.ConstantFloat(2, mlir.F64())
+	hb.AffineStore(two, hargs[0], hb.ConstantIndex(0))
+	hb.Return()
+
+	_, margs := m.AddFunc("main", []*mlir.Type{fty}, nil)
+	mb := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("main")))
+	mb.Call("helper", nil, margs[0])
+	mb.Return()
+
+	if err := lower.AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Translate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lm.Print(), "call void @helper") {
+		t.Errorf("call not translated:\n%s", lm.Print())
+	}
+}

@@ -1,0 +1,255 @@
+package translate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/llvm"
+	"repro/internal/llvm/interp"
+	"repro/internal/mlir"
+	"repro/internal/mlir/lower"
+	"repro/internal/mlir/passes"
+)
+
+func buildGemm(n int64) *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{n, n}, mlir.F64())
+	_, args := m.AddFunc("gemm", []*mlir.Type{ty, ty, ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("gemm")))
+	b.AffineForConst(0, n, 1, func(b *mlir.Builder, i *mlir.Value) {
+		b.AffineForConst(0, n, 1, func(b *mlir.Builder, j *mlir.Value) {
+			b.AffineForConst(0, n, 1, func(b *mlir.Builder, k *mlir.Value) {
+				a := b.AffineLoad(args[0], i, k)
+				x := b.AffineLoad(args[1], k, j)
+				c := b.AffineLoad(args[2], i, j)
+				s := b.AddF(c, b.MulF(a, x))
+				b.AffineStore(s, args[2], i, j)
+			})
+		})
+	})
+	b.Return()
+	return m
+}
+
+// lowerAll runs the full MLIR lowering pipeline.
+func lowerAll(t *testing.T, m *mlir.Module) {
+	t.Helper()
+	if err := lower.AffineToSCF(m); err != nil {
+		t.Fatalf("affine->scf: %v", err)
+	}
+	if err := lower.SCFToCF(m); err != nil {
+		t.Fatalf("scf->cf: %v", err)
+	}
+}
+
+// descriptorArgs builds the interp arguments for the expanded descriptor ABI.
+func descriptorArgs(f *llvm.Function, mems []*interp.Mem) []interp.Arg {
+	var args []interp.Arg
+	mi := 0
+	for i := 0; i < len(f.Params); {
+		p := f.Params[i]
+		if strings.HasSuffix(p.Name, "_base") {
+			// Group: base, aligned, offset, sizes..., strides...
+			m := mems[mi]
+			mi++
+			args = append(args, interp.PtrArg(m, 0), interp.PtrArg(m, 0), interp.IntArg(0))
+			i += 3
+			for i < len(f.Params) && (strings.Contains(f.Params[i].Name, "_size") ||
+				strings.Contains(f.Params[i].Name, "_stride")) {
+				args = append(args, interp.IntArg(0))
+				i++
+			}
+			continue
+		}
+		args = append(args, interp.IntArg(0))
+		i++
+	}
+	return args
+}
+
+func TestTranslateGemmMatchesMLIRInterp(t *testing.T) {
+	const n = 5
+	// Reference: MLIR-level interpretation.
+	refMod := buildGemm(n)
+	ty := mlir.MemRef([]int64{n, n}, mlir.F64())
+	A, B, C := mlir.NewMemBuf(ty), mlir.NewMemBuf(ty), mlir.NewMemBuf(ty)
+	r := rand.New(rand.NewSource(11))
+	for i := range A.F {
+		A.F[i] = r.Float64()
+		B.F[i] = r.Float64()
+		C.F[i] = 0
+	}
+	if err := refMod.Interpret("gemm", A, B, C); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flow: lower + translate + LLVM interp.
+	m := buildGemm(n)
+	lowerAll(t, m)
+	lm, err := Translate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := lm.FindFunc("gemm")
+	if f == nil {
+		t.Fatal("gemm missing in LLVM module")
+	}
+
+	mkMem := func(src []float64) *interp.Mem {
+		mem := interp.NewMem(int64(len(src)) * 8)
+		for i, v := range src {
+			mem.SetFloat64(i, v)
+		}
+		return mem
+	}
+	r2 := rand.New(rand.NewSource(11))
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = r2.Float64()
+		b[i] = r2.Float64()
+	}
+	ma, mb, mc := mkMem(a), mkMem(b), mkMem(c)
+	machine := interp.NewMachine(lm)
+	if _, _, err := machine.Run("gemm", descriptorArgs(f, []*interp.Mem{ma, mb, mc})...); err != nil {
+		t.Fatalf("llvm interp: %v", err)
+	}
+	got := mc.Float64Slice()
+	for i := range got {
+		d := got[i] - C.F[i]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("element %d: llvm %g vs mlir %g", i, got[i], C.F[i])
+		}
+	}
+}
+
+func TestTranslateDescriptorABI(t *testing.T) {
+	m := buildGemm(4)
+	lowerAll(t, m)
+	lm, err := Translate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := lm.FindFunc("gemm")
+	// 3 memrefs of rank 2: 3 * (3 + 2*2) = 21 params.
+	if len(f.Params) != 21 {
+		t.Errorf("descriptor ABI should expand to 21 params, got %d", len(f.Params))
+	}
+	if f.Attrs[MemRefArgAttr+"0"] != "4x4xf64" {
+		t.Errorf("memref shape attr missing: %v", f.Attrs)
+	}
+	// Address arithmetic must be linearized: geps have a single index.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == llvm.OpGEP && len(in.Args) != 2 {
+				t.Errorf("expected linearized gep (1 index), got %d", len(in.Args)-1)
+			}
+		}
+	}
+	// Modern flavor, opaque pointers in print.
+	txt := lm.Print()
+	if !strings.Contains(txt, "ptr %arg0_aligned") {
+		t.Errorf("expected opaque pointer params:\n%s", txt)
+	}
+	if strings.Contains(txt, "double*") {
+		t.Error("modern module should not print typed pointers")
+	}
+}
+
+func TestTranslateLoopMetadata(t *testing.T) {
+	m := buildGemm(4)
+	if err := passes.PipelineInnermost(1).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	lowerAll(t, m)
+	lm, err := Translate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, b := range lm.FindFunc("gemm").Blocks {
+		for _, in := range b.Instrs {
+			if in.Loop != nil {
+				count++
+				if !in.Loop.Pipeline || in.Loop.II != 1 {
+					t.Errorf("loop metadata content wrong: %+v", in.Loop)
+				}
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("want 1 latch with loop metadata, got %d", count)
+	}
+	txt := lm.Print()
+	if !strings.Contains(txt, "llvm.loop.pipeline.enable") {
+		t.Error("printed module missing loop metadata")
+	}
+}
+
+func TestTranslateAllocBecomesMalloc(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8}, mlir.F32())
+	_, args := m.AddFunc("scratch", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("scratch")))
+	tmp := b.Alloc(mlir.MemRef([]int64{8}, mlir.F32()))
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		b.AffineStore(v, tmp, i)
+	})
+	b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(tmp, i)
+		b.AffineStore(v, args[0], i)
+	})
+	b.Return()
+	lowerAll(t, m)
+	lm, err := Translate(m, Options{EmitLifetimeMarkers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := lm.Print()
+	if !strings.Contains(txt, "call ptr @malloc") {
+		t.Errorf("memref.alloc should lower to malloc:\n%s", txt)
+	}
+	if !strings.Contains(txt, "llvm.lifetime.start") {
+		t.Error("lifetime markers requested but missing")
+	}
+}
+
+func TestTranslateMathIntrinsics(t *testing.T) {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{4}, mlir.F64())
+	_, args := m.AddFunc("roots", []*mlir.Type{ty}, nil)
+	b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc("roots")))
+	b.AffineForConst(0, 4, 1, func(b *mlir.Builder, i *mlir.Value) {
+		v := b.AffineLoad(args[0], i)
+		s := b.Create(mlir.OpMathSqrt, []*mlir.Value{v}, []*mlir.Type{mlir.F64()}).Result(0)
+		b.AffineStore(s, args[0], i)
+	})
+	b.Return()
+	lowerAll(t, m)
+	lm, err := Translate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lm.Print(), "@llvm.sqrt.f64") {
+		t.Error("math.sqrt should become llvm.sqrt.f64 intrinsic")
+	}
+	// And it executes correctly.
+	mem := interp.NewMem(32)
+	for i := 0; i < 4; i++ {
+		mem.SetFloat64(i, float64((i+1)*(i+1)))
+	}
+	f := lm.FindFunc("roots")
+	machine := interp.NewMachine(lm)
+	if _, _, err := machine.Run("roots", descriptorArgs(f, []*interp.Mem{mem})...); err != nil {
+		t.Fatal(err)
+	}
+	got := mem.Float64Slice()
+	for i := 0; i < 4; i++ {
+		if got[i] != float64(i+1) {
+			t.Errorf("sqrt result %d = %g", i, got[i])
+		}
+	}
+}

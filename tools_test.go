@@ -1,0 +1,145 @@
+package repro_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const axpyMLIR = `
+module {
+  func.func @axpy(%arg0: memref<64xf32>, %arg1: memref<64xf32>) {
+    %0 = arith.constant 2.0 : f32
+    affine.for %1 = 0 to 64 step 1 {
+      %2 = affine.load %arg0[%1] : memref<64xf32>
+      %3 = arith.mulf %0, %2 : f32
+      %4 = affine.load %arg1[%1] : memref<64xf32>
+      %5 = arith.addf %3, %4 : f32
+      affine.store %5, %arg1[%1] : memref<64xf32>
+    }
+    func.return
+  }
+}
+`
+
+// buildTools compiles the CLI binaries once into a temp dir.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, n := range names {
+		bin := filepath.Join(dir, n)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+n)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", n, err, msg)
+		}
+		out[n] = bin
+	}
+	return out
+}
+
+func runTool(t *testing.T, bin string, stdin string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+// TestCLIToolsPipeline drives the documented composition end to end:
+// mlir-opt | mlir-translate | (vitis-sim fails) | hls-adaptor | vitis-sim.
+func TestCLIToolsPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	tools := buildTools(t, "mlir-opt", "mlir-translate", "hls-adaptor", "vitis-sim")
+
+	opted, errOut, err := runTool(t, tools["mlir-opt"], axpyMLIR,
+		"-top", "axpy", "-pipeline", "1", "-canonicalize")
+	if err != nil {
+		t.Fatalf("mlir-opt: %v\n%s", err, errOut)
+	}
+	if !strings.Contains(opted, "hls.pipeline") {
+		t.Fatalf("mlir-opt did not apply the directive:\n%s", opted)
+	}
+
+	ll, errOut, err := runTool(t, tools["mlir-translate"], opted)
+	if err != nil {
+		t.Fatalf("mlir-translate: %v\n%s", err, errOut)
+	}
+	if !strings.Contains(ll, "llvm.loop.pipeline.enable") {
+		t.Fatalf("metadata missing from translated IR:\n%s", ll)
+	}
+
+	// vitis-sim must reject the raw IR.
+	_, errOut, err = runTool(t, tools["vitis-sim"], ll, "-top", "axpy")
+	if err == nil {
+		t.Fatal("vitis-sim should reject un-adapted IR")
+	}
+	if !strings.Contains(errOut, "rejected") {
+		t.Fatalf("rejection message missing:\n%s", errOut)
+	}
+
+	adapted, report, err := runTool(t, tools["hls-adaptor"], ll)
+	if err != nil {
+		t.Fatalf("hls-adaptor: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "fixes applied") {
+		t.Fatalf("adaptor report missing:\n%s", report)
+	}
+	if !strings.Contains(adapted, "[64 x float]*") {
+		t.Fatalf("typed array pointer missing from adapted IR:\n%s", adapted)
+	}
+
+	synth, errOut, err := runTool(t, tools["vitis-sim"], adapted, "-top", "axpy")
+	if err != nil {
+		t.Fatalf("vitis-sim on adapted IR: %v\n%s", err, errOut)
+	}
+	for _, want := range []string{"Latency:", "pipeline=yes II=1", "Resources:"} {
+		if !strings.Contains(synth, want) {
+			t.Errorf("synthesis report missing %q:\n%s", want, synth)
+		}
+	}
+}
+
+// TestCLIFlowbenchOneExperiment smoke-tests the experiment driver.
+func TestCLIFlowbenchOneExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	tools := buildTools(t, "flowbench")
+	out, errOut, err := runTool(t, tools["flowbench"], "", "-experiment", "table2", "-size", "MINI")
+	if err != nil {
+		t.Fatalf("flowbench: %v\n%s", err, errOut)
+	}
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "gemm") {
+		t.Errorf("flowbench output unexpected:\n%s", out)
+	}
+}
+
+// TestCLIToolsFromFiles exercises the file-input path (not just stdin).
+func TestCLIToolsFromFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	tools := buildTools(t, "mlir-opt")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "axpy.mlir")
+	if err := os.WriteFile(path, []byte(axpyMLIR), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, err := runTool(t, tools["mlir-opt"], "", "-unroll", "2", path)
+	if err != nil {
+		t.Fatalf("mlir-opt file input: %v\n%s", err, errOut)
+	}
+	// Unrolled by 2: two loads of arg0 appear in the loop body.
+	if strings.Count(out, "affine.load %arg0") != 2 {
+		t.Errorf("unroll not applied through the CLI:\n%s", out)
+	}
+}
