@@ -9,17 +9,22 @@
 package repro_test
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/cfront"
 	"repro/internal/cgen"
 	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/hls"
 	"repro/internal/llvm/interp"
 	llparser "repro/internal/llvm/parser"
+	"repro/internal/mlir"
 	"repro/internal/mlir/lower"
 	mlirparser "repro/internal/mlir/parser"
 	"repro/internal/mlir/passes"
@@ -68,6 +73,83 @@ func BenchmarkFig8DSEFrontier(b *testing.B) {
 		rows = len(t.Rows)
 	}
 	b.ReportMetric(float64(rows), "pareto-points")
+}
+
+// BenchmarkDSEParallel sweeps the full DSE space through the evaluation
+// engine at increasing worker counts, reporting wall-clock speedup over
+// the single-worker (serial) sweep, plus a warm-cache run showing the
+// content-addressed cache's effect on repeated exploration.
+func BenchmarkDSEParallel(b *testing.B) {
+	k := polybench.Get("gemm")
+	s, err := k.SizeOf("MINI")
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() *mlir.Module { return k.Build(s) }
+	tgt := hls.DefaultTarget()
+
+	// Serial baseline for the speedup metric (median-free, but the sweep
+	// is long enough to be stable).
+	t0 := time.Now()
+	if _, err := dse.ExploreWith(build, k.Name, tgt, dse.Options{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(t0)
+
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dse.ExploreWith(build, k.Name, tgt, dse.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perOp := b.Elapsed() / time.Duration(b.N)
+			b.ReportMetric(float64(serial)/float64(perOp), "speedup-vs-serial")
+		})
+	}
+
+	b.Run("workers=4/cached", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: 4, Cache: true})
+		opts := dse.Options{Engine: eng, CacheScope: "MINI"}
+		if _, err := dse.ExploreWith(build, k.Name, tgt, opts); err != nil {
+			b.Fatal(err) // warm the cache outside the timed region
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.ExploreWith(build, k.Name, tgt, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perOp := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(serial)/float64(perOp), "speedup-vs-serial")
+		b.ReportMetric(eng.Stats().HitRate(), "cache-hit-rate")
+	})
+}
+
+// BenchmarkExperimentsCached regenerates the two optimized-directive
+// tables through one cached engine per iteration pair: Table3 populates
+// the cache, Table4 (same pairs) is served from it, and later iterations
+// hit on everything. The hit rate and the per-iteration wall time are the
+// headline metrics.
+func BenchmarkExperimentsCached(b *testing.B) {
+	eng := engine.New(engine.Options{Workers: 4, Cache: true})
+	cfg := experiments.Config{SizeName: "MINI", Target: hls.DefaultTarget(), Engine: eng}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t3, err := experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t4, err := experiments.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(t3.Rows) + len(t4.Rows)
+	}
+	st := eng.Stats()
+	b.ReportMetric(float64(rows), "rows")
+	b.ReportMetric(st.HitRate(), "cache-hit-rate")
+	b.ReportMetric(float64(st.CacheHits), "cache-hits")
 }
 
 // latencyBench reports per-kernel latency cycles of both flows as metrics

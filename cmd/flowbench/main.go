@@ -1,10 +1,15 @@
 // Command flowbench regenerates the paper's evaluation tables and figures.
+// All flow evaluations fan across a shared worker-pool engine with a
+// content-addressed result cache, so configurations repeated between
+// tables (Table3/Table4 share every pair; Fig6/Fig8 overlap the sweeps)
+// synthesize once.
 //
 // Usage:
 //
 //	flowbench                        # run every experiment at SMALL size
 //	flowbench -experiment fig5       # one experiment
 //	flowbench -size MINI             # change problem size
+//	flowbench -workers 8 -stats      # wider pool + engine counters
 package main
 
 import (
@@ -12,7 +17,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -20,10 +27,15 @@ func main() {
 	exp := flag.String("experiment", "all",
 		"experiment id: table1, table2, fig4, fig5, table3, fig6, table4, fig7, fig8, or all")
 	size := flag.String("size", "SMALL", "problem size preset: MINI or SMALL")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+	cache := flag.Bool("cache", true, "reuse results for identical (kernel, directives, target, flow) evaluations")
+	stats := flag.Bool("stats", false, "print engine counters and phase totals after the run")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.SizeName = strings.ToUpper(*size)
+	eng := engine.New(engine.Options{Workers: *workers, Cache: *cache})
+	cfg.Engine = eng
 
 	funcs := map[string]func(experiments.Config) (*experiments.Table, error){
 		"table1": experiments.Table1,
@@ -37,6 +49,7 @@ func main() {
 		"fig8":   experiments.Fig8,
 	}
 
+	t0 := time.Now()
 	if *exp == "all" {
 		tabs, err := experiments.All(cfg)
 		if err != nil {
@@ -46,6 +59,7 @@ func main() {
 		for _, t := range tabs {
 			fmt.Println(t)
 		}
+		printStats(*stats, eng, time.Since(t0))
 		return
 	}
 	fn, ok := funcs[strings.ToLower(*exp)]
@@ -59,4 +73,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(t)
+	printStats(*stats, eng, time.Since(t0))
+}
+
+func printStats(enabled bool, eng *engine.Engine, wall time.Duration) {
+	if !enabled {
+		return
+	}
+	fmt.Printf("engine: wall=%s workers=%d\n%s",
+		wall.Round(time.Microsecond), eng.Workers(), eng.Stats())
 }

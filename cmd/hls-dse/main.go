@@ -1,18 +1,24 @@
 // Command hls-dse runs the automated design-space explorer (an extension
 // beyond the paper) on a benchmark kernel or an MLIR file, printing every
-// evaluated configuration and the latency/area Pareto frontier.
+// evaluated configuration and the latency/area Pareto frontier. The sweep
+// fans across a worker pool; failing configurations are reported and the
+// rest of the space still evaluates.
 //
 // Usage:
 //
 //	hls-dse -kernel gemm [-size SMALL]        # explore a polybench kernel
 //	hls-dse -top name input.mlir              # explore a hand-written kernel
+//	hls-dse -kernel gemm -workers 8 -stats    # wider pool + engine counters
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/dse"
 	"repro/internal/hls"
@@ -26,13 +32,18 @@ func main() {
 	size := flag.String("size", "SMALL", "problem size preset")
 	top := flag.String("top", "", "top function for MLIR-file input")
 	clock := flag.Float64("clock", 10.0, "target clock period in ns")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+	cache := flag.Bool("cache", false, "reuse results for identical configurations")
+	timeout := flag.Duration("timeout", 0, "per-configuration timeout (0 = none)")
+	failfast := flag.Bool("failfast", false, "abort the sweep on the first failing configuration")
+	stats := flag.Bool("stats", false, "print engine counters and phase totals")
 	flag.Parse()
 
 	tgt := hls.DefaultTarget()
 	tgt.ClockNs = *clock
 
 	var build func() *mlir.Module
-	var name string
+	var name, scope string
 	switch {
 	case *kernel != "":
 		k := polybench.Get(*kernel)
@@ -45,6 +56,7 @@ func main() {
 		}
 		build = func() *mlir.Module { return k.Build(s) }
 		name = k.Name
+		scope = *size
 	case flag.Arg(0) != "":
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
@@ -61,14 +73,24 @@ func main() {
 			return m
 		}
 		name = *top
+		// Scope the cache to the file's content, not its path.
+		scope = fmt.Sprintf("%x", sha256.Sum256(src))
 	default:
 		fatal(fmt.Errorf("pass -kernel NAME or an input.mlir with -top"))
 	}
 
-	res, err := dse.Explore(build, name, tgt)
+	t0 := time.Now()
+	res, err := dse.ExploreWith(build, name, tgt, dse.Options{
+		Workers:    *workers,
+		Cache:      *cache,
+		FailFast:   *failfast,
+		Timeout:    *timeout,
+		CacheScope: scope,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(t0)
 
 	fmt.Printf("explored %d configurations of %s:\n\n", len(res.Points), name)
 	pts := append([]dse.Point(nil), res.Points...)
@@ -77,7 +99,24 @@ func main() {
 	for _, p := range pts {
 		fmt.Printf("%-20s %10d %10.0f\n", p.Label, p.Latency(), p.Area)
 	}
+	if len(res.Errors) > 0 {
+		fmt.Printf("\n%d configuration(s) failed:\n", len(res.Errors))
+		for _, pe := range res.Errors {
+			fmt.Printf("  %-20s %v\n", pe.Label, pe.Err)
+		}
+	}
 	fmt.Printf("\nPareto frontier (latency vs area):\n%s", res)
+	if *stats {
+		fmt.Printf("\nengine: wall=%s workers=%d\n%s",
+			wall.Round(time.Microsecond), effectiveWorkers(*workers), res.Stats)
+	}
+}
+
+func effectiveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func fatal(err error) {

@@ -6,9 +6,12 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/flow"
 	"repro/internal/hls"
 	"repro/internal/mlir"
@@ -73,30 +76,99 @@ func Space() []struct {
 	return out
 }
 
+// PointError records one configuration that failed to evaluate.
+type PointError struct {
+	Label string
+	Err   error
+}
+
 // Result holds the explored space and its Pareto frontier.
 type Result struct {
 	Points []Point
 	// Pareto is the latency/area frontier, sorted by ascending latency.
 	Pareto []Point
+	// Errors lists configurations that failed; Points holds only the
+	// successes, in space order.
+	Errors []PointError
+	// Stats snapshots the evaluation engine's counters (cache hits,
+	// summed per-phase compute time) for this exploration's engine.
+	Stats engine.Stats
 }
 
-// Explore evaluates the whole directive space for a kernel. build must
-// return a fresh module per call (flows mutate their input).
+// Options tunes how Explore fans the space across the evaluation engine.
+type Options struct {
+	// Workers bounds the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache reuses results for configurations already evaluated (only
+	// useful with a shared Engine or repeated exploration).
+	Cache bool
+	// FailFast restores the legacy abort-on-first-error policy; the
+	// default records the failing label and keeps sweeping.
+	FailFast bool
+	// Timeout bounds each configuration's wall time (0 = none).
+	Timeout time.Duration
+	// CacheScope salts the cache key for inputs whose identity is not
+	// captured by the top name alone (size presets, file hashes).
+	CacheScope string
+	// Engine, when non-nil, evaluates the jobs (sharing its cache and
+	// stats); Workers/Cache are then ignored.
+	Engine *engine.Engine
+}
+
+// Explore evaluates the whole directive space for a kernel in parallel.
+// build must return a fresh module per call (flows mutate their input; the
+// engine enforces this). Failing configurations are recorded in
+// Result.Errors and the sweep continues; the returned error is non-nil
+// only when nothing evaluated successfully.
 func Explore(build func() *mlir.Module, top string, tgt hls.Target) (*Result, error) {
+	return ExploreWith(build, top, tgt, Options{})
+}
+
+// ExploreWith is Explore with explicit engine options.
+func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Options) (*Result, error) {
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(engine.Options{Workers: opts.Workers, Cache: opts.Cache})
+	}
+	space := Space()
+	jobs := make([]engine.Job, len(space))
+	for i, cfg := range space {
+		jobs[i] = engine.Job{
+			Label:      cfg.Label,
+			Kind:       engine.KindAdaptor,
+			Build:      build,
+			Top:        top,
+			Directives: cfg.D,
+			Target:     tgt,
+			CacheScope: opts.CacheScope,
+		}
+	}
+	rs, err := eng.RunBatch(context.Background(), jobs, engine.BatchOptions{
+		ContinueOnError: !opts.FailFast,
+		Timeout:         opts.Timeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
+	}
 	res := &Result{}
-	for _, cfg := range Space() {
-		fr, err := flow.AdaptorFlow(build(), top, cfg.D, tgt)
-		if err != nil {
-			return nil, fmt.Errorf("dse: %s: %w", cfg.Label, err)
+	for i, r := range rs {
+		if r.Err != nil {
+			res.Errors = append(res.Errors, PointError{Label: r.Label, Err: r.Err})
+			continue
 		}
 		res.Points = append(res.Points, Point{
-			Label:  cfg.Label,
-			D:      cfg.D,
-			Report: fr.Report,
-			Area:   areaOf(fr.Report),
+			Label:  r.Label,
+			D:      space[i].D,
+			Report: r.Res.Report,
+			Area:   areaOf(r.Res.Report),
 		})
 	}
+	if len(res.Points) == 0 {
+		first := res.Errors[0]
+		return nil, fmt.Errorf("dse: no configuration evaluated; first failure %s: %w", first.Label, first.Err)
+	}
 	res.Pareto = paretoFrontier(res.Points)
+	res.Stats = eng.Stats()
 	return res, nil
 }
 
@@ -109,42 +181,26 @@ func dominates(a, b Point) bool {
 	return a.Latency() < b.Latency() || a.Area < b.Area
 }
 
-// paretoFrontier returns the non-dominated subset sorted by latency.
+// paretoFrontier returns the non-dominated subset sorted by ascending
+// latency, one point per objective pair, in O(n log n): after a stable
+// sort by (latency, area) a point survives iff its area is strictly below
+// every area seen so far — anything else is dominated by (or duplicates)
+// an earlier point with latency <= its own.
 func paretoFrontier(points []Point) []Point {
-	var out []Point
-	for i, p := range points {
-		dominated := false
-		for j, q := range points {
-			if i == j {
-				continue
-			}
-			if dominates(q, p) {
-				dominated = true
-				break
-			}
+	sorted := append([]Point(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Latency() != sorted[j].Latency() {
+			return sorted[i].Latency() < sorted[j].Latency()
 		}
-		if !dominated {
+		return sorted[i].Area < sorted[j].Area
+	})
+	var out []Point
+	for _, p := range sorted {
+		if len(out) == 0 || p.Area < out[len(out)-1].Area {
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Latency() != out[j].Latency() {
-			return out[i].Latency() < out[j].Latency()
-		}
-		return out[i].Area < out[j].Area
-	})
-	// Deduplicate identical objective pairs (keep the first label).
-	var dedup []Point
-	for _, p := range out {
-		if len(dedup) > 0 {
-			last := dedup[len(dedup)-1]
-			if last.Latency() == p.Latency() && last.Area == p.Area {
-				continue
-			}
-		}
-		dedup = append(dedup, p)
-	}
-	return dedup
+	return out
 }
 
 // String renders the frontier as a table.

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/hls"
+)
+
+// Key derives the content-addressed cache key for a job: a stable hash of
+// the job's semantic identity — flow kind, top function, caller scope
+// (kernel size preset or input-content hash), canonicalized directives,
+// and the target's cost-model parameters. Two jobs with equal keys are
+// assumed to synthesize identical reports, so labels and build closures
+// deliberately do not participate.
+func Key(job Job) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kind=%s|top=%s|scope=%s|%s|%s",
+		job.Kind, job.Top, job.CacheScope,
+		canonDirectives(job.Directives), canonTarget(job.Target))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonDirectives renders directives in the normal form the flows actually
+// consume: II only matters when pipelining (and floors at 1), an unroll
+// factor <= 1 is off, and a nil partition is "none".
+func canonDirectives(d flow.Directives) string {
+	var sb strings.Builder
+	if d.Pipeline {
+		ii := d.II
+		if ii <= 0 {
+			ii = 1
+		}
+		fmt.Fprintf(&sb, "pipe=%d", ii)
+	} else {
+		sb.WriteString("pipe=off")
+	}
+	if d.Unroll > 1 {
+		fmt.Fprintf(&sb, "|unroll=%d", d.Unroll)
+	} else {
+		sb.WriteString("|unroll=off")
+	}
+	if p := d.Partition; p != nil {
+		fmt.Fprintf(&sb, "|part=%s/%d/%d", p.Kind, p.Factor, p.Dim)
+	} else {
+		sb.WriteString("|part=none")
+	}
+	fmt.Fprintf(&sb, "|flat=%t|dataflow=%t", d.Flatten, d.Dataflow)
+	return sb.String()
+}
+
+// canonTarget renders the target's cost-model parameters.
+func canonTarget(t hls.Target) string {
+	return fmt.Sprintf("clock=%g|brambits=%d|memports=%d|memlat=%d|noaddrfold=%t",
+		t.ClockNs, t.BRAMBits, t.MemPorts, t.MemReadLatency, t.DisableAddrFolding)
+}
+
+// cache is the concurrent result store. Entries hold completed JobResults
+// (reports, violations, final LLVM module) and are shared between hits, so
+// consumers must treat cached payloads as read-only.
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]JobResult
+}
+
+func newCache() *cache {
+	return &cache{m: make(map[string]JobResult)}
+}
+
+func (c *cache) get(key string) (JobResult, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+func (c *cache) put(key string, r JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Two workers can race on the same key (both missed before either
+	// finished); first write wins so repeated hits stay identical.
+	if _, dup := c.m[key]; !dup {
+		c.m[key] = r
+	}
+}
+
+// Len returns the number of distinct cached results.
+func (c *cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,335 @@
+// Package engine is the parallel flow-evaluation engine behind the
+// design-space explorer and the experiments package: a bounded worker pool
+// that fans AdaptorFlow/CxxFlow/RawFlow jobs across goroutines with
+// deterministic result ordering, configurable first-error cancellation, and
+// an optional content-addressed result cache keyed by the job's semantic
+// identity (top function, directives, target, flow kind, caller scope).
+//
+// Concurrency contract: flows mutate their input module, so Job.Build MUST
+// return a fresh *mlir.Module on every call. The engine enforces this at
+// the API boundary by rejecting a module pointer it has already seen in
+// the same batch.
+//
+// Determinism contract: results are returned in job order regardless of
+// completion order, and under fail-fast cancellation the reported error is
+// the lowest-indexed genuine failure — exactly the error a serial loop
+// over the same jobs would have returned. Concurrency is an implementation
+// detail; callers diffing engine output against a serial run must see
+// byte-identical tables.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/hls"
+	"repro/internal/llvm"
+	"repro/internal/mlir"
+)
+
+// Kind selects which flow a job runs.
+type Kind string
+
+const (
+	KindAdaptor Kind = "adaptor" // flow.AdaptorFlow
+	KindCxx     Kind = "cxx"     // flow.CxxFlow
+	KindRaw     Kind = "raw"     // flow.RawFlow (gate-violation check)
+)
+
+// Job describes one flow evaluation.
+type Job struct {
+	// Label identifies the job in results and error messages.
+	Label string
+	Kind  Kind
+	// Build must return a fresh module on every call: flows mutate their
+	// input in place. The engine rejects a pointer it has seen before in
+	// the same batch.
+	Build func() *mlir.Module
+	// Top is the top-function name handed to the flow.
+	Top        string
+	Directives flow.Directives
+	Target     hls.Target
+	// CacheScope distinguishes jobs whose identity is not fully captured
+	// by (Kind, Top, Directives, Target) — e.g. a problem-size preset or
+	// a content hash of hand-written MLIR input. Jobs with equal cache
+	// keys are assumed to produce equal results.
+	CacheScope string
+}
+
+// JobResult is one job's outcome, at the job's index in the input slice.
+type JobResult struct {
+	Label string
+	Kind  Kind
+	// Res holds the flow result for adaptor/cxx jobs (nil on error). A
+	// cached Res is shared between hits and must be treated as read-only.
+	Res *flow.Result
+	// Violations and LLVM hold the raw-flow outcome for KindRaw jobs.
+	Violations []hls.Violation
+	LLVM       *llvm.Module
+	Err        error
+	// CacheHit reports whether the result was served from the cache.
+	CacheHit bool
+	// Elapsed is this job's wall time (near zero for cache hits).
+	Elapsed time.Duration
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache enables the content-addressed result cache.
+	Cache bool
+	// ContinueOnError is the default batch policy: record per-job errors
+	// and keep going instead of cancelling the batch on first failure.
+	ContinueOnError bool
+	// Timeout is the default per-job wall-time limit (0 = none).
+	Timeout time.Duration
+}
+
+// BatchOptions overrides the engine's default policy for one Run call.
+type BatchOptions struct {
+	ContinueOnError bool
+	Timeout         time.Duration
+}
+
+// Stats aggregates engine activity across all Run calls.
+type Stats struct {
+	Jobs        int64
+	Errors      int64
+	CacheHits   int64
+	CacheMisses int64
+	// CPU is the summed wall time of executed (non-cached) jobs; with
+	// Wall from the caller's clock it shows the parallel speedup.
+	CPU time.Duration
+	// Phases merges per-phase timings across all executed jobs.
+	Phases flow.Phases
+}
+
+// HitRate returns the cache hit fraction in [0, 1].
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// String renders the stats as a short summary block.
+func (s Stats) String() string {
+	out := fmt.Sprintf("jobs=%d errors=%d cache hits=%d misses=%d (rate %.0f%%) cpu=%s\n",
+		s.Jobs, s.Errors, s.CacheHits, s.CacheMisses, 100*s.HitRate(), s.CPU.Round(time.Microsecond))
+	if len(s.Phases) > 0 {
+		out += s.Phases.String()
+	}
+	return out
+}
+
+// Engine is a reusable evaluator; its cache and stats persist across Run
+// calls, so batches issued through one engine share results.
+type Engine struct {
+	opts  Options
+	cache *cache
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds an engine. The zero Options value gives a GOMAXPROCS-wide
+// pool with no cache, no timeout, and fail-fast cancellation.
+func New(opts Options) *Engine {
+	e := &Engine{opts: opts}
+	if opts.Cache {
+		e.cache = newCache()
+	}
+	return e
+}
+
+// Workers returns the effective pool size.
+func (e *Engine) Workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Phases = s.Phases.Clone()
+	return s
+}
+
+// Run evaluates the batch under the engine's default policy.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	return e.RunBatch(ctx, jobs, BatchOptions{
+		ContinueOnError: e.opts.ContinueOnError,
+		Timeout:         e.opts.Timeout,
+	})
+}
+
+// RunBatch evaluates every job on the worker pool and returns results in
+// job order. With ContinueOnError false, the first failure (by job index)
+// cancels jobs that have not started and is returned as the batch error;
+// with it true, the error is nil and callers inspect per-job Err fields.
+// An externally cancelled ctx is returned as the batch error either way.
+func (e *Engine) RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([]JobResult, error) {
+	results := make([]JobResult, len(jobs))
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// seen enforces the fresh-module contract for this batch.
+	var seenMu sync.Mutex
+	seen := make(map[*mlir.Module]string)
+
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < e.Workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] = e.runOne(jobs[i], opts.Timeout, seen, &seenMu)
+				if results[i].Err != nil && !opts.ContinueOnError {
+					cancel()
+				}
+			}
+		}()
+	}
+	// Cancellation gates the feeder, never a worker: every job handed out
+	// runs to completion, and jobs are handed out in index order. So when
+	// job f is the first failure, every job with index < f was dispatched
+	// before f and records its genuine outcome — which makes the "first
+	// error" scan below return exactly what a serial loop would have.
+	sent := len(jobs)
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			sent = i
+		}
+		if sent != len(jobs) {
+			break
+		}
+	}
+	close(feed)
+	wg.Wait()
+	for i := sent; i < len(jobs); i++ {
+		results[i] = JobResult{Label: jobs[i].Label, Kind: jobs[i].Kind, Err: context.Canceled}
+	}
+
+	e.mu.Lock()
+	for i := range results {
+		e.stats.Jobs++
+		if results[i].Err != nil {
+			e.stats.Errors++
+		}
+		if results[i].CacheHit {
+			e.stats.CacheHits++
+		} else if results[i].Err == nil && e.cache != nil {
+			e.stats.CacheMisses++
+		}
+		if !results[i].CacheHit && results[i].Err == nil {
+			e.stats.CPU += results[i].Elapsed
+			if r := results[i].Res; r != nil {
+				e.stats.Phases = e.stats.Phases.Merge(r.Phases)
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	if err := parent.Err(); err != nil {
+		return results, err
+	}
+	if !opts.ContinueOnError {
+		for i := range results {
+			if err := results[i].Err; err != nil && err != context.Canceled {
+				return results, fmt.Errorf("%s: %w", results[i].Label, err)
+			}
+		}
+	}
+	return results, nil
+}
+
+// runOne executes or cache-serves a single job.
+func (e *Engine) runOne(job Job, timeout time.Duration, seen map[*mlir.Module]string, seenMu *sync.Mutex) JobResult {
+	if e.cache != nil {
+		key := Key(job)
+		if hit, ok := e.cache.get(key); ok {
+			r := hit
+			r.Label = job.Label
+			r.CacheHit = true
+			r.Elapsed = 0
+			return r
+		}
+		res := e.execute(job, timeout, seen, seenMu)
+		if res.Err == nil {
+			e.cache.put(key, res)
+		}
+		return res
+	}
+	return e.execute(job, timeout, seen, seenMu)
+}
+
+// execute runs the flow, optionally bounded by a per-job timeout. Flows
+// are pure CPU-bound Go with no cancellation points, so a timed-out job's
+// goroutine is abandoned and finishes in the background; its result is
+// discarded.
+func (e *Engine) execute(job Job, timeout time.Duration, seen map[*mlir.Module]string, seenMu *sync.Mutex) JobResult {
+	if timeout <= 0 {
+		return runFlow(job, seen, seenMu)
+	}
+	done := make(chan JobResult, 1)
+	go func() { done <- runFlow(job, seen, seenMu) }()
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(timeout):
+		return JobResult{Label: job.Label, Kind: job.Kind, Elapsed: timeout,
+			Err: fmt.Errorf("job %q exceeded timeout %s", job.Label, timeout)}
+	}
+}
+
+// runFlow builds the module, enforces the fresh-module contract, and
+// dispatches to the right flow.
+func runFlow(job Job, seen map[*mlir.Module]string, seenMu *sync.Mutex) (out JobResult) {
+	out = JobResult{Label: job.Label, Kind: job.Kind}
+	start := time.Now()
+	defer func() { out.Elapsed = time.Since(start) }()
+
+	if job.Build == nil {
+		out.Err = fmt.Errorf("job %q: nil Build", job.Label)
+		return out
+	}
+	m := job.Build()
+	if m == nil {
+		out.Err = fmt.Errorf("job %q: Build returned nil module", job.Label)
+		return out
+	}
+	seenMu.Lock()
+	if prev, dup := seen[m]; dup {
+		seenMu.Unlock()
+		out.Err = fmt.Errorf("job %q: Build returned the same *mlir.Module as job %q; flows mutate their input, so Build must construct a fresh module per call (see internal/mlir/clone.go)", job.Label, prev)
+		return out
+	}
+	seen[m] = job.Label
+	seenMu.Unlock()
+
+	switch job.Kind {
+	case KindAdaptor:
+		out.Res, out.Err = flow.AdaptorFlow(m, job.Top, job.Directives, job.Target)
+	case KindCxx:
+		out.Res, out.Err = flow.CxxFlow(m, job.Top, job.Directives, job.Target)
+	case KindRaw:
+		out.Violations, out.LLVM, out.Err = flow.RawFlow(m, job.Top, job.Directives)
+	default:
+		out.Err = fmt.Errorf("job %q: unknown kind %q", job.Label, job.Kind)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/hls"
+)
+
+func miniCfg(e *engine.Engine) Config {
+	return Config{SizeName: "MINI", Target: hls.DefaultTarget(), Engine: e}
+}
+
+// TestFig8ParallelCachedGolden is the golden diff for the experiments
+// path: Fig8 through a 4-wide cached engine must render byte-identical to
+// the single-worker uncached (serial) path, on the cold and the warm run.
+func TestFig8ParallelCachedGolden(t *testing.T) {
+	serialTab, err := Fig8(miniCfg(engine.New(engine.Options{Workers: 1})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialTab.String()
+
+	eng := engine.New(engine.Options{Workers: 4, Cache: true})
+	for run := 0; run < 2; run++ {
+		tab, err := Fig8(miniCfg(eng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.String(); got != want {
+			t.Errorf("run %d: parallel+cached Fig8 diverges from serial\ngot:\n%s\nwant:\n%s",
+				run, got, want)
+		}
+	}
+	st := eng.Stats()
+	if st.CacheHits == 0 {
+		t.Errorf("warm Fig8 regeneration should be served from cache: %+v", st)
+	}
+}
+
+// TestTable3ParallelGolden diffs a resource table (time-independent cells)
+// between worker counts.
+func TestTable3ParallelGolden(t *testing.T) {
+	serialTab, err := Table3(miniCfg(engine.New(engine.Options{Workers: 1})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parTab, err := Table3(miniCfg(engine.New(engine.Options{Workers: 8})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialTab.String() != parTab.String() {
+		t.Errorf("Table3 diverges across worker counts\nserial:\n%s\nparallel:\n%s",
+			serialTab, parTab)
+	}
+}
+
+// TestCrossTableCacheReuse: Table3 and Table4 evaluate the same pairs, so
+// generating both through one cached engine must serve the second table
+// entirely from the cache.
+func TestCrossTableCacheReuse(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2, Cache: true})
+	cfg := miniCfg(eng)
+	if _, err := Table3(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cold := eng.Stats()
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold table should not hit: %+v", cold)
+	}
+	if _, err := Table4(cfg); err != nil {
+		t.Fatal(err)
+	}
+	warm := eng.Stats()
+	if warm.CacheMisses != cold.CacheMisses {
+		t.Errorf("Table4 should add no misses after Table3: %+v -> %+v", cold, warm)
+	}
+	if warm.CacheHits == 0 {
+		t.Error("Table4 should be served from Table3's results")
+	}
+}

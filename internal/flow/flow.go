@@ -55,8 +55,9 @@ type Result struct {
 	LLVM    *llvm.Module
 	CSource string // C++ flow only
 
-	// Phases records per-phase wall time.
-	Phases map[string]time.Duration
+	// Phases records per-phase wall time. Each Result owns its map;
+	// cross-run aggregation must go through Phases.Merge.
+	Phases Phases
 	Total  time.Duration
 }
 
@@ -92,7 +93,7 @@ func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool) 
 
 // AdaptorFlow runs the paper's direct-IR flow end to end.
 func AdaptorFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result, error) {
-	res := &Result{Flow: "adaptor", Phases: map[string]time.Duration{}}
+	res := &Result{Flow: "adaptor", Phases: Phases{}}
 	t0 := time.Now()
 
 	phase := func(name string, fn func() error) error {
@@ -157,7 +158,7 @@ func AdaptorFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Res
 
 // CxxFlow runs the baseline HLS-C++ flow end to end.
 func CxxFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result, error) {
-	res := &Result{Flow: "cxx", Phases: map[string]time.Duration{}}
+	res := &Result{Flow: "cxx", Phases: Phases{}}
 	t0 := time.Now()
 	phase := func(name string, fn func() error) error {
 		start := time.Now()

@@ -1,0 +1,58 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phases records per-phase wall time for one flow run. Each Result owns its
+// own map, so concurrent runs never write to shared state; aggregation
+// across runs goes through Merge, which copies instead of aliasing.
+type Phases map[string]time.Duration
+
+// Clone returns an independent copy of p.
+func (p Phases) Clone() Phases {
+	out := make(Phases, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds other's timings into p and returns p, allocating a fresh map
+// when p is nil. The argument is never mutated or retained, so a cached
+// result's Phases can be merged into a running total safely.
+func (p Phases) Merge(other Phases) Phases {
+	if p == nil {
+		p = make(Phases, len(other))
+	}
+	for k, v := range other {
+		p[k] += v
+	}
+	return p
+}
+
+// Total returns the sum of all phase timings.
+func (p Phases) Total() time.Duration {
+	var t time.Duration
+	for _, v := range p {
+		t += v
+	}
+	return t
+}
+
+// String renders the phases sorted by name, one per line.
+func (p Phases) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%-12s %12s\n", k, p[k])
+	}
+	return sb.String()
+}
