@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hls"
+	"repro/internal/lint"
 	"repro/internal/llvm/parser"
 )
 
@@ -23,6 +24,7 @@ func main() {
 	top := flag.String("top", "", "top function (defaults to the hls.top attribute)")
 	report := flag.Bool("report", true, "print the fix report to stderr")
 	check := flag.Bool("check", true, "verify the result passes the HLS readability gate")
+	runLint := flag.Bool("lint", false, "run the hls-lint static-analysis suite on the adapted IR (report on stderr)")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -47,6 +49,11 @@ func main() {
 	}
 	if *report {
 		fmt.Fprintf(os.Stderr, "hls-adaptor: %d fixes applied\n%s", rep.Total(), rep)
+	}
+	if *runLint {
+		if ds := lint.Module(m, lint.Options{}); len(ds) > 0 {
+			fmt.Fprintf(os.Stderr, "hls-adaptor: lint report:\n%s", ds.Text())
+		}
 	}
 	fmt.Print(m.Print())
 }

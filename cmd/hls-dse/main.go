@@ -36,6 +36,7 @@ func main() {
 	cache := flag.Bool("cache", false, "reuse results for identical configurations")
 	timeout := flag.Duration("timeout", 0, "per-configuration timeout (0 = none)")
 	failfast := flag.Bool("failfast", false, "abort the sweep on the first failing configuration")
+	precheck := flag.Bool("precheck", false, "prune II-infeasible pipeline points before the sweep (never changes the frontier)")
 	stats := flag.Bool("stats", false, "print engine counters and phase totals")
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 		FailFast:   *failfast,
 		Timeout:    *timeout,
 		CacheScope: scope,
+		Precheck:   *precheck,
 	})
 	if err != nil {
 		fatal(err)
@@ -98,6 +100,12 @@ func main() {
 	fmt.Printf("%-20s %10s %10s\n", "config", "latency", "area")
 	for _, p := range pts {
 		fmt.Printf("%-20s %10d %10.0f\n", p.Label, p.Latency(), p.Area)
+	}
+	if len(res.Pruned) > 0 {
+		fmt.Printf("\npre-check pruned %d configuration(s):\n", len(res.Pruned))
+		for _, pp := range res.Pruned {
+			fmt.Printf("  %-20s %s\n", pp.Label, pp.Reason)
+		}
 	}
 	if len(res.Errors) > 0 {
 		fmt.Printf("\n%d configuration(s) failed:\n", len(res.Errors))

@@ -1,0 +1,137 @@
+// Command hls-lint runs the cross-layer static-analysis suite over an IR
+// file and reports diagnostics. It accepts the LLVM-like IR the flow's
+// later stages exchange (.ll, the default) or textual MLIR (.mlir or
+// -mlir), so defects can be caught at whichever layer they first appear.
+//
+// Usage:
+//
+//	hls-lint input.ll                 # all checks, text report
+//	hls-lint -json input.ll           # machine-readable report
+//	hls-lint -checks uninit-load,gep-bounds input.ll
+//	hls-lint -severity warning -      # read stdin, hide infos
+//	hls-lint -mlir kernel.mlir        # directive lints on MLIR
+//	hls-lint -list                    # list registered checks
+//
+// Exit status: 0 when no error-severity diagnostics were produced (warnings
+// and infos do not fail the run), 1 when errors were found, 2 on usage or
+// parse failures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/diag"
+	"repro/internal/hls"
+	"repro/internal/lint"
+	llparser "repro/internal/llvm/parser"
+	mlirparser "repro/internal/mlir/parser"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all; see -list)")
+	invariants := flag.Bool("invariants", false, "run only the invariant subset (the verify-each checks)")
+	severity := flag.String("severity", "info", "minimum severity to report: info, warning, or error")
+	list := flag.Bool("list", false, "list registered checks and exit")
+	clock := flag.Float64("clock", 10.0, "target clock period in ns (sets the dependence/latency model)")
+	mlirIn := flag.Bool("mlir", false, "parse the input as MLIR instead of LLVM IR")
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks() {
+			inv := ""
+			if c.Invariant {
+				inv = " [invariant]"
+			}
+			fmt.Printf("%-18s %s%s\n", c.Name, c.Desc, inv)
+		}
+		return
+	}
+
+	minSev, err := parseSeverity(*severity)
+	if err != nil {
+		usage(err)
+	}
+	opts := lint.Options{InvariantsOnly: *invariants}
+	opts.Target = hls.DefaultTarget()
+	opts.Target.ClockNs = *clock
+	if *checks != "" {
+		known := map[string]bool{}
+		for _, n := range lint.CheckNames() {
+			known[n] = true
+		}
+		opts.Enabled = map[string]bool{}
+		for _, n := range strings.Split(*checks, ",") {
+			n = strings.TrimSpace(n)
+			if !known[n] {
+				usage(fmt.Errorf("unknown check %q (see -list)", n))
+			}
+			opts.Enabled[n] = true
+		}
+	}
+
+	path := flag.Arg(0)
+	src, err := readInput(path)
+	if err != nil {
+		usage(err)
+	}
+
+	var ds diag.Diagnostics
+	if *mlirIn || strings.HasSuffix(path, ".mlir") {
+		m, err := mlirparser.Parse(src)
+		if err != nil {
+			usage(fmt.Errorf("parsing MLIR: %w", err))
+		}
+		ds = lint.MLIRDirectives(m)
+	} else {
+		m, err := llparser.Parse(src)
+		if err != nil {
+			usage(fmt.Errorf("parsing LLVM IR: %w", err))
+		}
+		ds = lint.Module(m, opts)
+	}
+	ds = ds.Filter(minSev)
+
+	if *jsonOut {
+		b, err := ds.JSON()
+		if err != nil {
+			usage(err)
+		}
+		fmt.Printf("%s\n", b)
+	} else {
+		fmt.Print(ds.Text())
+	}
+	if ds.HasErrors() {
+		os.Exit(1)
+	}
+}
+
+func parseSeverity(name string) (diag.Severity, error) {
+	switch name {
+	case "info":
+		return diag.SevInfo, nil
+	case "warning":
+		return diag.SevWarning, nil
+	case "error":
+		return diag.SevError, nil
+	}
+	return 0, fmt.Errorf("unknown severity %q (want info, warning, or error)", name)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "hls-lint:", err)
+	os.Exit(2)
+}

@@ -25,6 +25,8 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/lint"
+	"repro/internal/mlir"
 	"repro/internal/mlir/lower"
 	"repro/internal/mlir/parser"
 	"repro/internal/mlir/passes"
@@ -40,6 +42,7 @@ func main() {
 	lowerAffine := flag.Bool("lower-affine", false, "lower affine to scf")
 	lowerSCF := flag.Bool("lower-scf", false, "lower scf to cf")
 	verify := flag.Bool("verify", true, "verify the module after parsing and passes")
+	verifyEach := flag.Bool("verify-each", false, "additionally run the lint invariant checks after every pass, naming the offending pass")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -58,6 +61,10 @@ func main() {
 
 	pm := passes.NewPassManager()
 	pm.VerifyEach = *verify
+	if *verifyEach {
+		pm.VerifyEach = true
+		pm.AfterPass = func(_ string, mm *mlir.Module) error { return lint.MLIRInvariants(mm) }
+	}
 	if *top != "" {
 		pm.Add(passes.MarkTop(*top))
 	}

@@ -1,0 +1,133 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() Diagnostics {
+	return Diagnostics{
+		{Severity: SevWarning, Check: "dead-store", Func: "g", Block: "b", Instr: "s", Message: "overwritten", BlockPos: 1, InstrPos: 3},
+		{Severity: SevError, Check: "uninit-load", Func: "f", Block: "entry", Instr: "v", Message: "uninitialized", Suggestion: "store first", BlockPos: 0, InstrPos: 2},
+		{Severity: SevInfo, Check: "loop-carried-dep", Func: "f", Block: "entry", Instr: "ld", Message: "recurrence", BlockPos: 0, InstrPos: 1},
+		{Severity: SevWarning, Check: "hls-directives", Func: "f", Message: "bad partition", BlockPos: -1, InstrPos: -1},
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	ds := sample()
+	ds.Sort()
+	order := make([]string, len(ds))
+	for i, d := range ds {
+		order[i] = d.Check
+	}
+	// f before g; within f: function-level (-1) first, then by position.
+	want := []string{"hls-directives", "loop-carried-dep", "uninit-load", "dead-store"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sort order %v, want %v", order, want)
+		}
+	}
+	// Sorting an already-sorted collection is a fixpoint.
+	before := ds.Text()
+	ds.Sort()
+	if after := ds.Text(); after != before {
+		t.Error("Sort is not idempotent")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	d := sample()[1]
+	s := d.String()
+	for _, want := range []string{"error[uninit-load]", "@f", "%entry", "%v", "uninitialized", "suggestion: store first"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTextSummary(t *testing.T) {
+	txt := sample().Text()
+	if !strings.Contains(txt, "1 error(s), 2 warning(s), 1 info(s)") {
+		t.Errorf("summary line wrong:\n%s", txt)
+	}
+	if empty := (Diagnostics{}).Text(); !strings.Contains(empty, "0 error(s), 0 warning(s), 0 info(s)") {
+		t.Errorf("empty collection summary wrong:\n%s", empty)
+	}
+}
+
+func TestCountFilterByCheck(t *testing.T) {
+	ds := sample()
+	if ds.Count(SevWarning) != 2 || ds.Count(SevError) != 1 || ds.Count(SevInfo) != 1 {
+		t.Errorf("counts wrong: %d/%d/%d", ds.Count(SevError), ds.Count(SevWarning), ds.Count(SevInfo))
+	}
+	if got := ds.Filter(SevWarning); len(got) != 3 {
+		t.Errorf("Filter(warning) kept %d, want 3", len(got))
+	}
+	if got := ds.ByCheck("uninit-load"); len(got) != 1 || got[0].Func != "f" {
+		t.Errorf("ByCheck wrong: %v", got)
+	}
+	if !ds.HasErrors() || (Diagnostics{sample()[0]}).HasErrors() {
+		t.Error("HasErrors wrong")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	b, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Diagnostics Diagnostics `json:"diagnostics"`
+		Errors      int         `json:"errors"`
+		Warnings    int         `json:"warnings"`
+		Infos       int         `json:"infos"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b)
+	}
+	if rep.Errors != 1 || rep.Warnings != 2 || rep.Infos != 1 || len(rep.Diagnostics) != 4 {
+		t.Errorf("envelope wrong: %+v", rep)
+	}
+	if rep.Diagnostics[0].Check != "hls-directives" {
+		t.Errorf("JSON must be sorted; first check = %s", rep.Diagnostics[0].Check)
+	}
+	if !strings.Contains(string(b), `"severity": "error"`) {
+		t.Errorf("severity must marshal by name:\n%s", b)
+	}
+	// An empty collection renders an empty array, not null.
+	eb, err := (Diagnostics{}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(eb), `"diagnostics": []`) {
+		t.Errorf("empty collection must render []:\n%s", eb)
+	}
+}
+
+func TestSeverityUnmarshalRejectsUnknown(t *testing.T) {
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unknown severity name must not parse")
+	}
+	if err := json.Unmarshal([]byte(`"warning"`), &s); err != nil || s != SevWarning {
+		t.Errorf("warning should parse: %v %v", s, err)
+	}
+}
+
+func TestAsError(t *testing.T) {
+	if err := (Diagnostics{sample()[0]}).AsError(); err != nil {
+		t.Errorf("warnings alone are not an error: %v", err)
+	}
+	ds := sample()
+	err := ds.AsError()
+	if err == nil || !strings.Contains(err.Error(), "uninit-load") {
+		t.Errorf("AsError must surface the first error: %v", err)
+	}
+	ds = append(ds, Diagnostic{Severity: SevError, Check: "gep-bounds", Func: "z", Message: "oob", BlockPos: -1, InstrPos: -1})
+	err = ds.AsError()
+	if err == nil || !strings.Contains(err.Error(), "(and 1 more)") {
+		t.Errorf("AsError must count the remaining errors: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flow"
 	"repro/internal/hls"
+	"repro/internal/lint"
 	"repro/internal/mlir"
 	"repro/internal/mlir/passes"
 )
@@ -36,20 +37,17 @@ func areaOf(r *hls.Report) float64 {
 	return float64(r.LUT) + 0.5*float64(r.FF) + 100*float64(r.DSP) + 350*float64(r.BRAM)
 }
 
-// Space enumerates the directive configurations to evaluate.
-func Space() []struct {
+// Config is one directive configuration of the design space.
+type Config struct {
 	Label string
 	D     flow.Directives
-} {
-	var out []struct {
-		Label string
-		D     flow.Directives
-	}
+}
+
+// Space enumerates the directive configurations to evaluate.
+func Space() []Config {
+	var out []Config
 	add := func(label string, d flow.Directives) {
-		out = append(out, struct {
-			Label string
-			D     flow.Directives
-		}{label, d})
+		out = append(out, Config{label, d})
 	}
 	add("base", flow.Directives{})
 	for _, ii := range []int{1, 2} {
@@ -82,6 +80,13 @@ type PointError struct {
 	Err   error
 }
 
+// PrunedPoint records a configuration the feasibility pre-check removed
+// from the sweep without evaluating it.
+type PrunedPoint struct {
+	Label  string
+	Reason string
+}
+
 // Result holds the explored space and its Pareto frontier.
 type Result struct {
 	Points []Point
@@ -90,6 +95,9 @@ type Result struct {
 	// Errors lists configurations that failed; Points holds only the
 	// successes, in space order.
 	Errors []PointError
+	// Pruned lists configurations the feasibility pre-check skipped (only
+	// populated with Options.Precheck), in space order.
+	Pruned []PrunedPoint
 	// Stats snapshots the evaluation engine's counters (cache hits,
 	// summed per-phase compute time) for this exploration's engine.
 	Stats engine.Stats
@@ -113,6 +121,14 @@ type Options struct {
 	// Engine, when non-nil, evaluates the jobs (sharing its cache and
 	// stats); Workers/Cache are then ignored.
 	Engine *engine.Engine
+	// Precheck runs the lint feasibility pre-check before the sweep: one
+	// adaptor-flow preparation (no scheduling) computes the dependence-
+	// implied II floor, and directive points that cannot produce a distinct
+	// schedule — pipeline IIs below the floor other than the smallest — are
+	// pruned without evaluation. Pruning never changes the Pareto frontier:
+	// the kept representative of each pruned group evaluates to the
+	// identical report. Off by default.
+	Precheck bool
 }
 
 // Explore evaluates the whole directive space for a kernel in parallel.
@@ -131,6 +147,10 @@ func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Opt
 		eng = engine.New(engine.Options{Workers: opts.Workers, Cache: opts.Cache})
 	}
 	space := Space()
+	var pruned []PrunedPoint
+	if opts.Precheck {
+		space, pruned = pruneInfeasible(space, build, top, tgt)
+	}
 	jobs := make([]engine.Job, len(space))
 	for i, cfg := range space {
 		jobs[i] = engine.Job{
@@ -150,7 +170,7 @@ func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Opt
 	if err != nil {
 		return nil, fmt.Errorf("dse: %w", err)
 	}
-	res := &Result{}
+	res := &Result{Pruned: pruned}
 	for i, r := range rs {
 		if r.Err != nil {
 			res.Errors = append(res.Errors, PointError{Label: r.Label, Err: r.Err})
@@ -170,6 +190,66 @@ func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Opt
 	res.Pareto = paretoFrontier(res.Points)
 	res.Stats = eng.Stats()
 	return res, nil
+}
+
+// pruneInfeasible removes II-infeasible pipeline points from the space: one
+// un-scheduled flow preparation computes the dependence-implied II floor
+// (lint.MinPipelineFloor); within each group of configurations identical
+// except for the requested II, every request at or below the floor except
+// the smallest is pruned — the scheduler would produce byte-identical
+// reports for all of them, and keeping the smallest (which comes first in
+// space order) preserves the Pareto frontier's labels under the stable
+// tie-breaking sort. Any pre-check failure keeps the full space: pruning is
+// an optimization, never a gate.
+func pruneInfeasible(space []Config, build func() *mlir.Module, top string, tgt hls.Target) ([]Config, []PrunedPoint) {
+	lm, err := flow.PrepareLLVM(build(), top, flow.Directives{Pipeline: true, II: 1})
+	if err != nil {
+		return space, nil
+	}
+	floor, ok := lint.MinPipelineFloor(lm, top, tgt)
+	if !ok || floor <= 1 {
+		return space, nil
+	}
+	groupKey := func(d flow.Directives) string {
+		part := ""
+		if d.Partition != nil {
+			part = fmt.Sprintf("%s,%d,%d", d.Partition.Kind, d.Partition.Factor, d.Partition.Dim)
+		}
+		return fmt.Sprintf("u%d|p%s|f%v|df%v", d.Unroll, part, d.Flatten, d.Dataflow)
+	}
+	reqII := func(d flow.Directives) int {
+		if d.II <= 0 {
+			return 1
+		}
+		return d.II
+	}
+	keepII := map[string]int{}
+	for _, cfg := range space {
+		if !cfg.D.Pipeline || reqII(cfg.D) > floor {
+			continue
+		}
+		k := groupKey(cfg.D)
+		if cur, seen := keepII[k]; !seen || reqII(cfg.D) < cur {
+			keepII[k] = reqII(cfg.D)
+		}
+	}
+	var kept []Config
+	var pruned []PrunedPoint
+	for _, cfg := range space {
+		if cfg.D.Pipeline {
+			ii := reqII(cfg.D)
+			if m := keepII[groupKey(cfg.D)]; ii <= floor && ii > m {
+				pruned = append(pruned, PrunedPoint{
+					Label: cfg.Label,
+					Reason: fmt.Sprintf("requested II=%d is below the dependence-implied floor RecMII=%d; schedule identical to the kept II=%d point",
+						ii, floor, m),
+				})
+				continue
+			}
+		}
+		kept = append(kept, cfg)
+	}
+	return kept, pruned
 }
 
 // dominates reports whether a is at least as good as b in both objectives

@@ -77,7 +77,7 @@ func TestParetoMatchesQuadratic(t *testing.T) {
 		syntheticPoint("d", 90, 60), // duplicate objectives: keep first
 		syntheticPoint("e", 120, 10),
 		syntheticPoint("f", 80, 200),
-		syntheticPoint("g", 85, 55), // dominated by c? no: less area... lat 85<90, area 55<60 dominates c
+		syntheticPoint("g", 85, 55),  // dominated by c? no: less area... lat 85<90, area 55<60 dominates c
 		syntheticPoint("h", 200, 10), // dominated by e
 		syntheticPoint("i", 80, 300), // dominated by f
 	}

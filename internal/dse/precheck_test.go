@@ -1,0 +1,93 @@
+package dse
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hls"
+	"repro/internal/mlir"
+	"repro/internal/polybench"
+)
+
+func exploreOpts(t *testing.T, kernel string, opts Options) *Result {
+	t.Helper()
+	k := polybench.Get(kernel)
+	s, err := k.SizeOf("MINI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExploreWith(func() *mlir.Module { return k.Build(s) }, k.Name, hls.DefaultTarget(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// paretoSig renders a frontier as comparable label/latency/area rows.
+func paretoSig(res *Result) string {
+	s := ""
+	for _, p := range res.Pareto {
+		s += fmt.Sprintf("%s %d %.0f\n", p.Label, p.Latency(), p.Area)
+	}
+	return s
+}
+
+// TestPrecheckPrunesInfeasibleII: conv2d accumulates into a loop-invariant
+// output address in its innermost loop, so the load→fmul→fadd→store
+// recurrence puts the dependence-implied RecMII well above 2: every
+// requested II in the sweep is below the floor and only the smallest
+// request per directive group can produce a distinct schedule. The
+// pre-check must prune the II=2 twins, evaluate fewer points, and report
+// the identical Pareto frontier (same labels, latencies, and areas) as the
+// full sweep.
+func TestPrecheckPrunesInfeasibleII(t *testing.T) {
+	full := exploreOpts(t, "conv2d", Options{})
+	pruned := exploreOpts(t, "conv2d", Options{Precheck: true})
+
+	if len(pruned.Pruned) == 0 {
+		t.Fatal("pre-check pruned nothing on conv2d, which has a known recurrence")
+	}
+	if len(pruned.Points)+len(pruned.Pruned) != len(full.Points) {
+		t.Errorf("points(%d) + pruned(%d) != full space(%d)",
+			len(pruned.Points), len(pruned.Pruned), len(full.Points))
+	}
+	for _, pp := range pruned.Pruned {
+		if pp.Label[:len("pipeII2")] != "pipeII2" {
+			t.Errorf("unexpected pruned point %q (only II=2 twins should go)", pp.Label)
+		}
+	}
+	if got, want := paretoSig(pruned), paretoSig(full); got != want {
+		t.Errorf("pre-check changed the Pareto frontier:\n--- full\n%s--- precheck\n%s", want, got)
+	}
+	// Every pruned label's full-sweep result must equal its kept
+	// representative's — the justification for not evaluating it.
+	byLabel := map[string]Point{}
+	for _, p := range full.Points {
+		byLabel[p.Label] = p
+	}
+	for _, pp := range pruned.Pruned {
+		twin := byLabel[pp.Label]
+		kept := byLabel["pipeII1"+pp.Label[len("pipeII2"):]]
+		if twin.Report == nil || kept.Report == nil {
+			t.Fatalf("missing full-sweep result for %q or its kept twin", pp.Label)
+		}
+		if twin.Latency() != kept.Latency() || twin.Area != kept.Area {
+			t.Errorf("pruned %q (lat=%d area=%.0f) differs from kept twin (lat=%d area=%.0f)",
+				pp.Label, twin.Latency(), twin.Area, kept.Latency(), kept.Area)
+		}
+	}
+}
+
+// TestPrecheckNoRecurrenceKeepsSpace: gemm keeps its accumulator in a
+// register across the innermost loop (no loop-invariant memory address is
+// both loaded and stored per iteration), so its RecMII floor is 1 and the
+// pre-check must keep the whole space.
+func TestPrecheckNoRecurrenceKeepsSpace(t *testing.T) {
+	res := exploreOpts(t, "gemm", Options{Precheck: true})
+	if len(res.Pruned) != 0 {
+		t.Errorf("gemm has no memory recurrence; pruned %d point(s): %+v", len(res.Pruned), res.Pruned)
+	}
+	if len(res.Points) != len(Space()) {
+		t.Errorf("want full space %d, got %d", len(Space()), len(res.Points))
+	}
+}

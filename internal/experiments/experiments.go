@@ -489,8 +489,11 @@ func Fig8(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Precheck prunes pipeline points whose requested II sits below the
+		// kernel's dependence-implied floor; the frontier is provably
+		// unchanged, so the golden table is too.
 		res, err := dse.ExploreWith(func() *mlir.Module { return k.Build(s) }, k.Name, cfg.Target,
-			dse.Options{Engine: cfg.engine(), CacheScope: cfg.SizeName, FailFast: true})
+			dse.Options{Engine: cfg.engine(), CacheScope: cfg.SizeName, FailFast: true, Precheck: true})
 		if err != nil {
 			return nil, err
 		}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/cgen"
 	"repro/internal/core"
 	"repro/internal/hls"
+	"repro/internal/lint"
 	"repro/internal/llvm"
 	"repro/internal/llvm/interp"
 	lpasses "repro/internal/llvm/passes"
@@ -25,6 +26,16 @@ import (
 	"repro/internal/mlir/passes"
 	"repro/internal/translate"
 )
+
+// Options tunes how a flow runs beyond the HLS directives.
+type Options struct {
+	// VerifyEach re-checks the IR invariants after every pass of both pass
+	// managers (verifier plus the lint invariant subset), and additionally
+	// at each inter-layer boundary (post-translate, post-adaptor, post-C-
+	// frontend). A violation fails the flow naming the offending pass or
+	// boundary — the -verify-each flag of the cmd tools.
+	VerifyEach bool
+}
 
 // Directives selects the HLS optimization configuration applied before the
 // flows diverge.
@@ -62,8 +73,11 @@ type Result struct {
 }
 
 // mlirPrep runs the shared MLIR-level preparation.
-func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool) error {
+func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool, opts Options) error {
 	pm := passes.NewPassManager()
+	if opts.VerifyEach {
+		pm.AfterPass = func(_ string, mm *mlir.Module) error { return lint.MLIRInvariants(mm) }
+	}
 	pm.Add(passes.MarkTop(top))
 	if d.Pipeline {
 		ii := d.II
@@ -91,8 +105,101 @@ func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool) 
 	return pm.Run(m)
 }
 
+// boundaryCheck runs the inter-layer invariant check under VerifyEach: the
+// module verifier plus the lint invariant subset, attributed to the named
+// flow boundary.
+func boundaryCheck(opts Options, where string, lm *llvm.Module) error {
+	if !opts.VerifyEach {
+		return nil
+	}
+	if err := lm.Verify(); err != nil {
+		return fmt.Errorf("verification after %s: %w", where, err)
+	}
+	if err := lint.Invariants(lm); err != nil {
+		return fmt.Errorf("invariant violation after %s: %w", where, err)
+	}
+	return nil
+}
+
+// prepareLLVM runs the adaptor flow's front half — MLIR preparation,
+// lowering, translation, adaptation, LLVM cleanup — producing the module
+// synthesis would consume. phase wraps each stage for timing; adaptorRep
+// receives the adaptor report when non-nil.
+func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
+	phase func(name string, fn func() error) error, adaptorRep **core.Report) (*llvm.Module, error) {
+
+	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, true, opts) }); err != nil {
+		return nil, err
+	}
+	if err := phase("lowering", func() error {
+		if err := lower.AffineToSCF(m); err != nil {
+			return err
+		}
+		return lower.SCFToCF(m)
+	}); err != nil {
+		return nil, err
+	}
+	var lm *llvm.Module
+	if err := phase("translate", func() error {
+		var err error
+		lm, err = translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
+		if err != nil {
+			return err
+		}
+		return boundaryCheck(opts, "translation", lm)
+	}); err != nil {
+		return nil, err
+	}
+	if err := phase("adaptor", func() error {
+		rep, err := core.Adapt(lm, core.Options{TopFunc: top})
+		if adaptorRep != nil {
+			*adaptorRep = rep
+		}
+		if err != nil {
+			return err
+		}
+		return boundaryCheck(opts, "adaptor", lm)
+	}); err != nil {
+		return nil, err
+	}
+	if err := phase("llvm-opt", func() error {
+		pm := lpasses.NewPassManager().Add(
+			lpasses.PassSimplifyCFG,
+			lpasses.PassConstFold,
+			lpasses.PassStrengthReduce,
+			lpasses.PassCSE,
+			lpasses.PassDCE,
+		)
+		if opts.VerifyEach {
+			pm.VerifyEach = true
+			pm.Invariants = lint.Invariants
+		}
+		return pm.Run(lm)
+	}); err != nil {
+		return nil, err
+	}
+	return lm, nil
+}
+
+// PrepareLLVM runs the adaptor flow up to (but not including) synthesis and
+// returns the cleaned LLVM module — the input the DSE feasibility pre-check
+// lints without paying for a schedule.
+func PrepareLLVM(m *mlir.Module, top string, d Directives) (*llvm.Module, error) {
+	noPhases := func(_ string, fn func() error) error { return fn() }
+	lm, err := prepareLLVM(m, top, d, Options{}, noPhases, nil)
+	if err != nil {
+		return nil, fmt.Errorf("prepare: %w", err)
+	}
+	return lm, nil
+}
+
 // AdaptorFlow runs the paper's direct-IR flow end to end.
 func AdaptorFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result, error) {
+	return AdaptorFlowWith(m, top, d, tgt, Options{})
+}
+
+// AdaptorFlowWith is AdaptorFlow with explicit options.
+func AdaptorFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts Options) (*Result, error) {
 	res := &Result{Flow: "adaptor", Phases: Phases{}}
 	t0 := time.Now()
 
@@ -103,45 +210,8 @@ func AdaptorFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Res
 		return err
 	}
 
-	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, true) }); err != nil {
-		return nil, fmt.Errorf("adaptor flow: %w", err)
-	}
-	if err := phase("lowering", func() error {
-		if err := lower.AffineToSCF(m); err != nil {
-			return err
-		}
-		return lower.SCFToCF(m)
-	}); err != nil {
-		return nil, fmt.Errorf("adaptor flow: %w", err)
-	}
-	var lm *llvm.Module
-	if err := phase("translate", func() error {
-		var err error
-		lm, err = translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("adaptor flow: %w", err)
-	}
-	if err := phase("adaptor", func() error {
-		rep, err := core.Adapt(lm, core.Options{TopFunc: top})
-		res.Adaptor = rep
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("adaptor flow: %w", err)
-	}
-	if err := phase("llvm-opt", func() error {
-		for _, f := range lm.Funcs {
-			if f.IsDecl {
-				continue
-			}
-			lpasses.SimplifyCFG(f)
-			lpasses.ConstFold(f)
-			lpasses.StrengthReduce(f)
-			lpasses.CSE(f)
-			lpasses.DCE(f)
-		}
-		return lm.Verify()
-	}); err != nil {
+	lm, err := prepareLLVM(m, top, d, opts, phase, &res.Adaptor)
+	if err != nil {
 		return nil, fmt.Errorf("adaptor flow: %w", err)
 	}
 	if err := phase("synthesis", func() error {
@@ -158,6 +228,11 @@ func AdaptorFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Res
 
 // CxxFlow runs the baseline HLS-C++ flow end to end.
 func CxxFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result, error) {
+	return CxxFlowWith(m, top, d, tgt, Options{})
+}
+
+// CxxFlowWith is CxxFlow with explicit options.
+func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts Options) (*Result, error) {
 	res := &Result{Flow: "cxx", Phases: Phases{}}
 	t0 := time.Now()
 	phase := func(name string, fn func() error) error {
@@ -167,7 +242,7 @@ func CxxFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result,
 		return err
 	}
 
-	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, false) }); err != nil {
+	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, false, opts) }); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
 	if err := phase("emit-hlscpp", func() error {
@@ -181,7 +256,10 @@ func CxxFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result,
 	if err := phase("c-frontend", func() error {
 		var err error
 		lm, err = cfront.Compile(res.CSource, cfront.Options{Top: top})
-		return err
+		if err != nil {
+			return err
+		}
+		return boundaryCheck(opts, "c-frontend", lm)
 	}); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
@@ -200,7 +278,7 @@ func CxxFlow(m *mlir.Module, top string, d Directives, tgt hls.Target) (*Result,
 // RawFlow translates without adapting and returns the gate violations (nil
 // error with non-empty violations is the expected outcome).
 func RawFlow(m *mlir.Module, top string, d Directives) ([]hls.Violation, *llvm.Module, error) {
-	if err := mlirPrep(m, top, d, true); err != nil {
+	if err := mlirPrep(m, top, d, true, Options{}); err != nil {
 		return nil, nil, err
 	}
 	if err := lower.AffineToSCF(m); err != nil {

@@ -1,0 +1,48 @@
+package hls
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/llvm"
+)
+
+// This file exports the scheduler's dependence/address reasoning for the
+// static-analysis layer (internal/lint), so lint diagnostics and the DSE
+// feasibility pre-check agree with the estimator instead of re-deriving a
+// divergent model.
+
+// RecMII computes the recurrence-constrained minimum initiation interval of
+// one loop iteration's instruction sequence. ivDependent (may be nil)
+// reports whether a value varies with the loop's induction variable; loads
+// at IV-dependent addresses touch a different location each iteration and do
+// not constrain the II.
+func (t Target) RecMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool) int {
+	return t.recMII(instrs, ivDependent)
+}
+
+// SameAddress reports whether two pointer operands are provably the same
+// address: the same SSA value, or GEPs off the same base with structurally
+// identical index computations.
+func SameAddress(a, b llvm.Value) bool { return sameAddress(a, b) }
+
+// BaseOf resolves a pointer operand to its root allocation (parameter or
+// alloca) by walking back through GEPs and casts.
+func BaseOf(v llvm.Value) llvm.Value { return baseOf(v) }
+
+// DependsOnLoopPhi reports whether v's computation reads any phi of the
+// given loop header, i.e. whether v varies across that loop's iterations.
+func DependsOnLoopPhi(v llvm.Value, header *llvm.Block) bool {
+	return dependsOnHeaderPhi(v, header, map[llvm.Value]bool{})
+}
+
+// ParsePartitionSpec decodes an array-partition attribute value of the form
+// "kind,factor,dim" (e.g. "cyclic,2,0"; factor and dim optional) as attached
+// by the adaptor under hls.array_partition.argN keys.
+func ParsePartitionSpec(spec string) (kind string, factor, dim int) {
+	kind, factor = parsePartition(spec)
+	if parts := strings.Split(spec, ","); len(parts) > 2 {
+		dim, _ = strconv.Atoi(parts[2])
+	}
+	return kind, factor, dim
+}

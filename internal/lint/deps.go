@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/diag"
+	"repro/internal/hls"
+	"repro/internal/llvm"
+	"repro/internal/llvm/analysis"
+)
+
+// iterInstrs returns one iteration's instructions of l in reverse postorder,
+// excluding blocks of nested loops.
+func (ctx *FuncContext) iterInstrs(l *analysis.Loop) []*llvm.Instr {
+	var out []*llvm.Instr
+	for _, b := range ctx.CFG.Order {
+		if !l.Contains(b) {
+			continue
+		}
+		nested := false
+		for _, c := range l.Children {
+			if c.Contains(b) {
+				nested = true
+				break
+			}
+		}
+		if nested {
+			continue
+		}
+		out = append(out, b.Instrs...)
+	}
+	return out
+}
+
+// recMIIOf computes the scheduler's recurrence-constrained minimum II for
+// one loop iteration, using the same dependence model synthesis applies.
+func (ctx *FuncContext) recMIIOf(l *analysis.Loop) int {
+	instrs := ctx.iterInstrs(l)
+	return ctx.Target.RecMII(instrs, func(v llvm.Value) bool {
+		return hls.DependsOnLoopPhi(v, l.Header)
+	})
+}
+
+// checkLoopCarriedDep reports memory recurrences in innermost loops: a load
+// that reads an address stored by the same iteration at a loop-invariant
+// location carries a value across iterations and bounds any pipeline at
+// RecMII. The finding is informational — the code is correct — but it
+// explains why an aggressive II will not be met (the hls-directives check
+// escalates that case to a warning).
+func checkLoopCarriedDep(ctx *FuncContext) diag.Diagnostics {
+	var out diag.Diagnostics
+	const check = "loop-carried-dep"
+	for _, l := range ctx.Loops.Loops {
+		if !l.IsInnermost() {
+			continue
+		}
+		instrs := ctx.iterInstrs(l)
+		seenBase := map[llvm.Value]bool{}
+		for _, ld := range instrs {
+			if ld.Op != llvm.OpLoad {
+				continue
+			}
+			for _, st := range instrs {
+				if st.Op != llvm.OpStore || !hls.SameAddress(ld.Args[0], st.Args[1]) {
+					continue
+				}
+				if hls.DependsOnLoopPhi(ld.Args[0], l.Header) {
+					continue // address moves each iteration: no recurrence
+				}
+				base := hls.BaseOf(ld.Args[0])
+				if seenBase[base] {
+					continue
+				}
+				seenBase[base] = true
+				rec := ctx.recMIIOf(l)
+				out = append(out, ctx.diag(diag.SevInfo, check, nil, ld,
+					fmt.Sprintf("loop %%%s carries a value through %s across iterations (RecMII=%d)",
+						l.Header.Name, base.Ident(), rec),
+					"pipelining this loop cannot achieve II below the recurrence latency"))
+			}
+		}
+	}
+	return out
+}

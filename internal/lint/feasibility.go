@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"repro/internal/hls"
+	"repro/internal/llvm"
+)
+
+// MinPipelineFloor computes the feasibility floor the DSE pre-check prunes
+// against: the smallest dependence-implied RecMII across the top function's
+// innermost pipelined loops, on an already-prepared (adapted and cleaned)
+// LLVM module. Any two requested pipeline IIs that are both <= the floor
+// produce identical schedules — for every pipelined loop the achieved II is
+// max(request, RecMII, ResMII), and request <= floor <= RecMII makes the
+// request irrelevant — so a sweep needs only the smallest such request.
+// ok=false when the module has no pipelined innermost loop to bound.
+func MinPipelineFloor(m *llvm.Module, top string, tgt hls.Target) (floor int, ok bool) {
+	f := m.FindFunc(top)
+	if f == nil || f.IsDecl || len(f.Blocks) == 0 {
+		return 0, false
+	}
+	ctx := newFuncContext(m, f, tgt)
+	for _, l := range ctx.Loops.Loops {
+		if !l.IsInnermost() || l.MD == nil || !l.MD.Pipeline {
+			continue
+		}
+		rec := ctx.recMIIOf(l)
+		if floor == 0 || rec < floor {
+			floor = rec
+		}
+	}
+	return floor, floor > 0
+}

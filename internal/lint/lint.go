@@ -1,0 +1,208 @@
+// Package lint implements the static analyses of the hls-lint subsystem:
+// SSA and memory-safety invariants over the LLVM-like IR, array-bounds
+// reasoning against the static shapes HLS synthesis requires, loop-carried
+// dependence detection, and HLS-directive feasibility lints. Checks reuse
+// internal/llvm/analysis (CFG, dominators, loops, induction variables) and
+// the scheduler's dependence model (internal/hls.RecMII), so diagnostics
+// agree with what synthesis will actually do.
+//
+// The package is consumed three ways: cmd/hls-lint reports all checks, the
+// pass managers' verify-each mode runs the invariant subset after every
+// pass, and the DSE feasibility pre-check (MinPipelineFloor) prunes
+// II-infeasible directive points before scheduling.
+package lint
+
+import (
+	"repro/internal/diag"
+	"repro/internal/hls"
+	"repro/internal/llvm"
+	"repro/internal/llvm/analysis"
+)
+
+// Check is one registered analysis.
+type Check struct {
+	Name string
+	Desc string
+	// Invariant marks checks that must hold after every pass; the pass
+	// managers' verify-each mode runs exactly this subset.
+	Invariant bool
+	Run       func(*FuncContext) diag.Diagnostics
+}
+
+// registry lists every check in reporting order.
+var registry = []Check{
+	{
+		Name:      "ssa-dominance",
+		Desc:      "every operand's definition dominates its use (stricter than Verify)",
+		Invariant: true,
+		Run:       checkSSADominance,
+	},
+	{
+		Name:      "uninit-load",
+		Desc:      "loads from local allocas that no path has initialized",
+		Invariant: true,
+		Run:       checkUninitLoad,
+	},
+	{
+		Name: "dead-store",
+		Desc: "stores overwritten before any read",
+		Run:  checkDeadStore,
+	},
+	{
+		Name: "dead-alloca",
+		Desc: "local allocations never read",
+		Run:  checkDeadAlloca,
+	},
+	{
+		Name:      "gep-bounds",
+		Desc:      "constant and induction-ranged GEP indices within static array bounds",
+		Invariant: true,
+		Run:       checkGEPBounds,
+	},
+	{
+		Name: "loop-carried-dep",
+		Desc: "memory recurrences that will constrain pipeline II",
+		Run:  checkLoopCarriedDep,
+	},
+	{
+		Name: "hls-directives",
+		Desc: "infeasible, conflicting, or ignored HLS directives",
+		Run:  checkDirectives,
+	},
+}
+
+// Checks returns the registered checks in reporting order.
+func Checks() []Check {
+	return append([]Check(nil), registry...)
+}
+
+// CheckNames returns the registered check names in reporting order.
+func CheckNames() []string {
+	names := make([]string, len(registry))
+	for i, c := range registry {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Options selects which checks run and against which synthesis target.
+type Options struct {
+	// Enabled restricts the run to the named checks; nil runs all of them.
+	Enabled map[string]bool
+	// InvariantsOnly restricts the run to invariant checks (the verify-each
+	// subset), intersected with Enabled when both are set.
+	InvariantsOnly bool
+	// Target provides the dependence/latency model; zero value means
+	// hls.DefaultTarget().
+	Target hls.Target
+}
+
+// FuncContext carries one function's analyses, shared by every check.
+type FuncContext struct {
+	M      *llvm.Module
+	F      *llvm.Function
+	CFG    *analysis.CFG
+	Dom    *analysis.DomTree
+	Loops  *analysis.LoopInfo
+	Target hls.Target
+
+	blockPos map[*llvm.Block]int
+	instrPos map[*llvm.Instr]int
+}
+
+// newFuncContext computes the shared analyses for f.
+func newFuncContext(m *llvm.Module, f *llvm.Function, tgt hls.Target) *FuncContext {
+	cfg := analysis.NewCFG(f)
+	dom := analysis.NewDomTree(cfg)
+	ctx := &FuncContext{
+		M: m, F: f, CFG: cfg, Dom: dom,
+		Loops:    analysis.FindLoops(cfg, dom),
+		Target:   tgt,
+		blockPos: map[*llvm.Block]int{},
+		instrPos: map[*llvm.Instr]int{},
+	}
+	for bi, b := range f.Blocks {
+		ctx.blockPos[b] = bi
+		for ii, in := range b.Instrs {
+			ctx.instrPos[in] = ii
+		}
+	}
+	return ctx
+}
+
+// diag builds a located diagnostic. b and in may be nil for function- and
+// block-level findings.
+func (ctx *FuncContext) diag(sev diag.Severity, check string, b *llvm.Block, in *llvm.Instr, msg, suggestion string) diag.Diagnostic {
+	d := diag.Diagnostic{
+		Severity: sev, Check: check, Func: ctx.F.Name,
+		Message: msg, Suggestion: suggestion,
+		BlockPos: -1, InstrPos: -1,
+	}
+	if b != nil {
+		d.Block = b.Name
+		d.BlockPos = ctx.blockPos[b]
+	}
+	if in != nil {
+		d.Instr = instrLabel(in)
+		d.InstrPos = ctx.instrPos[in]
+		if in.Parent != nil && b == nil {
+			d.Block = in.Parent.Name
+			d.BlockPos = ctx.blockPos[in.Parent]
+		}
+	}
+	return d
+}
+
+// instrLabel names an instruction for diagnostics: its SSA result name, or
+// its opcode for void instructions.
+func instrLabel(in *llvm.Instr) string {
+	if in.Name != "" {
+		return in.Name
+	}
+	return string(in.Op)
+}
+
+// loopOf returns the innermost loop containing b, or nil.
+func (ctx *FuncContext) loopOf(b *llvm.Block) *analysis.Loop {
+	var best *analysis.Loop
+	for _, l := range ctx.Loops.Loops {
+		if l.Contains(b) && (best == nil || l.Depth() > best.Depth()) {
+			best = l
+		}
+	}
+	return best
+}
+
+// Module runs the selected checks over every defined function and returns
+// the sorted findings.
+func Module(m *llvm.Module, opts Options) diag.Diagnostics {
+	tgt := opts.Target
+	if tgt.ClockNs == 0 {
+		tgt = hls.DefaultTarget()
+	}
+	var out diag.Diagnostics
+	for _, f := range m.Funcs {
+		if f.IsDecl || len(f.Blocks) == 0 {
+			continue
+		}
+		ctx := newFuncContext(m, f, tgt)
+		for _, c := range registry {
+			if opts.Enabled != nil && !opts.Enabled[c.Name] {
+				continue
+			}
+			if opts.InvariantsOnly && !c.Invariant {
+				continue
+			}
+			out = append(out, c.Run(ctx)...)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Invariants runs the invariant subset and converts error-severity findings
+// into a single error (nil when the module is clean). This is the hook the
+// pass managers call between passes.
+func Invariants(m *llvm.Module) error {
+	return Module(m, Options{InvariantsOnly: true}).AsError()
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/diag"
+	"repro/internal/hls"
+	"repro/internal/llvm"
+)
+
+// allocaInfo summarizes one alloca's pointer flow.
+type allocaInfo struct {
+	root *llvm.Instr
+	// derived holds every SSA value known to point into the allocation
+	// (the alloca itself, GEPs and casts off it).
+	derived map[llvm.Value]bool
+	escaped bool
+	loads   []*llvm.Instr
+	stores  []*llvm.Instr
+}
+
+// collectAllocas finds every alloca with its derived-pointer closure, escape
+// verdict, and the loads/stores through it. A pointer escapes when it is
+// passed to a call, stored as a value, cast to an integer, returned, or
+// merged through phi/select/insertvalue — after that, reads and writes can
+// happen through names this local analysis cannot see.
+func collectAllocas(ctx *FuncContext) []*allocaInfo {
+	var infos []*allocaInfo
+	for _, b := range ctx.F.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == llvm.OpAlloca {
+				infos = append(infos, &allocaInfo{
+					root:    in,
+					derived: map[llvm.Value]bool{in: true},
+				})
+			}
+		}
+	}
+	if len(infos) == 0 {
+		return nil
+	}
+	// Close the derived sets (GEP/bitcast chains can appear in any block
+	// order, so iterate to a fixpoint).
+	for changed := true; changed; {
+		changed = false
+		for _, b := range ctx.F.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != llvm.OpGEP && in.Op != llvm.OpBitcast {
+					continue
+				}
+				for _, ai := range infos {
+					if ai.derived[in.Args[0]] && !ai.derived[in] {
+						ai.derived[in] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, b := range ctx.F.Blocks {
+		for _, in := range b.Instrs {
+			for _, ai := range infos {
+				switch in.Op {
+				case llvm.OpLoad:
+					if ai.derived[in.Args[0]] {
+						ai.loads = append(ai.loads, in)
+					}
+				case llvm.OpStore:
+					if ai.derived[in.Args[1]] {
+						ai.stores = append(ai.stores, in)
+					}
+					if ai.derived[in.Args[0]] {
+						ai.escaped = true // address stored as a value
+					}
+				case llvm.OpCall, llvm.OpPtrToInt, llvm.OpPhi, llvm.OpSelect,
+					llvm.OpRet, llvm.OpInsertValue:
+					for _, a := range in.Args {
+						if ai.derived[a] {
+							ai.escaped = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return infos
+}
+
+// checkUninitLoad flags loads from non-escaping allocas that no execution
+// path has stored to: forward may-init dataflow over the CFG (a block's
+// entry state is the union over predecessors), then an in-order scan inside
+// each block. Because the merge is a union, a finding means *no* path from
+// entry initializes the location — reading truly undefined memory, which
+// interpretation and synthesis both turn into garbage.
+func checkUninitLoad(ctx *FuncContext) diag.Diagnostics {
+	var out diag.Diagnostics
+	const check = "uninit-load"
+	for _, ai := range collectAllocas(ctx) {
+		if ai.escaped || len(ai.loads) == 0 {
+			continue
+		}
+		gen := map[*llvm.Block]bool{}
+		for _, st := range ai.stores {
+			gen[st.Parent] = true
+		}
+		// Forward may-init to fixpoint over reverse postorder.
+		in := map[*llvm.Block]bool{}
+		outB := map[*llvm.Block]bool{}
+		for changed := true; changed; {
+			changed = false
+			for _, b := range ctx.CFG.Order {
+				inb := false
+				for _, p := range ctx.CFG.Preds[b] {
+					if outB[p] {
+						inb = true
+						break
+					}
+				}
+				ob := inb || gen[b]
+				if in[b] != inb || outB[b] != ob {
+					in[b], outB[b] = inb, ob
+					changed = true
+				}
+			}
+		}
+		for _, b := range ctx.CFG.Order {
+			cur := in[b]
+			for _, i := range b.Instrs {
+				switch i.Op {
+				case llvm.OpStore:
+					if ai.derived[i.Args[1]] {
+						cur = true
+					}
+				case llvm.OpLoad:
+					if ai.derived[i.Args[0]] && !cur {
+						out = append(out, ctx.diag(diag.SevError, check, b, i,
+							fmt.Sprintf("load from %s reads memory no path has initialized", ai.root.Ident()),
+							"store an initial value on every path before this load"))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkDeadStore flags a store overwritten by a later same-address store in
+// the same block with no intervening read: the first store's value can never
+// be observed. Calls and loads of the same base end the window (they may
+// read the location); the address comparison is the scheduler's own
+// SameAddress, so "provably same" here matches what synthesis serializes.
+func checkDeadStore(ctx *FuncContext) diag.Diagnostics {
+	var out diag.Diagnostics
+	const check = "dead-store"
+	for _, b := range ctx.F.Blocks {
+		for i, st := range b.Instrs {
+			if st.Op != llvm.OpStore {
+				continue
+			}
+			base := hls.BaseOf(st.Args[1])
+		window:
+			for _, later := range b.Instrs[i+1:] {
+				switch later.Op {
+				case llvm.OpCall:
+					break window
+				case llvm.OpLoad:
+					if hls.BaseOf(later.Args[0]) == base {
+						break window
+					}
+				case llvm.OpStore:
+					if hls.SameAddress(st.Args[1], later.Args[1]) {
+						out = append(out, ctx.diag(diag.SevWarning, check, b, st,
+							fmt.Sprintf("store to %s is overwritten before any read", st.Args[1].Ident()),
+							"remove the dead store or reorder the computation"))
+						break window
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkDeadAlloca flags non-escaping allocas that are never loaded: the
+// allocation (and every store into it) is dead weight that synthesis would
+// still spend memory ports and BRAM on.
+func checkDeadAlloca(ctx *FuncContext) diag.Diagnostics {
+	var out diag.Diagnostics
+	const check = "dead-alloca"
+	for _, ai := range collectAllocas(ctx) {
+		if ai.escaped || len(ai.loads) > 0 {
+			continue
+		}
+		msg := fmt.Sprintf("local allocation %s is never read", ai.root.Ident())
+		if len(ai.stores) > 0 {
+			msg += fmt.Sprintf(" (%d store(s) into it are dead)", len(ai.stores))
+		}
+		out = append(out, ctx.diag(diag.SevWarning, check, ai.root.Parent, ai.root,
+			msg, "delete the allocation and its stores"))
+	}
+	return out
+}

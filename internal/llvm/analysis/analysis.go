@@ -133,12 +133,18 @@ func (d *DomTree) Dominates(a, b *llvm.Block) bool {
 // Loop is a natural loop.
 type Loop struct {
 	Header *llvm.Block
-	Latch  *llvm.Block // the back-edge source (single-latch loops only)
-	Blocks map[*llvm.Block]bool
-	Parent *Loop
+	// Latch is the unique back-edge source, or nil when the header has
+	// several back edges (consult Latches in that case).
+	Latch *llvm.Block
+	// Latches lists every back-edge source, in reverse postorder.
+	Latches []*llvm.Block
+	Blocks  map[*llvm.Block]bool
+	Parent  *Loop
 	// Children are loops nested directly inside this one.
 	Children []*Loop
-	// MD is the loop metadata found on the latch terminator, if any.
+	// MD is the loop metadata found on the latch terminators. When several
+	// latches carry distinct metadata the loop's intent is ambiguous and MD
+	// is nil (the hls-directives lint diagnoses this).
 	MD *llvm.LoopMD
 }
 
@@ -174,10 +180,11 @@ func FindLoops(c *CFG, d *DomTree) *LoopInfo {
 				// back edge b -> s
 				l := li.ByHeader[s]
 				if l == nil {
-					l = &Loop{Header: s, Latch: b, Blocks: map[*llvm.Block]bool{s: true}}
+					l = &Loop{Header: s, Blocks: map[*llvm.Block]bool{s: true}}
 					li.ByHeader[s] = l
 					li.Loops = append(li.Loops, l)
 				}
+				l.Latches = append(l.Latches, b)
 				// Collect body: reverse reachability from latch to header.
 				var stack []*llvm.Block
 				if !l.Blocks[b] {
@@ -194,10 +201,30 @@ func FindLoops(c *CFG, d *DomTree) *LoopInfo {
 						}
 					}
 				}
-				if t := b.Terminator(); t != nil && t.Loop != nil {
-					l.MD = t.Loop
-				}
 			}
+		}
+	}
+	// Finalize latch/metadata views. A unique latch is exposed as Latch; a
+	// multi-latch loop keeps Latch nil so callers cannot silently act on an
+	// arbitrary back edge. Metadata survives only when exactly one latch
+	// terminator carries it (several identical-intent latches would need a
+	// merge policy; the lint layer flags them instead).
+	for _, l := range li.Loops {
+		if len(l.Latches) == 1 {
+			l.Latch = l.Latches[0]
+		}
+		var md *llvm.LoopMD
+		ambiguous := false
+		for _, latch := range l.Latches {
+			if t := latch.Terminator(); t != nil && t.Loop != nil {
+				if md != nil && md != t.Loop {
+					ambiguous = true
+				}
+				md = t.Loop
+			}
+		}
+		if !ambiguous {
+			l.MD = md
 		}
 	}
 	// Establish nesting: loop A is a child of the smallest loop strictly
@@ -237,16 +264,52 @@ func FindLoops(c *CFG, d *DomTree) *LoopInfo {
 	return li
 }
 
-// TripCount returns the constant trip count of a loop in canonical
-// phi/icmp/add form, with ok=false when the shape is not recognized.
+// IndVar describes a loop's canonical induction variable: an integer phi in
+// the header starting at Start, stepping by Step each iteration, and guarded
+// by `icmp Pred iv, Bound` on the header's conditional branch.
+type IndVar struct {
+	Phi   *llvm.Instr
+	Start int64
+	Step  int64 // always > 0
+	Bound int64
+	Pred  string // slt, sle, ult, or ule
+}
+
+// Trip returns the number of iterations the guard admits (0 when the bound
+// excludes even the start value).
+func (iv IndVar) Trip() int64 {
+	switch iv.Pred {
+	case "slt", "ult":
+		if iv.Bound <= iv.Start {
+			return 0
+		}
+		return (iv.Bound - iv.Start + iv.Step - 1) / iv.Step
+	case "sle", "ule":
+		if iv.Bound < iv.Start {
+			return 0
+		}
+		return (iv.Bound-iv.Start)/iv.Step + 1
+	}
+	return 0
+}
+
+// Last returns the largest value the induction variable takes inside the
+// loop body. Only meaningful when Trip() >= 1.
+func (iv IndVar) Last() int64 {
+	return iv.Start + (iv.Trip()-1)*iv.Step
+}
+
+// InductionVar recognizes the canonical phi/icmp/add induction variable of
+// a loop, with ok=false when the shape is not recognized.
 //
-// Recognized shape (as produced by both flows):
+// Recognized shape (as produced by both flows; instcombine-lite may rewrite
+// the exit compare to sle, and unsigned forms appear after retyping):
 //
 //	header: %iv = phi [ C0, pre ], [ %next, latch ]
-//	        %c = icmp slt %iv, C1
+//	        %c = icmp {slt|sle|ult|ule} %iv, C1
 //	        br %c, body, exit
 //	...     %next = add %iv, C2
-func TripCount(l *Loop) (int64, bool) {
+func InductionVar(l *Loop) (IndVar, bool) {
 	var cmp *llvm.Instr
 	for _, in := range l.Header.Instrs {
 		if in.Op == llvm.OpICmp {
@@ -255,19 +318,21 @@ func TripCount(l *Loop) (int64, bool) {
 	}
 	term := l.Header.Terminator()
 	if cmp == nil || term == nil || term.Op != llvm.OpCondBr || term.Args[0] != cmp {
-		return 0, false
+		return IndVar{}, false
 	}
 	// The induction phi is the compare's left operand.
 	phi, ok := cmp.Args[0].(*llvm.Instr)
 	if !ok || phi.Op != llvm.OpPhi || phi.Parent != l.Header || !phi.Ty.IsInt() {
-		return 0, false
+		return IndVar{}, false
 	}
-	if cmp.Pred != "slt" {
-		return 0, false
+	switch cmp.Pred {
+	case "slt", "sle", "ult", "ule":
+	default:
+		return IndVar{}, false
 	}
 	bound, ok := cmp.Args[1].(*llvm.ConstInt)
 	if !ok {
-		return 0, false
+		return IndVar{}, false
 	}
 	var start *llvm.ConstInt
 	var step *llvm.ConstInt
@@ -276,7 +341,7 @@ func TripCount(l *Loop) (int64, bool) {
 			// Back-edge value: expect add(iv, step).
 			add, ok := inc.(*llvm.Instr)
 			if !ok || add.Op != llvm.OpAdd {
-				return 0, false
+				return IndVar{}, false
 			}
 			if add.Args[0] == phi {
 				step, _ = add.Args[1].(*llvm.ConstInt)
@@ -288,10 +353,22 @@ func TripCount(l *Loop) (int64, bool) {
 		}
 	}
 	if start == nil || step == nil || step.Val <= 0 {
+		return IndVar{}, false
+	}
+	if (cmp.Pred == "ult" || cmp.Pred == "ule") && (start.Val < 0 || bound.Val < 0) {
+		// Unsigned compares over negative constants would need modular
+		// reasoning; bail out rather than report a wrong count.
+		return IndVar{}, false
+	}
+	return IndVar{Phi: phi, Start: start.Val, Step: step.Val, Bound: bound.Val, Pred: cmp.Pred}, true
+}
+
+// TripCount returns the constant trip count of a loop in canonical
+// phi/icmp/add form, with ok=false when the shape is not recognized.
+func TripCount(l *Loop) (int64, bool) {
+	iv, ok := InductionVar(l)
+	if !ok {
 		return 0, false
 	}
-	if bound.Val <= start.Val {
-		return 0, true
-	}
-	return (bound.Val - start.Val + step.Val - 1) / step.Val, true
+	return iv.Trip(), true
 }

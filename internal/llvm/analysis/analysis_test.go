@@ -185,6 +185,182 @@ func TestTripCountNonCanonical(t *testing.T) {
 	}
 }
 
+// buildTwoLatchLoop builds a loop whose header has two back edges:
+//
+//	entry -> h ; h -> body|exit ; body -> l1|l2 ; l1 -> h ; l2 -> h
+func buildTwoLatchLoop(t *testing.T) (*llvm.Function, map[string]*llvm.Block) {
+	t.Helper()
+	f := llvm.NewFunction("twolatch", llvm.Void())
+	blocks := map[string]*llvm.Block{}
+	for _, n := range []string{"entry", "h", "body", "l1", "l2", "exit"} {
+		blocks[n] = f.AddBlock(n)
+	}
+	b := llvm.NewBuilder(f)
+
+	b.SetBlock(blocks["entry"])
+	b.Br(blocks["h"])
+
+	b.SetBlock(blocks["h"])
+	iv := b.Phi(llvm.I64())
+	cond := b.ICmp("slt", iv, llvm.CI(llvm.I64(), 10))
+	b.CondBr(cond, blocks["body"], blocks["exit"])
+
+	b.SetBlock(blocks["body"])
+	next := b.Add(iv, llvm.CI(llvm.I64(), 1))
+	parity := b.ICmp("slt", next, llvm.CI(llvm.I64(), 5))
+	b.CondBr(parity, blocks["l1"], blocks["l2"])
+
+	b.SetBlock(blocks["l1"])
+	t1 := b.Br(blocks["h"])
+	t1.Loop = &llvm.LoopMD{Pipeline: true, II: 1}
+
+	b.SetBlock(blocks["l2"])
+	t2 := b.Br(blocks["h"])
+	t2.Loop = &llvm.LoopMD{Unroll: 2}
+
+	b.SetBlock(blocks["exit"])
+	b.Ret(nil)
+
+	iv.AddIncoming(llvm.CI(llvm.I64(), 0), blocks["entry"])
+	iv.AddIncoming(next, blocks["l1"])
+	iv.AddIncoming(next, blocks["l2"])
+
+	if err := f.Verify(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return f, blocks
+}
+
+func TestFindLoopsMultiLatch(t *testing.T) {
+	f, blocks := buildTwoLatchLoop(t)
+	cfg := NewCFG(f)
+	dt := NewDomTree(cfg)
+	li := FindLoops(cfg, dt)
+	if len(li.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(li.Loops))
+	}
+	l := li.ByHeader[blocks["h"]]
+	if l == nil {
+		t.Fatal("loop not keyed by header")
+	}
+	if len(l.Latches) != 2 {
+		t.Fatalf("want 2 latches, got %d", len(l.Latches))
+	}
+	seen := map[*llvm.Block]bool{l.Latches[0]: true, l.Latches[1]: true}
+	if !seen[blocks["l1"]] || !seen[blocks["l2"]] {
+		t.Errorf("latches = %v, want l1 and l2", []string{l.Latches[0].Name, l.Latches[1].Name})
+	}
+	if l.Latch != nil {
+		t.Errorf("multi-latch loop must expose Latch=nil, got %s", l.Latch.Name)
+	}
+	if l.MD != nil {
+		t.Errorf("conflicting latch metadata must yield MD=nil, got %+v", l.MD)
+	}
+	if !l.Contains(blocks["l1"]) || !l.Contains(blocks["l2"]) || !l.Contains(blocks["body"]) {
+		t.Error("loop body must include both latches and the branch block")
+	}
+}
+
+func TestFindLoopsSingleLatchStillExposed(t *testing.T) {
+	f, blocks := buildNestedLoops(t)
+	cfg := NewCFG(f)
+	dt := NewDomTree(cfg)
+	li := FindLoops(cfg, dt)
+	inner := li.ByHeader[blocks["ih"]]
+	if inner.Latch != blocks["ib"] {
+		t.Errorf("single-latch loop must keep Latch, got %v", inner.Latch)
+	}
+	if len(inner.Latches) != 1 || inner.Latches[0] != blocks["ib"] {
+		t.Errorf("Latches must mirror the unique latch, got %v", inner.Latches)
+	}
+}
+
+// buildCountedLoop builds a single canonical loop with the given compare
+// predicate, start, step, and bound constants.
+func buildCountedLoop(t *testing.T, pred string, start, step, bound int64) (*llvm.Function, *Loop) {
+	t.Helper()
+	f := llvm.NewFunction("counted", llvm.Void())
+	entry := f.AddBlock("entry")
+	h := f.AddBlock("h")
+	body := f.AddBlock("body")
+	exit := f.AddBlock("exit")
+	b := llvm.NewBuilder(f)
+
+	b.SetBlock(entry)
+	b.Br(h)
+
+	b.SetBlock(h)
+	iv := b.Phi(llvm.I64())
+	cond := b.ICmp(pred, iv, llvm.CI(llvm.I64(), bound))
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	next := b.Add(iv, llvm.CI(llvm.I64(), step))
+	b.Br(h)
+
+	b.SetBlock(exit)
+	b.Ret(nil)
+
+	iv.AddIncoming(llvm.CI(llvm.I64(), start), entry)
+	iv.AddIncoming(next, body)
+
+	if err := f.Verify(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	cfg := NewCFG(f)
+	li := FindLoops(cfg, NewDomTree(cfg))
+	if len(li.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(li.Loops))
+	}
+	return f, li.Loops[0]
+}
+
+func TestTripCountPredicates(t *testing.T) {
+	cases := []struct {
+		pred               string
+		start, step, bound int64
+		want               int64
+		ok                 bool
+	}{
+		{"slt", 0, 1, 8, 8, true},
+		{"sle", 0, 1, 8, 9, true},
+		{"ult", 0, 1, 8, 8, true},
+		{"ule", 0, 1, 8, 9, true},
+		{"slt", 2, 3, 11, 3, true},  // 2,5,8 < 11
+		{"sle", 2, 3, 11, 4, true},  // 2,5,8,11 <= 11
+		{"ult", 4, 2, 4, 0, true},   // bound == start: empty
+		{"sle", 5, 1, 4, 0, true},   // bound < start: empty
+		{"sgt", 8, 1, 0, 0, false},  // unsupported predicate
+		{"ult", -1, 1, 8, 0, false}, // unsigned with negative start
+		{"ule", 0, 1, -1, 0, false}, // unsigned with negative bound
+	}
+	for _, c := range cases {
+		_, l := buildCountedLoop(t, c.pred, c.start, c.step, c.bound)
+		got, ok := TripCount(l)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("TripCount(%s start=%d step=%d bound=%d) = %d,%v want %d,%v",
+				c.pred, c.start, c.step, c.bound, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestInductionVarLast(t *testing.T) {
+	_, l := buildCountedLoop(t, "slt", 0, 2, 9)
+	iv, ok := InductionVar(l)
+	if !ok {
+		t.Fatal("canonical loop must be recognized")
+	}
+	if iv.Trip() != 5 { // 0,2,4,6,8
+		t.Errorf("trip = %d, want 5", iv.Trip())
+	}
+	if iv.Last() != 8 {
+		t.Errorf("last = %d, want 8", iv.Last())
+	}
+	if iv.Phi != l.Header.Instrs[0] {
+		t.Error("IndVar.Phi must be the header phi")
+	}
+}
+
 func TestTripCountZero(t *testing.T) {
 	f, blocks := buildNestedLoops(t)
 	cfg := NewCFG(f)

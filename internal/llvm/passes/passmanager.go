@@ -1,0 +1,71 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/llvm"
+)
+
+// Pass is one named LLVM-level transformation, applied per function.
+type Pass struct {
+	Name string
+	Run  func(f *llvm.Function)
+}
+
+// Standard passes, wrapping this package's transformations.
+var (
+	PassMem2Reg        = Pass{Name: "mem2reg", Run: Mem2Reg}
+	PassSimplifyCFG    = Pass{Name: "simplifycfg", Run: SimplifyCFG}
+	PassConstFold      = Pass{Name: "constfold", Run: ConstFold}
+	PassStrengthReduce = Pass{Name: "strength-reduce", Run: StrengthReduce}
+	PassCSE            = Pass{Name: "cse", Run: CSE}
+	PassDCE            = Pass{Name: "dce", Run: DCE}
+)
+
+// PassManager runs a pipeline of LLVM passes over a module's defined
+// functions, optionally re-establishing invariants after every pass.
+type PassManager struct {
+	passes []Pass
+	// VerifyEach runs the module verifier (plus Invariants, when set) after
+	// every pass, and names the offending pass on failure — so a
+	// miscompiling pass is caught where it runs, not at the legality gate.
+	VerifyEach bool
+	// Invariants, when non-nil, is consulted after each pass under
+	// VerifyEach. The flow layer injects lint.Invariants here; keeping it a
+	// function value keeps this package free of a lint dependency.
+	Invariants func(*llvm.Module) error
+}
+
+// NewPassManager returns an empty pass manager with VerifyEach off (the
+// historical behavior: verify once at the end).
+func NewPassManager() *PassManager { return &PassManager{} }
+
+// Add appends passes to the pipeline.
+func (pm *PassManager) Add(ps ...Pass) *PassManager {
+	pm.passes = append(pm.passes, ps...)
+	return pm
+}
+
+// Run executes the pipeline over every defined function of m, then runs a
+// final module verification.
+func (pm *PassManager) Run(m *llvm.Module) error {
+	for _, p := range pm.passes {
+		for _, f := range m.Funcs {
+			if f.IsDecl {
+				continue
+			}
+			p.Run(f)
+		}
+		if pm.VerifyEach {
+			if err := m.Verify(); err != nil {
+				return fmt.Errorf("verification after LLVM pass %s: %w", p.Name, err)
+			}
+			if pm.Invariants != nil {
+				if err := pm.Invariants(m); err != nil {
+					return fmt.Errorf("invariant violation after LLVM pass %s: %w", p.Name, err)
+				}
+			}
+		}
+	}
+	return m.Verify()
+}

@@ -22,6 +22,11 @@ type PassManager struct {
 	// VerifyEach enables module verification after every pass (default on
 	// via NewPassManager).
 	VerifyEach bool
+	// AfterPass, when non-nil, runs after each pass's verification; a
+	// non-nil error aborts the pipeline attributed to the named pass. The
+	// flow layer injects the lint invariant checks here, keeping this
+	// package free of a lint dependency.
+	AfterPass func(passName string, m *mlir.Module) error
 }
 
 // NewPassManager returns a pass manager that verifies after each pass.
@@ -42,6 +47,11 @@ func (pm *PassManager) Run(m *mlir.Module) error {
 		if pm.VerifyEach {
 			if err := m.Verify(); err != nil {
 				return fmt.Errorf("verification after pass %s: %w", p.Name(), err)
+			}
+		}
+		if pm.AfterPass != nil {
+			if err := pm.AfterPass(p.Name(), m); err != nil {
+				return fmt.Errorf("invariant violation after pass %s: %w", p.Name(), err)
 			}
 		}
 	}

@@ -2,6 +2,8 @@ package repro_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -120,6 +122,85 @@ func TestCLIFlowbenchOneExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "gemm") {
 		t.Errorf("flowbench output unexpected:\n%s", out)
+	}
+}
+
+const badLL = `
+define void @bad() {
+entry:
+  %a = alloca [4 x float]
+  %p = getelementptr inbounds [4 x float], ptr %a, i64 0, i64 9
+  %v = load float, ptr %p
+  ret void
+}
+`
+
+// TestCLIHLSLint covers the lint tool's contract: exit 0 with an empty
+// report on clean IR, exit 1 with deterministic text and JSON diagnostics
+// on defective IR, and check filtering via -checks.
+func TestCLIHLSLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	tools := buildTools(t, "mlir-opt", "mlir-translate", "hls-lint")
+
+	opted, errOut, err := runTool(t, tools["mlir-opt"], axpyMLIR, "-top", "axpy", "-pipeline", "1")
+	if err != nil {
+		t.Fatalf("mlir-opt: %v\n%s", err, errOut)
+	}
+	ll, errOut, err := runTool(t, tools["mlir-translate"], opted)
+	if err != nil {
+		t.Fatalf("mlir-translate: %v\n%s", err, errOut)
+	}
+
+	out, errOut, err := runTool(t, tools["hls-lint"], ll)
+	if err != nil {
+		t.Fatalf("hls-lint on clean IR: %v\n%s", err, errOut)
+	}
+	if !strings.Contains(out, "0 error(s)") {
+		t.Errorf("clean IR should report zero errors:\n%s", out)
+	}
+
+	out, _, err = runTool(t, tools["hls-lint"], badLL)
+	if err == nil {
+		t.Fatalf("hls-lint must exit non-zero on error diagnostics:\n%s", out)
+	}
+	for _, want := range []string{"error[gep-bounds]", "error[uninit-load]", "2 error(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	out2, _, _ := runTool(t, tools["hls-lint"], badLL)
+	if out != out2 {
+		t.Error("text report is not deterministic across runs")
+	}
+
+	jsonOut, _, err := runTool(t, tools["hls-lint"], badLL, "-json")
+	if err == nil {
+		t.Fatal("hls-lint -json must still exit non-zero on errors")
+	}
+	var rep struct {
+		Diagnostics []map[string]any `json:"diagnostics"`
+		Errors      int              `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, jsonOut)
+	}
+	if rep.Errors != 2 || len(rep.Diagnostics) != 2 {
+		t.Errorf("want 2 error diagnostics, got %d/%d:\n%s", rep.Errors, len(rep.Diagnostics), jsonOut)
+	}
+
+	// Restricting to one check must drop the other's findings and exit 1.
+	out, _, err = runTool(t, tools["hls-lint"], badLL, "-checks", "gep-bounds")
+	if err == nil || strings.Contains(out, "uninit-load") || !strings.Contains(out, "gep-bounds") {
+		t.Errorf("-checks filtering wrong (err=%v):\n%s", err, out)
+	}
+
+	// Usage errors exit 2.
+	_, _, err = runTool(t, tools["hls-lint"], badLL, "-checks", "no-such-check")
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Errorf("unknown check should exit 2, got %v", err)
 	}
 }
 
