@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"flag"
 	"fmt"
 	"strconv"
 	"testing"
@@ -75,42 +76,57 @@ func BenchmarkFig8DSEFrontier(b *testing.B) {
 	b.ReportMetric(float64(rows), "pareto-points")
 }
 
+// benchPrecheck gates the DSE feasibility pre-check in BenchmarkDSEParallel,
+// so CI can benchmark the sweep with and without pruning and publish the
+// comparison: go test -bench DSEParallel -precheck.
+var benchPrecheck = flag.Bool("precheck", false, "enable the DSE feasibility pre-check in DSE benchmarks")
+
 // BenchmarkDSEParallel sweeps the full DSE space through the evaluation
 // engine at increasing worker counts, reporting wall-clock speedup over
 // the single-worker (serial) sweep, plus a warm-cache run showing the
-// content-addressed cache's effect on repeated exploration.
+// content-addressed cache's effect on repeated exploration. The -precheck
+// flag turns on the feasibility pre-check; the pruned-point count is
+// reported so on/off runs can be compared directly. jacobi1d is the swept
+// kernel: its resource floor gives the pre-check points to prune.
 func BenchmarkDSEParallel(b *testing.B) {
-	k := polybench.Get("gemm")
+	k := polybench.Get("jacobi1d")
 	s, err := k.SizeOf("MINI")
 	if err != nil {
 		b.Fatal(err)
 	}
 	build := func() *mlir.Module { return k.Build(s) }
 	tgt := hls.DefaultTarget()
+	base := dse.Options{Precheck: *benchPrecheck}
 
 	// Serial baseline for the speedup metric (median-free, but the sweep
 	// is long enough to be stable).
 	t0 := time.Now()
-	if _, err := dse.ExploreWith(build, k.Name, tgt, dse.Options{Workers: 1}); err != nil {
+	serialRes, err := dse.ExploreWith(build, k.Name, tgt, dse.Options{Workers: 1, Precheck: base.Precheck})
+	if err != nil {
 		b.Fatal(err)
 	}
 	serial := time.Since(t0)
 
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := base
+			opts.Workers = w
 			for i := 0; i < b.N; i++ {
-				if _, err := dse.ExploreWith(build, k.Name, tgt, dse.Options{Workers: w}); err != nil {
+				if _, err := dse.ExploreWith(build, k.Name, tgt, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
 			perOp := b.Elapsed() / time.Duration(b.N)
 			b.ReportMetric(float64(serial)/float64(perOp), "speedup-vs-serial")
+			b.ReportMetric(float64(len(serialRes.Pruned)), "pruned-points")
 		})
 	}
 
 	b.Run("workers=4/cached", func(b *testing.B) {
 		eng := engine.New(engine.Options{Workers: 4, Cache: true})
-		opts := dse.Options{Engine: eng, CacheScope: "MINI"}
+		opts := base
+		opts.Engine = eng
+		opts.CacheScope = "MINI"
 		if _, err := dse.ExploreWith(build, k.Name, tgt, opts); err != nil {
 			b.Fatal(err) // warm the cache outside the timed region
 		}

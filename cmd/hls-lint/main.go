@@ -1,27 +1,35 @@
-// Command hls-lint runs the cross-layer static-analysis suite over an IR
-// file and reports diagnostics. It accepts the LLVM-like IR the flow's
-// later stages exchange (.ll, the default) or textual MLIR (.mlir or
-// -mlir), so defects can be caught at whichever layer they first appear.
+// Command hls-lint runs the cross-layer static-analysis suite over IR files
+// and reports diagnostics. It accepts the LLVM-like IR the flow's later
+// stages exchange (.ll, the default) or textual MLIR (.mlir or -mlir), so
+// defects can be caught at whichever layer they first appear. Several files
+// and directories can be linted in one run; directories are walked
+// recursively for .ll and .mlir files.
 //
 // Usage:
 //
 //	hls-lint input.ll                 # all checks, text report
+//	hls-lint a.ll b.ll build/         # several files and a directory tree
 //	hls-lint -json input.ll           # machine-readable report
+//	hls-lint -format sarif input.ll   # SARIF 2.1.0 for code-scanning UIs
 //	hls-lint -checks uninit-load,gep-bounds input.ll
 //	hls-lint -severity warning -      # read stdin, hide infos
 //	hls-lint -mlir kernel.mlir        # directive lints on MLIR
+//	hls-lint -explain 1a2b3c4d in.ll  # show one finding's abstract state
 //	hls-lint -list                    # list registered checks
 //
 // Exit status: 0 when no error-severity diagnostics were produced (warnings
 // and infos do not fail the run), 1 when errors were found, 2 on usage or
-// parse failures.
+// parse failures. -explain exits 0 when the finding exists and 2 otherwise.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/diag"
@@ -32,13 +40,15 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (same as -format json)")
+	format := flag.String("format", "text", "report format: text, json, or sarif")
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all; see -list)")
 	invariants := flag.Bool("invariants", false, "run only the invariant subset (the verify-each checks)")
 	severity := flag.String("severity", "info", "minimum severity to report: info, warning, or error")
 	list := flag.Bool("list", false, "list registered checks and exit")
 	clock := flag.Float64("clock", 10.0, "target clock period in ns (sets the dependence/latency model)")
 	mlirIn := flag.Bool("mlir", false, "parse the input as MLIR instead of LLVM IR")
+	explain := flag.String("explain", "", "print one finding (by its [id]) with the analysis state behind it")
 	flag.Parse()
 
 	if *list {
@@ -50,6 +60,15 @@ func main() {
 			fmt.Printf("%-18s %s%s\n", c.Name, c.Desc, inv)
 		}
 		return
+	}
+
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		usage(fmt.Errorf("unknown format %q (want text, json, or sarif)", *format))
 	}
 
 	minSev, err := parseSeverity(*severity)
@@ -74,40 +93,127 @@ func main() {
 		}
 	}
 
-	path := flag.Arg(0)
-	src, err := readInput(path)
+	inputs, err := collectInputs(flag.Args())
 	if err != nil {
 		usage(err)
 	}
 
-	var ds diag.Diagnostics
-	if *mlirIn || strings.HasSuffix(path, ".mlir") {
-		m, err := mlirparser.Parse(src)
+	var all diag.Diagnostics
+	for _, path := range inputs {
+		src, err := readInput(path)
 		if err != nil {
-			usage(fmt.Errorf("parsing MLIR: %w", err))
+			usage(err)
 		}
-		ds = lint.MLIRDirectives(m)
-	} else {
-		m, err := llparser.Parse(src)
-		if err != nil {
-			usage(fmt.Errorf("parsing LLVM IR: %w", err))
+		var ds diag.Diagnostics
+		if *mlirIn || strings.HasSuffix(path, ".mlir") {
+			m, err := mlirparser.Parse(src)
+			if err != nil {
+				usage(fmt.Errorf("%s: parsing MLIR: %w", inputName(path), err))
+			}
+			ds = lint.MLIRDirectives(m)
+		} else {
+			m, err := llparser.Parse(src)
+			if err != nil {
+				usage(fmt.Errorf("%s: parsing LLVM IR: %w", inputName(path), err))
+			}
+			ds = lint.Module(m, opts)
 		}
-		ds = lint.Module(m, opts)
+		if path != "" && path != "-" {
+			for i := range ds {
+				ds[i].File = path
+			}
+		}
+		all = append(all, ds...)
 	}
-	ds = ds.Filter(minSev)
+	all.Sort()
+	all.AssignIDs()
 
-	if *jsonOut {
-		b, err := ds.JSON()
+	if *explain != "" {
+		d, ok := all.FindID(*explain)
+		if !ok {
+			usage(fmt.Errorf("no finding with id %q (run without -explain to list ids)", *explain))
+		}
+		fmt.Println(d.String())
+		if d.Explanation != "" {
+			fmt.Printf("    analysis: %s\n", d.Explanation)
+		}
+		return
+	}
+
+	all = all.Filter(minSev)
+	switch *format {
+	case "json":
+		b, err := all.JSON()
 		if err != nil {
 			usage(err)
 		}
 		fmt.Printf("%s\n", b)
-	} else {
-		fmt.Print(ds.Text())
+	case "sarif":
+		descs := map[string]string{}
+		for _, c := range lint.Checks() {
+			descs[c.Name] = c.Desc
+		}
+		b, err := all.SARIF("hls-lint", descs)
+		if err != nil {
+			usage(err)
+		}
+		fmt.Printf("%s\n", b)
+	default:
+		fmt.Print(all.Text())
 	}
-	if ds.HasErrors() {
+	if all.HasErrors() {
 		os.Exit(1)
 	}
+}
+
+// collectInputs expands the positional arguments into a list of inputs: ""
+// (no args) and "-" mean stdin, files pass through, and directories are
+// walked recursively for .ll/.mlir files in lexical order.
+func collectInputs(args []string) ([]string, error) {
+	if len(args) == 0 {
+		return []string{""}, nil
+	}
+	var out []string
+	for _, a := range args {
+		if a == "-" {
+			out = append(out, a)
+			continue
+		}
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		var found []string
+		err = filepath.WalkDir(a, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && (strings.HasSuffix(p, ".ll") || strings.HasSuffix(p, ".mlir")) {
+				found = append(found, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(found)
+		if len(found) == 0 {
+			return nil, fmt.Errorf("%s: no .ll or .mlir files found", a)
+		}
+		out = append(out, found...)
+	}
+	return out, nil
+}
+
+func inputName(path string) string {
+	if path == "" || path == "-" {
+		return "<stdin>"
+	}
+	return path
 }
 
 func parseSeverity(name string) (diag.Severity, error) {

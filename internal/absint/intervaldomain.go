@@ -1,0 +1,499 @@
+package absint
+
+import (
+	"repro/internal/llvm"
+)
+
+// ienv maps integer-typed SSA values to their intervals. Missing values are
+// implicitly the top of their type. Environments are treated immutably by
+// the solver: every producing operation clones.
+type ienv struct {
+	m map[llvm.Value]Interval
+}
+
+func newIEnv() *ienv { return &ienv{m: map[llvm.Value]Interval{}} }
+
+func (e *ienv) clone() *ienv {
+	n := &ienv{m: make(map[llvm.Value]Interval, len(e.m))}
+	for k, v := range e.m {
+		n.m[k] = v
+	}
+	return n
+}
+
+// get evaluates v under e: constants exactly, tracked values from the map,
+// anything else as the top of its type.
+func (e *ienv) get(v llvm.Value) Interval {
+	if c, ok := v.(*llvm.ConstInt); ok {
+		return Const(c.Val)
+	}
+	if iv, ok := e.m[v]; ok {
+		return iv
+	}
+	return typeTop(v.Type())
+}
+
+// intervalDomain is the value-range client of the generic solver.
+type intervalDomain struct{}
+
+func (intervalDomain) Entry(f *llvm.Function) *ienv { return newIEnv() }
+
+func (intervalDomain) Join(a, b *ienv) *ienv {
+	out := a.clone()
+	for k, vb := range b.m {
+		if va, ok := out.m[k]; ok {
+			out.m[k] = va.Union(vb)
+		} else {
+			// Present on one path only: any dominated use sees exactly that
+			// path's value (SSA), so keeping it loses nothing.
+			out.m[k] = vb
+		}
+	}
+	return out
+}
+
+// Widen extrapolates only the values the loop headed by at mutates: its own
+// phis. Everything else joins — a loop-invariant value (an outer induction
+// variable, say) keeps its branch-refined range instead of being blown to
+// infinity by a widening no condition inside this loop could undo. With
+// at == nil every value widens (the solver's irreducible-cycle fallback).
+func (intervalDomain) Widen(at *llvm.Block, prev, next *ienv) *ienv {
+	widenKey := func(k llvm.Value) bool {
+		if at == nil {
+			return true
+		}
+		in, ok := k.(*llvm.Instr)
+		return ok && in.Op == llvm.OpPhi && in.Parent == at
+	}
+	out := next.clone()
+	for k, vn := range next.m {
+		if vp, ok := prev.m[k]; ok {
+			if widenKey(k) {
+				out.m[k] = vn.WidenFrom(vp)
+			} else {
+				out.m[k] = vn.Union(vp)
+			}
+		}
+	}
+	for k, vp := range prev.m {
+		if _, ok := out.m[k]; !ok {
+			out.m[k] = vp
+		}
+	}
+	return out
+}
+
+func (intervalDomain) Equal(a, b *ienv) bool {
+	if len(a.m) != len(b.m) {
+		return false
+	}
+	for k, va := range a.m {
+		vb, ok := b.m[k]
+		if !ok || !va.Equal(vb) {
+			return false
+		}
+	}
+	return true
+}
+
+func (intervalDomain) Transfer(b *llvm.Block, in *ienv) *ienv {
+	out := in.clone()
+	for _, ins := range b.Instrs {
+		if ins.Op == llvm.OpPhi {
+			continue // bound per-edge by FlowEdge; the joined in-state holds it
+		}
+		if ins.Ty == nil || !ins.Ty.IsInt() {
+			continue
+		}
+		out.m[ins] = evalInstr(out, ins)
+	}
+	return out
+}
+
+// evalInstr computes one integer instruction's interval under env.
+func evalInstr(env *ienv, in *llvm.Instr) Interval {
+	arg := func(i int) Interval { return env.get(in.Args[i]) }
+	switch in.Op {
+	case llvm.OpAdd:
+		return clampTy(arg(0).Add(arg(1)), in.Ty)
+	case llvm.OpSub:
+		return clampTy(arg(0).Sub(arg(1)), in.Ty)
+	case llvm.OpMul:
+		return clampTy(arg(0).Mul(arg(1)), in.Ty)
+	case llvm.OpSDiv:
+		return clampTy(arg(0).Div(arg(1)), in.Ty)
+	case llvm.OpSRem:
+		return clampTy(arg(0).Rem(arg(1)), in.Ty)
+	case llvm.OpAnd:
+		return clampTy(andInterval(arg(0), arg(1)), in.Ty)
+	case llvm.OpOr, llvm.OpXor:
+		return clampTy(orXorInterval(arg(0), arg(1)), in.Ty)
+	case llvm.OpShl:
+		return clampTy(shlInterval(arg(0), arg(1)), in.Ty)
+	case llvm.OpAShr:
+		return clampTy(ashrInterval(arg(0), arg(1)), in.Ty)
+	case llvm.OpSExt:
+		return arg(0)
+	case llvm.OpZExt:
+		return zextInterval(arg(0), in.Args[0].Type())
+	case llvm.OpTrunc:
+		a := arg(0)
+		if tt := typeTop(in.Ty); a.Intersect(tt).Equal(a) {
+			return a // value provably fits the narrower type
+		}
+		return typeTop(in.Ty)
+	case llvm.OpICmp:
+		return icmpInterval(arg(0), arg(1), in.Pred)
+	case llvm.OpSelect:
+		c := arg(0)
+		if v, ok := c.ConstVal(); ok {
+			if v != 0 {
+				return arg(1)
+			}
+			return arg(2)
+		}
+		return arg(1).Union(arg(2))
+	}
+	// Loads, calls, extractvalue, ptrtoint, ...: unknown.
+	return typeTop(in.Ty)
+}
+
+// clampTy bounds a computed interval by its result type's representable
+// range (a value of iN can never leave iN's range, whatever the arithmetic
+// suggested).
+func clampTy(iv Interval, ty *llvm.Type) Interval {
+	if iv.Empty {
+		return iv
+	}
+	return iv.Intersect(typeTop(ty))
+}
+
+func andInterval(a, b Interval) Interval {
+	if a.Empty || b.Empty {
+		return Bottom()
+	}
+	// x & y with either operand in [0, m] yields [0, m] when the other is
+	// also nonnegative; with a nonnegative constant-ish mask it is [0, mask].
+	if a.Lo >= 0 && b.Lo >= 0 {
+		return Range(0, minI64(a.Hi, b.Hi))
+	}
+	if a.Lo >= 0 {
+		return Range(0, a.Hi)
+	}
+	if b.Lo >= 0 {
+		return Range(0, b.Hi)
+	}
+	return Top()
+}
+
+func orXorInterval(a, b Interval) Interval {
+	if a.Empty || b.Empty {
+		return Bottom()
+	}
+	if a.Lo >= 0 && b.Lo >= 0 && a.Hi != posInf && b.Hi != posInf {
+		// Result cannot exceed the next power-of-two envelope of both.
+		return Range(0, pow2Envelope(maxI64(a.Hi, b.Hi)))
+	}
+	return Top()
+}
+
+// pow2Envelope returns 2^ceil(log2(m+1)) - 1: the largest value expressible
+// in the bits needed for m.
+func pow2Envelope(m int64) int64 {
+	var e int64 = 1
+	for e-1 < m && e > 0 {
+		e <<= 1
+	}
+	if e <= 0 {
+		return posInf
+	}
+	return e - 1
+}
+
+func shlInterval(a, s Interval) Interval {
+	if a.Empty || s.Empty {
+		return Bottom()
+	}
+	if !s.Bounded() || s.Lo < 0 || s.Hi > 62 || !a.Bounded() {
+		return Top()
+	}
+	return cornerHull(
+		satMul(a.Lo, int64(1)<<s.Lo), satMul(a.Lo, int64(1)<<s.Hi),
+		satMul(a.Hi, int64(1)<<s.Lo), satMul(a.Hi, int64(1)<<s.Hi))
+}
+
+func ashrInterval(a, s Interval) Interval {
+	if a.Empty || s.Empty {
+		return Bottom()
+	}
+	if !s.Bounded() || s.Lo < 0 || s.Hi > 62 {
+		return Top()
+	}
+	// Arithmetic shift floors toward -inf and is monotone in both args.
+	shr := func(x int64, k int64) int64 {
+		if x == negInf || x == posInf {
+			return x
+		}
+		return x >> uint(k)
+	}
+	return cornerHull(
+		shr(a.Lo, s.Lo), shr(a.Lo, s.Hi),
+		shr(a.Hi, s.Lo), shr(a.Hi, s.Hi))
+}
+
+func zextInterval(a Interval, from *llvm.Type) Interval {
+	if a.Empty {
+		return a
+	}
+	if a.Lo >= 0 {
+		return a // nonnegative: zext is the identity
+	}
+	if from != nil && from.IsInt() && from.Bits < 64 && from.Bits > 0 {
+		return Range(0, int64(1)<<from.Bits-1)
+	}
+	return Interval{Lo: 0, Hi: posInf}
+}
+
+// icmpInterval folds a comparison whose outcome the operand intervals
+// decide; otherwise [0, 1].
+func icmpInterval(a, b Interval, pred string) Interval {
+	if a.Empty || b.Empty {
+		return Range(0, 1)
+	}
+	decided := func(alwaysTrue, alwaysFalse bool) Interval {
+		switch {
+		case alwaysTrue:
+			return Const(1)
+		case alwaysFalse:
+			return Const(0)
+		}
+		return Range(0, 1)
+	}
+	switch pred {
+	case "eq":
+		if ca, ok := a.ConstVal(); ok {
+			if cb, ok := b.ConstVal(); ok {
+				return decided(ca == cb, ca != cb)
+			}
+		}
+		return decided(false, a.Intersect(b).Empty)
+	case "ne":
+		if ca, ok := a.ConstVal(); ok {
+			if cb, ok := b.ConstVal(); ok {
+				return decided(ca != cb, ca == cb)
+			}
+		}
+		return decided(a.Intersect(b).Empty, false)
+	case "slt":
+		return decided(a.Hi < b.Lo, a.Lo >= b.Hi)
+	case "sle":
+		return decided(a.Hi <= b.Lo, a.Lo > b.Hi)
+	case "sgt":
+		return decided(a.Lo > b.Hi, a.Hi <= b.Lo)
+	case "sge":
+		return decided(a.Lo >= b.Hi, a.Hi < b.Lo)
+	case "ult", "ule", "ugt", "uge":
+		// Sound only when both sides are provably nonnegative (signed and
+		// unsigned orders then agree).
+		if a.Lo >= 0 && b.Lo >= 0 {
+			switch pred {
+			case "ult":
+				return decided(a.Hi < b.Lo, a.Lo >= b.Hi)
+			case "ule":
+				return decided(a.Hi <= b.Lo, a.Lo > b.Hi)
+			case "ugt":
+				return decided(a.Lo > b.Hi, a.Hi <= b.Lo)
+			case "uge":
+				return decided(a.Lo >= b.Hi, a.Hi < b.Lo)
+			}
+		}
+	}
+	return Range(0, 1)
+}
+
+// FlowEdge refines the out-state along a conditional branch edge and binds
+// the target block's phis to this edge's incoming values. ok=false when the
+// refined condition is unsatisfiable (the edge cannot be taken).
+func (d intervalDomain) FlowEdge(from, to *llvm.Block, out *ienv) (*ienv, bool) {
+	env := out.clone()
+	term := from.Terminator()
+	if term != nil && term.Op == llvm.OpCondBr && len(term.Blocks) == 2 && term.Blocks[0] != term.Blocks[1] {
+		takenTrue := term.Blocks[0] == to
+		cond := env.get(term.Args[0])
+		if v, ok := cond.ConstVal(); ok && (v != 0) != takenTrue {
+			return nil, false // branch provably goes the other way
+		}
+		if cmp, ok := term.Args[0].(*llvm.Instr); ok && cmp.Op == llvm.OpICmp {
+			if !refineICmp(env, cmp, takenTrue) {
+				return nil, false
+			}
+		}
+	}
+	// Bind the target's phis from this edge's operands (post-refinement, so
+	// a refined operand flows its narrowed interval into the phi).
+	for _, ins := range to.Instrs {
+		if ins.Op != llvm.OpPhi {
+			break
+		}
+		if ins.Ty == nil || !ins.Ty.IsInt() {
+			continue
+		}
+		for i, blk := range ins.Blocks {
+			if blk == from && i < len(ins.Args) {
+				env.m[ins] = env.get(ins.Args[i])
+			}
+		}
+	}
+	return env, true
+}
+
+// refineICmp narrows both compare operands under "cmp is taken-true/false".
+// Returns false when a refined interval is empty (edge infeasible).
+func refineICmp(env *ienv, cmp *llvm.Instr, taken bool) bool {
+	a, b := cmp.Args[0], cmp.Args[1]
+	ia, ib := env.get(a), env.get(b)
+	pred := cmp.Pred
+	if !taken {
+		pred = negatePred(pred)
+	}
+	na, nb := ia, ib
+	switch pred {
+	case "eq":
+		na = ia.Intersect(ib)
+		nb = na
+	case "ne":
+		if c, ok := ib.ConstVal(); ok {
+			na = trimPoint(ia, c)
+		}
+		if c, ok := ia.ConstVal(); ok {
+			nb = trimPoint(ib, c)
+		}
+	case "slt":
+		na = ia.Intersect(Interval{Lo: negInf, Hi: satSub(ib.Hi, 1)})
+		nb = ib.Intersect(Interval{Lo: satAdd(ia.Lo, 1), Hi: posInf})
+	case "sle":
+		na = ia.Intersect(Interval{Lo: negInf, Hi: ib.Hi})
+		nb = ib.Intersect(Interval{Lo: ia.Lo, Hi: posInf})
+	case "sgt":
+		na = ia.Intersect(Interval{Lo: satAdd(ib.Lo, 1), Hi: posInf})
+		nb = ib.Intersect(Interval{Lo: negInf, Hi: satSub(ia.Hi, 1)})
+	case "sge":
+		na = ia.Intersect(Interval{Lo: ib.Lo, Hi: posInf})
+		nb = ib.Intersect(Interval{Lo: negInf, Hi: ia.Hi})
+	case "ult":
+		// a <u b with b's unsigned value known ≤ signed-max: a ∈ [0, b.Hi-1].
+		if ib.Lo >= 0 && ib.Hi != posInf {
+			na = ia.Intersect(Range(0, ib.Hi-1))
+		}
+		if ia.Lo >= 0 {
+			nb = ib.Intersect(Interval{Lo: satAdd(ia.Lo, 1), Hi: posInf})
+		}
+	case "ule":
+		if ib.Lo >= 0 && ib.Hi != posInf {
+			na = ia.Intersect(Range(0, ib.Hi))
+		}
+		if ia.Lo >= 0 {
+			nb = ib.Intersect(Interval{Lo: ia.Lo, Hi: posInf})
+		}
+	case "ugt":
+		if ia.Lo >= 0 && ia.Hi != posInf {
+			nb = ib.Intersect(Range(0, ia.Hi-1))
+		}
+		if ib.Lo >= 0 {
+			na = ia.Intersect(Interval{Lo: satAdd(ib.Lo, 1), Hi: posInf})
+		}
+	case "uge":
+		if ia.Lo >= 0 && ia.Hi != posInf {
+			nb = ib.Intersect(Range(0, ia.Hi))
+		}
+		if ib.Lo >= 0 {
+			na = ia.Intersect(Interval{Lo: ib.Lo, Hi: posInf})
+		}
+	default:
+		return true
+	}
+	if na.Empty || nb.Empty {
+		return false
+	}
+	if _, isConst := a.(*llvm.ConstInt); !isConst {
+		env.m[a] = na
+	}
+	if _, isConst := b.(*llvm.ConstInt); !isConst {
+		env.m[b] = nb
+	}
+	return true
+}
+
+// trimPoint removes c from iv when c is one of its endpoints.
+func trimPoint(iv Interval, c int64) Interval {
+	switch {
+	case iv.Empty:
+		return iv
+	case iv.Lo == c && iv.Hi == c:
+		return Bottom()
+	case iv.Lo == c:
+		return Range(c+1, iv.Hi)
+	case iv.Hi == c:
+		return Range(iv.Lo, c-1)
+	}
+	return iv
+}
+
+func negatePred(pred string) string {
+	switch pred {
+	case "eq":
+		return "ne"
+	case "ne":
+		return "eq"
+	case "slt":
+		return "sge"
+	case "sle":
+		return "sgt"
+	case "sgt":
+		return "sle"
+	case "sge":
+		return "slt"
+	case "ult":
+		return "uge"
+	case "ule":
+		return "ugt"
+	case "ugt":
+		return "ule"
+	case "uge":
+		return "ult"
+	}
+	return pred
+}
+
+// IntervalResult exposes one function's solved value ranges.
+type IntervalResult struct {
+	res *Result[*ienv]
+}
+
+// Intervals runs the interval analysis over f.
+func Intervals(f *llvm.Function) *IntervalResult {
+	return &IntervalResult{res: Solve[*ienv](f, intervalDomain{})}
+}
+
+// At returns v's interval at the program point of block b: the block's
+// out-state for values defined in b, the (branch-refined) in-state
+// otherwise. Unreached blocks yield the empty interval.
+func (r *IntervalResult) At(b *llvm.Block, v llvm.Value) Interval {
+	if !r.res.Reached(b) {
+		return Bottom()
+	}
+	env := r.res.In[b]
+	if in, ok := v.(*llvm.Instr); ok && in.Parent == b {
+		env = r.res.Out[b]
+	}
+	if env == nil {
+		return typeTop(v.Type())
+	}
+	return env.get(v)
+}
+
+// Unreachable reports whether b is CFG-reachable yet provably never
+// executed (every incoming edge's branch condition excludes it).
+func (r *IntervalResult) Unreachable(b *llvm.Block) bool {
+	return r.res.CFG.Reachable(b) && !r.res.Reached(b)
+}

@@ -1,0 +1,169 @@
+package absint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/llvm"
+)
+
+// buildPtsFixture: two array params, one alloca, GEPs at constant and
+// variable offsets.
+func buildPtsFixture(t *testing.T) (*llvm.Function, map[string]*llvm.Instr) {
+	t.Helper()
+	arr := llvm.ArrayOf(16, llvm.FloatT())
+	f := llvm.NewFunction("pts", llvm.Void(),
+		&llvm.Param{Name: "A", Ty: llvm.Ptr(arr)},
+		&llvm.Param{Name: "B", Ty: llvm.Ptr(arr)},
+		&llvm.Param{Name: "n", Ty: llvm.I64()})
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+
+	ins := map[string]*llvm.Instr{}
+	ins["buf"] = b.Alloca(arr)
+	ins["a0"] = b.GEP(arr, f.Params[0], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 0))
+	ins["a5"] = b.GEP(arr, f.Params[0], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 5))
+	ins["an"] = b.GEP(arr, f.Params[0], llvm.CI(llvm.I64(), 0), f.Params[2])
+	ins["b5"] = b.GEP(arr, f.Params[1], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 5))
+	ins["buf5"] = b.GEP(arr, ins["buf"], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 5))
+	b.Ret(nil)
+	return f, ins
+}
+
+func TestPointsToAliasing(t *testing.T) {
+	f, ins := buildPtsFixture(t)
+	r := PointsTo(f)
+
+	cases := []struct {
+		name string
+		a, b llvm.Value
+		want bool
+	}{
+		{"distinct-params", ins["a5"], ins["b5"], false},
+		{"param-vs-alloca", ins["a5"], ins["buf5"], false},
+		{"same-root-same-elem", ins["a5"], ins["a5"], true},
+		{"same-root-diff-elem", ins["a0"], ins["a5"], false},
+		{"same-root-var-elem", ins["an"], ins["a5"], true},
+		{"var-elem-other-root", ins["an"], ins["b5"], false},
+	}
+	for _, c := range cases {
+		if got := r.MayAlias(c.a, c.b); got != c.want {
+			t.Errorf("%s: MayAlias=%v, want %v", c.name, got, c.want)
+		}
+	}
+	if d := r.Describe(ins["a5"]); !strings.Contains(d, "%A (arg0)[5]") {
+		t.Errorf("Describe(a5) = %q", d)
+	}
+	if d := r.Describe(ins["an"]); !strings.Contains(d, "%A (arg0)[*]") {
+		t.Errorf("Describe(an) = %q", d)
+	}
+	if _, esc := r.Escaped(ins["buf"]); esc {
+		t.Error("buf should not escape")
+	}
+	if !r.DerivedFrom(ins["a5"], f.Params[0]) {
+		t.Error("a5 derives from A")
+	}
+	if r.Touches(ins["b5"], f.Params[0]) {
+		t.Error("b5 does not touch A")
+	}
+}
+
+// TestPointsTo2DFieldSensitivity: constant 2D indices flatten row-major, so
+// M[1][2] and M[2][1] occupy distinct elements.
+func TestPointsTo2DFieldSensitivity(t *testing.T) {
+	mat := llvm.ArrayOf(4, llvm.ArrayOf(4, llvm.FloatT()))
+	f := llvm.NewFunction("mat", llvm.Void(), &llvm.Param{Name: "M", Ty: llvm.Ptr(mat)})
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	g12 := b.GEP(mat, f.Params[0], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 1), llvm.CI(llvm.I64(), 2))
+	g21 := b.GEP(mat, f.Params[0], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 2), llvm.CI(llvm.I64(), 1))
+	b.Ret(nil)
+
+	r := PointsTo(f)
+	if r.MayAlias(g12, g21) {
+		t.Error("M[1][2] and M[2][1] must not alias")
+	}
+	locs, ok := r.Targets(g12)
+	if !ok || len(locs) != 1 || locs[0].Elem != 6 {
+		t.Errorf("M[1][2] flat element: got %v ok=%v, want elem 6", locs, ok)
+	}
+}
+
+// TestPointsToMerges: phi and select union their incoming sets; a pointer
+// loaded from memory is unknown and aliases everything.
+func TestPointsToMerges(t *testing.T) {
+	arr := llvm.ArrayOf(8, llvm.FloatT())
+	f := llvm.NewFunction("merge", llvm.Void(),
+		&llvm.Param{Name: "A", Ty: llvm.Ptr(arr)},
+		&llvm.Param{Name: "c", Ty: llvm.I1()})
+	entry := f.AddBlock("entry")
+	left := f.AddBlock("left")
+	right := f.AddBlock("right")
+	join := f.AddBlock("join")
+	b := llvm.NewBuilder(f)
+
+	b.SetBlock(entry)
+	buf := b.Alloca(arr)
+	b.CondBr(f.Params[1], left, right)
+	b.SetBlock(left)
+	ga := b.GEP(arr, f.Params[0], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 1))
+	b.Br(join)
+	b.SetBlock(right)
+	gb := b.GEP(arr, buf, llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 1))
+	b.Br(join)
+	b.SetBlock(join)
+	ph := b.Phi(llvm.Ptr(llvm.FloatT()))
+	ph.AddIncoming(ga, left)
+	ph.AddIncoming(gb, right)
+	loaded := b.Load(llvm.Ptr(llvm.FloatT()), ga)
+	b.Ret(nil)
+
+	r := PointsTo(f)
+	if !r.MayAlias(ph, ga) || !r.MayAlias(ph, gb) {
+		t.Error("phi must alias both incoming pointers")
+	}
+	if !r.Touches(ph, f.Params[0]) || !r.Touches(ph, buf) {
+		t.Error("phi touches both roots")
+	}
+	if r.DerivedFrom(ph, f.Params[0]) {
+		t.Error("phi is not derived solely from A")
+	}
+	if _, ok := r.Targets(loaded); ok {
+		t.Error("a loaded pointer has no computable target set")
+	}
+	if !r.MayAlias(loaded, ga) {
+		t.Error("unknown pointers alias everything")
+	}
+}
+
+// TestPointsToEscapes: addresses passed to calls, stored as values, or
+// returned are flagged with a reason.
+func TestPointsToEscapes(t *testing.T) {
+	arr := llvm.ArrayOf(8, llvm.FloatT())
+	f := llvm.NewFunction("esc", llvm.Ptr(llvm.FloatT()))
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	callee := b.Alloca(arr)
+	ret := b.Alloca(arr)
+	clean := b.Alloca(arr)
+	gc := b.GEP(arr, callee, llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 0))
+	b.Call("helper", llvm.Void(), gc)
+	gr := b.GEP(arr, ret, llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 0))
+	gx := b.GEP(arr, clean, llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 0))
+	b.Store(llvm.CF(llvm.FloatT(), 0), gx)
+	b.Ret(gr)
+
+	r := PointsTo(f)
+	if reason, ok := r.Escaped(callee); !ok || !strings.Contains(reason, "call @helper") {
+		t.Errorf("callee escape: %q ok=%v", reason, ok)
+	}
+	if reason, ok := r.Escaped(ret); !ok || !strings.Contains(reason, "returned") {
+		t.Errorf("ret escape: %q ok=%v", reason, ok)
+	}
+	if _, ok := r.Escaped(clean); ok {
+		t.Error("storing INTO an alloca is not an escape")
+	}
+}

@@ -6,6 +6,8 @@
 package diag
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -72,6 +74,16 @@ type Diagnostic struct {
 	Message    string   `json:"message"`
 	Suggestion string   `json:"suggestion,omitempty"`
 
+	// File names the input the diagnostic came from, for multi-file runs.
+	File string `json:"file,omitempty"`
+	// ID is a stable content-derived fingerprint assigned by AssignIDs; it
+	// keys hls-lint's -explain lookup and SARIF partial fingerprints.
+	ID string `json:"id,omitempty"`
+	// Explanation carries the analysis state behind the finding (value
+	// ranges, points-to sets, constant branch conditions), shown by
+	// hls-lint -explain.
+	Explanation string `json:"explanation,omitempty"`
+
 	// BlockPos/InstrPos are the block's index in the function and the
 	// instruction's index in its block; -1 marks function- or block-level
 	// diagnostics. They order diagnostics deterministically and are
@@ -84,6 +96,9 @@ type Diagnostic struct {
 func (d Diagnostic) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s[%s]", d.Severity, d.Check)
+	if d.File != "" {
+		fmt.Fprintf(&sb, " %s", d.File)
+	}
 	if d.Func != "" {
 		fmt.Fprintf(&sb, " @%s", d.Func)
 	}
@@ -94,6 +109,9 @@ func (d Diagnostic) String() string {
 		fmt.Fprintf(&sb, " %%%s", d.Instr)
 	}
 	fmt.Fprintf(&sb, ": %s", d.Message)
+	if d.ID != "" {
+		fmt.Fprintf(&sb, " [%s]", d.ID)
+	}
 	if d.Suggestion != "" {
 		fmt.Fprintf(&sb, "\n    suggestion: %s", d.Suggestion)
 	}
@@ -122,6 +140,36 @@ func (ds Diagnostics) Sort() {
 		}
 		return a.Message < b.Message
 	})
+}
+
+// AssignIDs stamps every diagnostic with a stable content-derived ID: the
+// first 8 hex digits of a SHA-256 over the locating fields plus the message,
+// salted with an occurrence counter so duplicates stay distinct. IDs are
+// deterministic across runs of the same input, which is what lets a user
+// re-run with -explain <id> and hit the same finding.
+func (ds Diagnostics) AssignIDs() {
+	seen := map[string]int{}
+	for i := range ds {
+		d := &ds[i]
+		key := strings.Join([]string{
+			d.File, d.Check, d.Func, d.Block, d.Instr,
+			fmt.Sprintf("%d:%d", d.BlockPos, d.InstrPos), d.Message,
+		}, "|")
+		n := seen[key]
+		seen[key] = n + 1
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%d", key, n)))
+		d.ID = hex.EncodeToString(sum[:])[:8]
+	}
+}
+
+// FindID returns the diagnostic with the given ID.
+func (ds Diagnostics) FindID(id string) (Diagnostic, bool) {
+	for _, d := range ds {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
 }
 
 // HasErrors reports whether any diagnostic has error severity.

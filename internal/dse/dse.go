@@ -122,12 +122,14 @@ type Options struct {
 	// stats); Workers/Cache are then ignored.
 	Engine *engine.Engine
 	// Precheck runs the lint feasibility pre-check before the sweep: one
-	// adaptor-flow preparation (no scheduling) computes the dependence-
-	// implied II floor, and directive points that cannot produce a distinct
-	// schedule — pipeline IIs below the floor other than the smallest — are
-	// pruned without evaluation. Pruning never changes the Pareto frontier:
-	// the kept representative of each pruned group evaluates to the
-	// identical report. Off by default.
+	// adaptor-flow preparation (no scheduling) computes per-loop II bounds —
+	// the alias-filtered recurrence floor plus memory-access counts priced
+	// into a per-group resource floor under each group's partition widths —
+	// and directive points that cannot produce a distinct schedule (pipeline
+	// IIs below their group's floor other than the smallest) are pruned
+	// without evaluation. Pruning never changes the Pareto frontier: the
+	// kept representative of each pruned group evaluates to the identical
+	// report. Off by default.
 	Precheck bool
 }
 
@@ -193,22 +195,71 @@ func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Opt
 }
 
 // pruneInfeasible removes II-infeasible pipeline points from the space: one
-// un-scheduled flow preparation computes the dependence-implied II floor
-// (lint.MinPipelineFloor); within each group of configurations identical
-// except for the requested II, every request at or below the floor except
-// the smallest is pruned — the scheduler would produce byte-identical
-// reports for all of them, and keeping the smallest (which comes first in
-// space order) preserves the Pareto frontier's labels under the stable
-// tie-breaking sort. Any pre-check failure keeps the full space: pruning is
-// an optimization, never a gate.
+// un-scheduled flow preparation computes per-loop II bounds
+// (lint.PipelineFloors) — the alias-filtered recurrence floor plus raw
+// memory-access counts. From the counts, each directive group (identical
+// configurations except the requested II) gets its own resource floor
+// ceil(accesses/ports) under that group's partition widths, priced with the
+// same formula the scheduler applies. Within a group, every request at or
+// below the group floor max(RecMII, ResMII) except the smallest is pruned —
+// the scheduler would produce byte-identical reports for all of them
+// (achieved II is max(request, RecMII, ResMII)), and keeping the smallest
+// (which comes first in space order) preserves the Pareto frontier's labels
+// under the stable tie-breaking sort. Any pre-check failure keeps the full
+// space: pruning is an optimization, never a gate.
 func pruneInfeasible(space []Config, build func() *mlir.Module, top string, tgt hls.Target) ([]Config, []PrunedPoint) {
 	lm, err := flow.PrepareLLVM(build(), top, flow.Directives{Pipeline: true, II: 1})
 	if err != nil {
 		return space, nil
 	}
-	floor, ok := lint.MinPipelineFloor(lm, top, tgt)
-	if !ok || floor <= 1 {
+	floors, ok := lint.PipelineFloors(lm, top, tgt)
+	if !ok {
 		return space, nil
+	}
+	// portsFor mirrors hls.Target.PartitionPorts for the sweep's uniform
+	// all-parameter partition directive; local allocas always run at the
+	// default width.
+	portsFor := func(d flow.Directives) int {
+		if d.Partition == nil {
+			return tgt.MemPorts
+		}
+		switch d.Partition.Kind {
+		case "complete":
+			return 1 << 20
+		case "cyclic", "block":
+			if d.Partition.Factor > 1 {
+				return tgt.MemPorts * d.Partition.Factor
+			}
+		}
+		return tgt.MemPorts
+	}
+	// groupFloor returns min over pipelined loops of max(RecMII, ResMII)
+	// under the group's ports, plus that loop's two components for the
+	// pruning reason. Access counts are partition-independent, so the one
+	// prepared module prices every group.
+	groupFloor := func(d flow.Directives) (floor, rec, res int) {
+		ports := portsFor(d)
+		for _, lf := range floors {
+			r := 1
+			for _, n := range lf.ParamAccesses {
+				if m := (n + ports - 1) / ports; m > r {
+					r = m
+				}
+			}
+			if n := lf.LocalAccesses; n > 0 {
+				if m := (n + tgt.MemPorts - 1) / tgt.MemPorts; m > r {
+					r = m
+				}
+			}
+			f := lf.RecMII
+			if r > f {
+				f = r
+			}
+			if floor == 0 || f < floor {
+				floor, rec, res = f, lf.RecMII, r
+			}
+		}
+		return floor, rec, res
 	}
 	groupKey := func(d flow.Directives) string {
 		part := ""
@@ -225,7 +276,11 @@ func pruneInfeasible(space []Config, build func() *mlir.Module, top string, tgt 
 	}
 	keepII := map[string]int{}
 	for _, cfg := range space {
-		if !cfg.D.Pipeline || reqII(cfg.D) > floor {
+		if !cfg.D.Pipeline {
+			continue
+		}
+		floor, _, _ := groupFloor(cfg.D)
+		if reqII(cfg.D) > floor {
 			continue
 		}
 		k := groupKey(cfg.D)
@@ -238,12 +293,15 @@ func pruneInfeasible(space []Config, build func() *mlir.Module, top string, tgt 
 	for _, cfg := range space {
 		if cfg.D.Pipeline {
 			ii := reqII(cfg.D)
-			if m := keepII[groupKey(cfg.D)]; ii <= floor && ii > m {
-				pruned = append(pruned, PrunedPoint{
-					Label: cfg.Label,
-					Reason: fmt.Sprintf("requested II=%d is below the dependence-implied floor RecMII=%d; schedule identical to the kept II=%d point",
-						ii, floor, m),
-				})
+			floor, rec, res := groupFloor(cfg.D)
+			if m, seen := keepII[groupKey(cfg.D)]; seen && ii <= floor && ii > m {
+				reason := fmt.Sprintf("requested II=%d is below the dependence-implied floor RecMII=%d; schedule identical to the kept II=%d point",
+					ii, floor, m)
+				if res > rec {
+					reason = fmt.Sprintf("requested II=%d is below the port-implied floor ResMII=%d (RecMII=%d) under this group's partitioning; schedule identical to the kept II=%d point",
+						ii, res, rec, m)
+				}
+				pruned = append(pruned, PrunedPoint{Label: cfg.Label, Reason: reason})
 				continue
 			}
 		}

@@ -2,9 +2,14 @@ package dse
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
+	"repro/internal/flow"
 	"repro/internal/hls"
+	"repro/internal/lint"
+	"repro/internal/llvm"
+	"repro/internal/llvm/analysis"
 	"repro/internal/mlir"
 	"repro/internal/polybench"
 )
@@ -89,5 +94,129 @@ func TestPrecheckNoRecurrenceKeepsSpace(t *testing.T) {
 	}
 	if len(res.Points) != len(Space()) {
 		t.Errorf("want full space %d, got %d", len(Space()), len(res.Points))
+	}
+}
+
+// TestPrecheckResourceFloorPrunes: jacobi1d issues three loads of the same
+// array per stencil iteration, so even with no recurrence (its RecMII floor
+// is 1, and the recurrence-only rule of the earlier pre-check pruned
+// nothing) the default dual-ported memory bounds the II at ceil(3/2)=2 for
+// the unpartitioned groups. The resource-aware pre-check must prune those
+// II=2 twins and still report the exact Pareto frontier of the full sweep.
+func TestPrecheckResourceFloorPrunes(t *testing.T) {
+	k := polybench.Get("jacobi1d")
+	s, err := k.SizeOf("MINI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := flow.PrepareLLVM(k.Build(s), k.Name, flow.Directives{Pipeline: true, II: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recFloor, ok := lint.MinPipelineFloor(lm, k.Name, hls.DefaultTarget())
+	if !ok || recFloor != 1 {
+		t.Fatalf("premise broken: jacobi1d recurrence floor = %d (ok=%v), want 1 "+
+			"(the recurrence-only rule must have pruned nothing)", recFloor, ok)
+	}
+
+	full := exploreOpts(t, "jacobi1d", Options{})
+	pruned := exploreOpts(t, "jacobi1d", Options{Precheck: true})
+	if len(pruned.Pruned) == 0 {
+		t.Fatal("resource-aware pre-check pruned nothing on jacobi1d")
+	}
+	if len(pruned.Points)+len(pruned.Pruned) != len(full.Points) {
+		t.Errorf("points(%d) + pruned(%d) != full space(%d)",
+			len(pruned.Points), len(pruned.Pruned), len(full.Points))
+	}
+	for _, pp := range pruned.Pruned {
+		if !strings.Contains(pp.Reason, "ResMII") {
+			t.Errorf("pruned %q for a non-resource reason: %s", pp.Label, pp.Reason)
+		}
+		if strings.Contains(pp.Label, "part") {
+			t.Errorf("partitioned group %q should not be port-bound: extra ports lower ResMII below the request", pp.Label)
+		}
+	}
+	if got, want := paretoSig(pruned), paretoSig(full); got != want {
+		t.Errorf("pre-check changed the Pareto frontier:\n--- full\n%s--- precheck\n%s", want, got)
+	}
+}
+
+// TestPrecheckFrontierAllKernels sweeps every kernel with and without the
+// pre-check and asserts two invariants on each: the pruned points partition
+// the space (nothing silently dropped) and the Pareto frontier is identical
+// to the exhaustive sweep's. This is the global soundness statement behind
+// the fig-8 reproduction: pruning only ever removes points whose schedule a
+// kept representative already realises.
+func TestPrecheckFrontierAllKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores every kernel twice")
+	}
+	for _, k := range polybench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			full := exploreOpts(t, k.Name, Options{})
+			pre := exploreOpts(t, k.Name, Options{Precheck: true})
+			if len(pre.Points)+len(pre.Pruned) != len(full.Points) {
+				t.Errorf("points(%d) + pruned(%d) != full space(%d)",
+					len(pre.Points), len(pre.Pruned), len(full.Points))
+			}
+			if got, want := paretoSig(pre), paretoSig(full); got != want {
+				t.Errorf("pre-check changed the Pareto frontier:\n--- full\n%s--- precheck\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestAliasFloorNeverLooser: on every kernel's prepared module, the
+// alias-filtered recurrence floor that lint.PipelineFloors reports must be
+// at most the unfiltered floor computed over the same loops — the may-alias
+// filter can only discard false dependence pairs, never invent one.
+func TestAliasFloorNeverLooser(t *testing.T) {
+	tgt := hls.DefaultTarget()
+	for _, k := range polybench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			s, err := k.SizeOf("MINI")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lm, err := flow.PrepareLLVM(k.Build(s), k.Name, flow.Directives{Pipeline: true, II: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			floors, ok := lint.PipelineFloors(lm, k.Name, tgt)
+			if !ok {
+				t.Fatalf("no pipelined loops found in %s", k.Name)
+			}
+			f := lm.FindFunc(k.Name)
+			cfg := analysis.NewCFG(f)
+			loops := analysis.FindLoops(cfg, analysis.NewDomTree(cfg))
+			unfiltered := map[string]int{}
+			for _, l := range loops.Loops {
+				if !l.IsInnermost() {
+					continue
+				}
+				var instrs []*llvm.Instr
+				for _, b := range cfg.Order {
+					if l.Contains(b) {
+						instrs = append(instrs, b.Instrs...)
+					}
+				}
+				header := l.Header
+				unfiltered[header.Name] = tgt.RecMII(instrs, func(v llvm.Value) bool {
+					return hls.DependsOnLoopPhi(v, header)
+				}, nil)
+			}
+			for _, lf := range floors {
+				old, found := unfiltered[lf.Header]
+				if !found {
+					t.Fatalf("loop %%%s missing from the unfiltered recomputation", lf.Header)
+				}
+				if lf.RecMII > old {
+					t.Errorf("loop %%%s: alias-filtered RecMII=%d exceeds unfiltered RecMII=%d",
+						lf.Header, lf.RecMII, old)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,57 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/hls"
+	"repro/internal/lint"
+	"repro/internal/polybench"
+)
+
+// TestLintCleanAllKernelsBothFlows is the no-false-positives property test
+// for the abstract-interpretation-backed lint suite: the full check set over
+// every kernel's synthesized-from LLVM module, on both flows, must report
+// zero errors, and the checks that went from affine pattern-matching to
+// interval/points-to reasoning (gep-bounds, dead-store, uninit-load) plus
+// the new absint checks (div-by-zero, shift-width, unreachable-code) must
+// stay completely silent — generated kernels are correct by construction,
+// so any finding from those checks is a false positive.
+func TestLintCleanAllKernelsBothFlows(t *testing.T) {
+	mustBeSilent := []string{
+		"gep-bounds", "dead-store", "uninit-load",
+		"div-by-zero", "shift-width", "unreachable-code",
+	}
+	tgt := hls.DefaultTarget()
+	d := Directives{Pipeline: true, II: 1}
+	for _, k := range polybench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			s, err := k.SizeOf("MINI")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, run := range []struct {
+				flow string
+				fn   func() (*Result, error)
+			}{
+				{"adaptor", func() (*Result, error) { return AdaptorFlow(k.Build(s), k.Name, d, tgt) }},
+				{"cxx", func() (*Result, error) { return CxxFlow(k.Build(s), k.Name, d, tgt) }},
+			} {
+				res, err := run.fn()
+				if err != nil {
+					t.Fatalf("%s flow: %v", run.flow, err)
+				}
+				ds := lint.Module(res.LLVM, lint.Options{Target: tgt})
+				if ds.HasErrors() {
+					t.Errorf("%s flow: lint errors on a correct kernel:\n%s", run.flow, ds.Text())
+				}
+				for _, check := range mustBeSilent {
+					if found := ds.ByCheck(check); len(found) != 0 {
+						t.Errorf("%s flow: false positive(s) from %s:\n%s",
+							run.flow, check, found.Text())
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package hls
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 
@@ -16,9 +17,64 @@ import (
 // one loop iteration's instruction sequence. ivDependent (may be nil)
 // reports whether a value varies with the loop's induction variable; loads
 // at IV-dependent addresses touch a different location each iteration and do
-// not constrain the II.
-func (t Target) RecMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool) int {
-	return t.recMII(instrs, ivDependent)
+// not constrain the II. mayAlias (may be nil) is a points-to oracle used to
+// discard load/store pairs that provably address disjoint memory.
+func (t Target) RecMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool,
+	mayAlias func(a, b llvm.Value) bool) int {
+	return t.recMII(instrs, ivDependent, mayAlias)
+}
+
+// MemAccessCounts returns the per-base load/store counts of one iteration's
+// instruction sequence, exactly as the port-constrained scheduler tallies
+// them (access counts are independent of port widths and partitioning).
+func (t Target) MemAccessCounts(instrs []*llvm.Instr) map[llvm.Value]int {
+	return t.scheduleInstrsPorts(instrs, nil).MemAccesses
+}
+
+// ResMII computes the resource-constrained minimum initiation interval from
+// per-base access counts: the maximum over bases of ceil(accesses/ports).
+// portsOf (may be nil) overrides the default per-base port count.
+func (t Target) ResMII(counts map[llvm.Value]int, portsOf func(llvm.Value) int) int {
+	resMII := 1
+	for base, n := range counts {
+		ports := t.MemPorts
+		if portsOf != nil {
+			if p := portsOf(base); p > 0 {
+				ports = p
+			}
+		}
+		if m := (n + ports - 1) / ports; m > resMII {
+			resMII = m
+		}
+	}
+	return resMII
+}
+
+// PartitionPorts builds the effective-port-count oracle for f's parameter
+// arrays from its hls.array_partition.argN attributes — the same closure the
+// synthesis estimator schedules with, exported so the lint layer and the DSE
+// pre-check price partition directives identically.
+func (t Target) PartitionPorts(f *llvm.Function) func(llvm.Value) int {
+	paramIdx := map[llvm.Value]int{}
+	for i, p := range f.Params {
+		paramIdx[p] = i
+	}
+	return func(base llvm.Value) int {
+		i, ok := paramIdx[base]
+		if !ok {
+			return 0
+		}
+		kind, factor := parsePartition(f.Attrs[fmt.Sprintf("hls.array_partition.arg%d", i)])
+		switch kind {
+		case "complete":
+			return 1 << 20 // registers: effectively unlimited ports
+		case "cyclic", "block":
+			if factor > 1 {
+				return t.MemPorts * factor
+			}
+		}
+		return 0
+	}
 }
 
 // SameAddress reports whether two pointer operands are provably the same

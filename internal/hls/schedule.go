@@ -163,7 +163,10 @@ func (t Target) scheduleInstrsPorts(instrs []*llvm.Instr, portsOf func(llvm.Valu
 // the address varies with the induction variable, consecutive iterations
 // touch different locations and no recurrence constrains the II.
 // ivDependent reports whether a value depends on the loop's induction phi.
-func (t Target) recMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool) int {
+// mayAlias (may be nil) is a points-to oracle: pairs it disproves carry no
+// dependence and are skipped before the structural address comparison.
+func (t Target) recMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool,
+	mayAlias func(a, b llvm.Value) bool) int {
 	// Find load/store pairs on the same base with identical address values.
 	rec := 1
 	for _, ld := range instrs {
@@ -172,6 +175,9 @@ func (t Target) recMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool) 
 		}
 		for _, st := range instrs {
 			if st.Op != llvm.OpStore {
+				continue
+			}
+			if mayAlias != nil && !mayAlias(ld.Args[0], st.Args[1]) {
 				continue
 			}
 			if !sameAddress(ld.Args[0], st.Args[1]) {

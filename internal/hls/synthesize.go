@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/absint"
 	"repro/internal/llvm"
 	"repro/internal/llvm/analysis"
 )
@@ -118,6 +119,9 @@ type synth struct {
 	// portsOf returns the effective port count of an array base (partition
 	// directives widen the default dual-port BRAM).
 	portsOf func(llvm.Value) int
+	// pts disproves load/store dependences at provably disjoint addresses
+	// before the recurrence-II search considers them.
+	pts *absint.PointsToResult
 
 	loopLat map[*analysis.Loop]int64
 	repOf   map[*analysis.Loop]*LoopReport
@@ -149,26 +153,8 @@ func (s *synth) run() (*Report, error) {
 		s.tgt.addrOnly = computeAddrOnly(s.f)
 	}
 
-	paramIdx := map[llvm.Value]int{}
-	for i, p := range s.f.Params {
-		paramIdx[p] = i
-	}
-	s.portsOf = func(base llvm.Value) int {
-		i, ok := paramIdx[base]
-		if !ok {
-			return 0
-		}
-		kind, factor := parsePartition(s.f.Attrs[fmt.Sprintf("hls.array_partition.arg%d", i)])
-		switch kind {
-		case "complete":
-			return 1 << 20 // registers: effectively unlimited ports
-		case "cyclic", "block":
-			if factor > 1 {
-				return s.tgt.MemPorts * factor
-			}
-		}
-		return 0
-	}
+	s.portsOf = s.tgt.PartitionPorts(s.f)
+	s.pts = absint.PointsTo(s.f)
 
 	// Synthesize loops innermost-first.
 	ordered := append([]*analysis.Loop(nil), s.li.Loops...)
@@ -342,20 +328,10 @@ func (s *synth) synthLoop(l *analysis.Loop) {
 		sched := s.sched(instrs)
 		iterLat = sched.Cycles
 
-		resMII := 1
-		for base, n := range sched.MemAccesses {
-			ports := s.tgt.MemPorts
-			if p := s.portsOf(base); p > 0 {
-				ports = p
-			}
-			m := (n + ports - 1) / ports
-			if m > resMII {
-				resMII = m
-			}
-		}
+		resMII := s.tgt.ResMII(sched.MemAccesses, s.portsOf)
 		rec := s.tgt.recMII(instrs, func(v llvm.Value) bool {
 			return dependsOnHeaderPhi(v, l.Header, map[llvm.Value]bool{})
-		})
+		}, s.pts.MayAlias)
 		target := 1
 		if md.II > 0 {
 			target = md.II

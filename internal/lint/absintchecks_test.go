@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/llvm"
+)
+
+func TestDivByZeroFiringConst(t *testing.T) {
+	f := straightLine(t, func(b *llvm.Builder) {
+		x := b.Add(llvm.CI(llvm.I64(), 7), llvm.CI(llvm.I64(), 1))
+		b.SDiv(x, llvm.CI(llvm.I64(), 0))
+	})
+	ds := runCheck(modOf(f), "div-by-zero")
+	if len(ds) != 1 || ds[0].Severity != diag.SevError {
+		t.Fatalf("want 1 error, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "always zero") {
+		t.Errorf("unexpected message: %s", ds[0].Message)
+	}
+	if ds[0].Explanation == "" || ds[0].ID == "" {
+		t.Errorf("finding needs an explanation and an ID: %+v", ds[0])
+	}
+}
+
+func TestDivByZeroFiringRange(t *testing.T) {
+	// iv spans [0, 15]: the divisor range contains zero -> warning.
+	f := loopFunc(t, 16, nil, func(b *llvm.Builder, iv, arr llvm.Value) {
+		b.SDiv(llvm.CI(llvm.I64(), 100), iv)
+	})
+	ds := runCheck(modOf(f), "div-by-zero")
+	if len(ds) != 1 || ds[0].Severity != diag.SevWarning {
+		t.Fatalf("want 1 warning, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "may be zero") {
+		t.Errorf("unexpected message: %s", ds[0].Message)
+	}
+}
+
+func TestDivByZeroNonFiring(t *testing.T) {
+	// iv+1 spans [1, 16]: provably nonzero. A fully unknown divisor must
+	// also stay silent.
+	f := loopFunc(t, 16, nil, func(b *llvm.Builder, iv, arr llvm.Value) {
+		b.SDiv(llvm.CI(llvm.I64(), 100), b.Add(iv, llvm.CI(llvm.I64(), 1)))
+	})
+	g := llvm.NewFunction("unknown", llvm.Void(), &llvm.Param{Name: "n", Ty: llvm.I64()})
+	entry := g.AddBlock("entry")
+	b := llvm.NewBuilder(g)
+	b.SetBlock(entry)
+	b.SDiv(llvm.CI(llvm.I64(), 100), g.Params[0])
+	b.Ret(nil)
+	if ds := runCheck(modOf(f, g), "div-by-zero"); len(ds) != 0 {
+		t.Errorf("nonzero and unknown divisors should be clean: %v", ds)
+	}
+}
+
+func TestShiftWidthFiringConst(t *testing.T) {
+	f := straightLine(t, func(b *llvm.Builder) {
+		x := b.Add(llvm.CI(llvm.I64(), 1), llvm.CI(llvm.I64(), 2))
+		b.Binary(llvm.OpShl, x, llvm.CI(llvm.I64(), 70))
+	})
+	ds := runCheck(modOf(f), "shift-width")
+	if len(ds) != 1 || ds[0].Severity != diag.SevError {
+		t.Fatalf("want 1 error, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "always outside") {
+		t.Errorf("unexpected message: %s", ds[0].Message)
+	}
+}
+
+func TestShiftWidthFiringRange(t *testing.T) {
+	// iv spans [0, 99]: the shift amount can cross the 64-bit width.
+	f := loopFunc(t, 100, nil, func(b *llvm.Builder, iv, arr llvm.Value) {
+		b.Binary(llvm.OpShl, llvm.CI(llvm.I64(), 1), iv)
+	})
+	ds := runCheck(modOf(f), "shift-width")
+	if len(ds) != 1 || ds[0].Severity != diag.SevWarning {
+		t.Fatalf("want 1 warning, got %v", ds)
+	}
+}
+
+func TestShiftWidthNonFiring(t *testing.T) {
+	// iv spans [0, 15]: always a valid 64-bit shift amount.
+	f := loopFunc(t, 16, nil, func(b *llvm.Builder, iv, arr llvm.Value) {
+		b.Binary(llvm.OpShl, llvm.CI(llvm.I64(), 1), iv)
+	})
+	if ds := runCheck(modOf(f), "shift-width"); len(ds) != 0 {
+		t.Errorf("in-width shifts should be clean: %v", ds)
+	}
+}
+
+// deadBranchFunc builds a function whose then-arm is dead: the branch
+// condition folds to false.
+func deadBranchFunc(t *testing.T) *llvm.Function {
+	t.Helper()
+	f := llvm.NewFunction("deadarm", llvm.Void())
+	entry := f.AddBlock("entry")
+	then := f.AddBlock("then")
+	els := f.AddBlock("else")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	x := b.Add(llvm.CI(llvm.I64(), 2), llvm.CI(llvm.I64(), 2))
+	cmp := b.ICmp("sgt", x, llvm.CI(llvm.I64(), 10))
+	b.CondBr(cmp, then, els)
+	b.SetBlock(then)
+	b.Br(els)
+	b.SetBlock(els)
+	b.Ret(nil)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return f
+}
+
+func TestUnreachableCodeFiring(t *testing.T) {
+	ds := runCheck(modOf(deadBranchFunc(t)), "unreachable-code")
+	if len(ds) != 1 || ds[0].Severity != diag.SevWarning {
+		t.Fatalf("want 1 warning, got %v", ds)
+	}
+	if ds[0].Block != "then" {
+		t.Errorf("finding should locate the dead block: %+v", ds[0])
+	}
+	if !strings.Contains(ds[0].Explanation, "constant 0") {
+		t.Errorf("explanation should quote the constant condition: %q", ds[0].Explanation)
+	}
+}
+
+func TestUnreachableCodeNonFiring(t *testing.T) {
+	f := loopFunc(t, 16, nil, func(b *llvm.Builder, iv, arr llvm.Value) {
+		p := b.GEP(arrTy(), arr, llvm.CI(llvm.I64(), 0), iv)
+		b.Store(llvm.CF(llvm.FloatT(), 1), p)
+	})
+	if ds := runCheck(modOf(f), "unreachable-code"); len(ds) != 0 {
+		t.Errorf("loop blocks are all reachable: %v", ds)
+	}
+}
+
+// TestGEPBoundsGuardedAccess: a trip-64 loop over a 16-element array whose
+// access sits under an explicit `iv < 16` guard. The affine reasoning this
+// check used to rely on saw [0, 63] and warned; branch refinement proves the
+// guarded range is [0, 15], so the interval-backed check must stay silent.
+func TestGEPBoundsGuardedAccess(t *testing.T) {
+	arr := &llvm.Param{Name: "arr", Ty: llvm.Ptr(arrTy())}
+	f := llvm.NewFunction("guarded", llvm.Void(), arr)
+	entry := f.AddBlock("entry")
+	h := f.AddBlock("h")
+	bodyTop := f.AddBlock("bodyTop")
+	guarded := f.AddBlock("guarded")
+	latch := f.AddBlock("latch")
+	exit := f.AddBlock("exit")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	b.Br(h)
+	b.SetBlock(h)
+	iv := b.Phi(llvm.I64())
+	cond := b.ICmp("slt", iv, llvm.CI(llvm.I64(), 64))
+	b.CondBr(cond, bodyTop, exit)
+	b.SetBlock(bodyTop)
+	guard := b.ICmp("slt", iv, llvm.CI(llvm.I64(), 16))
+	b.CondBr(guard, guarded, latch)
+	b.SetBlock(guarded)
+	p := b.GEP(arrTy(), f.Params[0], llvm.CI(llvm.I64(), 0), iv)
+	b.Store(llvm.CF(llvm.FloatT(), 1), p)
+	b.Br(latch)
+	b.SetBlock(latch)
+	next := b.Add(iv, llvm.CI(llvm.I64(), 1))
+	b.Br(h)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	iv.AddIncoming(llvm.CI(llvm.I64(), 0), entry)
+	iv.AddIncoming(next, latch)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	if ds := runCheck(modOf(f), "gep-bounds"); len(ds) != 0 {
+		t.Errorf("guarded access is provably in bounds: %v", ds)
+	}
+}
+
+// TestGEPBoundsNonAffineMasked: `and iv, 15` is outside the affine fragment
+// but the interval analysis bounds it to [0, 15] — in range for size 16, and
+// out of range for a smaller array.
+func TestGEPBoundsNonAffineMasked(t *testing.T) {
+	f := loopFunc(t, 64, nil, func(b *llvm.Builder, iv, arr llvm.Value) {
+		masked := b.Binary(llvm.OpAnd, iv, llvm.CI(llvm.I64(), 15))
+		p := b.GEP(arrTy(), arr, llvm.CI(llvm.I64(), 0), masked)
+		b.Store(llvm.CF(llvm.FloatT(), 1), p)
+	})
+	if ds := runCheck(modOf(f), "gep-bounds"); len(ds) != 0 {
+		t.Errorf("masked index is provably in bounds: %v", ds)
+	}
+	// Same mask over an 8-element array: [0, 15] leaves the dimension.
+	g := llvm.NewFunction("small", llvm.Void(),
+		&llvm.Param{Name: "arr", Ty: llvm.Ptr(llvm.ArrayOf(8, llvm.FloatT()))})
+	entry := g.AddBlock("entry")
+	h := g.AddBlock("h")
+	bb := g.AddBlock("body")
+	exit := g.AddBlock("exit")
+	b := llvm.NewBuilder(g)
+	b.SetBlock(entry)
+	b.Br(h)
+	b.SetBlock(h)
+	iv := b.Phi(llvm.I64())
+	cond := b.ICmp("slt", iv, llvm.CI(llvm.I64(), 64))
+	b.CondBr(cond, bb, exit)
+	b.SetBlock(bb)
+	masked := b.Binary(llvm.OpAnd, iv, llvm.CI(llvm.I64(), 15))
+	p := b.GEP(llvm.ArrayOf(8, llvm.FloatT()), g.Params[0], llvm.CI(llvm.I64(), 0), masked)
+	b.Store(llvm.CF(llvm.FloatT(), 1), p)
+	next := b.Add(iv, llvm.CI(llvm.I64(), 1))
+	b.Br(h)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	iv.AddIncoming(llvm.CI(llvm.I64(), 0), entry)
+	iv.AddIncoming(next, bb)
+	ds := runCheck(modOf(g), "gep-bounds")
+	if len(ds) != 1 || ds[0].Severity != diag.SevWarning {
+		t.Fatalf("want 1 warning for the masked overflow, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "outside dimension") {
+		t.Errorf("unexpected message: %s", ds[0].Message)
+	}
+}

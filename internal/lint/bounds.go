@@ -5,14 +5,16 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/llvm"
-	"repro/internal/llvm/analysis"
 )
 
 // checkGEPBounds verifies GEP indices against the static array shapes the
 // HLS backend requires. Constant indices outside a dimension are errors (the
-// access is wrong on every execution); indices affine in a loop induction
-// variable are evaluated over the loop's full iteration range and flagged as
-// warnings when the range can leave the dimension.
+// access is wrong on every execution); variable indices are checked against
+// their value range from the interval analysis and flagged as warnings when
+// the range can leave the dimension. The interval domain covers every affine
+// induction pattern the old reasoning handled, plus non-affine bounded
+// indices (masked, clamped, guarded), and branch refinement keeps accesses
+// under an explicit bounds guard silent.
 func checkGEPBounds(ctx *FuncContext) diag.Diagnostics {
 	var out diag.Diagnostics
 	const check = "gep-bounds"
@@ -51,85 +53,24 @@ func boundsForIndex(ctx *FuncContext, b *llvm.Block, gep *llvm.Instr, idx llvm.V
 		}
 		return nil
 	}
-	// Affine-in-IV index: evaluate the range over the enclosing loops'
-	// induction variables, innermost outward.
-	for l := ctx.loopOf(b); l != nil; l = l.Parent {
-		iv, ok := analysis.InductionVar(l)
-		if !ok {
-			continue
-		}
-		a, off, ok := affineOfIV(idx, iv.Phi, 8)
-		if !ok {
-			continue
-		}
-		if iv.Trip() <= 0 {
-			return nil // loop body never runs
-		}
-		lo := a*iv.Start + off
-		hi := a*iv.Last() + off
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		if lo < 0 || hi >= n {
-			return diag.Diagnostics{ctx.diag(diag.SevWarning, check, b, gep,
-				fmt.Sprintf("induction-ranged index spans [%d, %d], outside dimension %d of size %d",
-					lo, hi, dim, n),
-				"shrink the loop bound or the index expression to fit the array")}
-		}
+	iv := ctx.Intervals()
+	if iv.Unreachable(b) {
+		return nil // the access can never execute; unreachable-code reports it
+	}
+	r := iv.At(b, idx)
+	// Unbounded means unknown, and unknown stays silent: a check that fires
+	// on Top would flag every data-dependent index.
+	if !r.Bounded() {
 		return nil
 	}
+	if r.Lo < 0 || r.Hi >= n {
+		d := ctx.diag(diag.SevWarning, check, b, gep,
+			fmt.Sprintf("index spans [%d, %d], outside dimension %d of size %d",
+				r.Lo, r.Hi, dim, n),
+			"shrink the loop bound or the index expression to fit the array, or guard the access")
+		d.Explanation = fmt.Sprintf("value range of %s at block %%%s: %s; dimension %d requires [0, %d]",
+			idx.Ident(), b.Name, r, dim, n-1)
+		return diag.Diagnostics{d}
+	}
 	return nil
-}
-
-// affineOfIV decomposes v as a*phi + b over integer arithmetic, with
-// ok=false when v involves anything other than the given phi, constants,
-// and +,-,*,<<,ext/trunc combinations of them.
-func affineOfIV(v llvm.Value, phi *llvm.Instr, depth int) (a, b int64, ok bool) {
-	if v == phi {
-		return 1, 0, true
-	}
-	if c, okc := v.(*llvm.ConstInt); okc {
-		return 0, c.Val, true
-	}
-	if depth == 0 {
-		return 0, 0, false
-	}
-	in, okIn := v.(*llvm.Instr)
-	if !okIn {
-		return 0, 0, false
-	}
-	switch in.Op {
-	case llvm.OpSExt, llvm.OpZExt, llvm.OpTrunc:
-		return affineOfIV(in.Args[0], phi, depth-1)
-	case llvm.OpAdd:
-		a1, b1, ok1 := affineOfIV(in.Args[0], phi, depth-1)
-		a2, b2, ok2 := affineOfIV(in.Args[1], phi, depth-1)
-		if ok1 && ok2 {
-			return a1 + a2, b1 + b2, true
-		}
-	case llvm.OpSub:
-		a1, b1, ok1 := affineOfIV(in.Args[0], phi, depth-1)
-		a2, b2, ok2 := affineOfIV(in.Args[1], phi, depth-1)
-		if ok1 && ok2 {
-			return a1 - a2, b1 - b2, true
-		}
-	case llvm.OpMul:
-		a1, b1, ok1 := affineOfIV(in.Args[0], phi, depth-1)
-		a2, b2, ok2 := affineOfIV(in.Args[1], phi, depth-1)
-		if ok1 && ok2 {
-			// One side must be constant to stay affine.
-			if a1 == 0 {
-				return b1 * a2, b1 * b2, true
-			}
-			if a2 == 0 {
-				return a1 * b2, b1 * b2, true
-			}
-		}
-	case llvm.OpShl:
-		a1, b1, ok1 := affineOfIV(in.Args[0], phi, depth-1)
-		if c, okc := in.Args[1].(*llvm.ConstInt); ok1 && okc && c.Val >= 0 && c.Val < 63 {
-			return a1 << uint(c.Val), b1 << uint(c.Val), true
-		}
-	}
-	return 0, 0, false
 }

@@ -33,12 +33,15 @@ func (ctx *FuncContext) iterInstrs(l *analysis.Loop) []*llvm.Instr {
 }
 
 // recMIIOf computes the scheduler's recurrence-constrained minimum II for
-// one loop iteration, using the same dependence model synthesis applies.
+// one loop iteration, using the same dependence model synthesis applies,
+// with the points-to analysis discarding load/store pairs at provably
+// disjoint addresses before the structural comparison. Must-alias pairs are
+// always may-alias, so this floor is never above the unfiltered one.
 func (ctx *FuncContext) recMIIOf(l *analysis.Loop) int {
 	instrs := ctx.iterInstrs(l)
 	return ctx.Target.RecMII(instrs, func(v llvm.Value) bool {
 		return hls.DependsOnLoopPhi(v, l.Header)
-	})
+	}, ctx.PointsTo().MayAlias)
 }
 
 // checkLoopCarriedDep reports memory recurrences in innermost loops: a load
@@ -61,7 +64,8 @@ func checkLoopCarriedDep(ctx *FuncContext) diag.Diagnostics {
 				continue
 			}
 			for _, st := range instrs {
-				if st.Op != llvm.OpStore || !hls.SameAddress(ld.Args[0], st.Args[1]) {
+				if st.Op != llvm.OpStore || !ctx.PointsTo().MayAlias(ld.Args[0], st.Args[1]) ||
+					!hls.SameAddress(ld.Args[0], st.Args[1]) {
 					continue
 				}
 				if hls.DependsOnLoopPhi(ld.Args[0], l.Header) {

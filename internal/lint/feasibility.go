@@ -5,6 +5,57 @@ import (
 	"repro/internal/llvm"
 )
 
+// LoopFloor describes the II bounds of one pipelined innermost loop on a
+// prepared (adapted and cleaned) module: the alias-filtered recurrence floor
+// plus the raw per-base memory access counts, from which a caller can price
+// the resource floor ceil(accesses/ports) under ANY partition configuration.
+// Access counts are partition-independent — the partition passes only attach
+// attributes — so one preparation serves every directive group.
+type LoopFloor struct {
+	Header string
+	RecMII int
+	// ParamAccesses counts loads+stores per parameter index (the bases
+	// partition directives can widen).
+	ParamAccesses map[int]int
+	// LocalAccesses is the largest per-base count over non-parameter bases
+	// (allocas), which always run at the target's default port width.
+	LocalAccesses int
+}
+
+// PipelineFloors computes a LoopFloor for every pipelined innermost loop of
+// the top function. ok=false when there is nothing to bound.
+func PipelineFloors(m *llvm.Module, top string, tgt hls.Target) ([]LoopFloor, bool) {
+	f := m.FindFunc(top)
+	if f == nil || f.IsDecl || len(f.Blocks) == 0 {
+		return nil, false
+	}
+	ctx := newFuncContext(m, f, tgt)
+	paramIdx := map[llvm.Value]int{}
+	for i, p := range f.Params {
+		paramIdx[p] = i
+	}
+	var out []LoopFloor
+	for _, l := range ctx.Loops.Loops {
+		if !l.IsInnermost() || l.MD == nil || !l.MD.Pipeline {
+			continue
+		}
+		lf := LoopFloor{
+			Header:        l.Header.Name,
+			RecMII:        ctx.recMIIOf(l),
+			ParamAccesses: map[int]int{},
+		}
+		for base, n := range tgt.MemAccessCounts(ctx.iterInstrs(l)) {
+			if i, ok := paramIdx[base]; ok {
+				lf.ParamAccesses[i] = n
+			} else if n > lf.LocalAccesses {
+				lf.LocalAccesses = n
+			}
+		}
+		out = append(out, lf)
+	}
+	return out, len(out) > 0
+}
+
 // MinPipelineFloor computes the feasibility floor the DSE pre-check prunes
 // against: the smallest dependence-implied RecMII across the top function's
 // innermost pipelined loops, on an already-prepared (adapted and cleaned)
@@ -14,18 +65,13 @@ import (
 // request irrelevant — so a sweep needs only the smallest such request.
 // ok=false when the module has no pipelined innermost loop to bound.
 func MinPipelineFloor(m *llvm.Module, top string, tgt hls.Target) (floor int, ok bool) {
-	f := m.FindFunc(top)
-	if f == nil || f.IsDecl || len(f.Blocks) == 0 {
+	floors, ok := PipelineFloors(m, top, tgt)
+	if !ok {
 		return 0, false
 	}
-	ctx := newFuncContext(m, f, tgt)
-	for _, l := range ctx.Loops.Loops {
-		if !l.IsInnermost() || l.MD == nil || !l.MD.Pipeline {
-			continue
-		}
-		rec := ctx.recMIIOf(l)
-		if floor == 0 || rec < floor {
-			floor = rec
+	for _, lf := range floors {
+		if floor == 0 || lf.RecMII < floor {
+			floor = lf.RecMII
 		}
 	}
 	return floor, floor > 0

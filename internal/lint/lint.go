@@ -13,6 +13,7 @@
 package lint
 
 import (
+	"repro/internal/absint"
 	"repro/internal/diag"
 	"repro/internal/hls"
 	"repro/internal/llvm"
@@ -69,6 +70,22 @@ var registry = []Check{
 		Desc: "infeasible, conflicting, or ignored HLS directives",
 		Run:  checkDirectives,
 	},
+	{
+		Name:      "div-by-zero",
+		Desc:      "integer divisions whose divisor range includes zero",
+		Invariant: true,
+		Run:       checkDivByZero,
+	},
+	{
+		Name: "shift-width",
+		Desc: "shift amounts that can reach or exceed the operand width",
+		Run:  checkShiftWidth,
+	},
+	{
+		Name: "unreachable-code",
+		Desc: "blocks no execution can reach (constant branch conditions)",
+		Run:  checkUnreachableCode,
+	},
 }
 
 // Checks returns the registered checks in reporting order.
@@ -108,6 +125,37 @@ type FuncContext struct {
 
 	blockPos map[*llvm.Block]int
 	instrPos map[*llvm.Instr]int
+
+	// Abstract-interpretation results, computed on first use so checks that
+	// do not need them cost nothing.
+	intervals *absint.IntervalResult
+	pts       *absint.PointsToResult
+	sccp      *absint.SCCPResult
+}
+
+// Intervals returns the function's value-range analysis (lazily computed).
+func (ctx *FuncContext) Intervals() *absint.IntervalResult {
+	if ctx.intervals == nil {
+		ctx.intervals = absint.Intervals(ctx.F)
+	}
+	return ctx.intervals
+}
+
+// PointsTo returns the function's points-to analysis (lazily computed).
+func (ctx *FuncContext) PointsTo() *absint.PointsToResult {
+	if ctx.pts == nil {
+		ctx.pts = absint.PointsTo(ctx.F)
+	}
+	return ctx.pts
+}
+
+// SCCP returns the function's conditional constant propagation (lazily
+// computed).
+func (ctx *FuncContext) SCCP() *absint.SCCPResult {
+	if ctx.sccp == nil {
+		ctx.sccp = absint.SCCP(ctx.F)
+	}
+	return ctx.sccp
 }
 
 // newFuncContext computes the shared analyses for f.
@@ -197,6 +245,7 @@ func Module(m *llvm.Module, opts Options) diag.Diagnostics {
 		}
 	}
 	out.Sort()
+	out.AssignIDs()
 	return out
 }
 

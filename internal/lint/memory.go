@@ -3,81 +3,54 @@ package lint
 import (
 	"fmt"
 
+	"repro/internal/absint"
 	"repro/internal/diag"
 	"repro/internal/hls"
 	"repro/internal/llvm"
 )
 
-// allocaInfo summarizes one alloca's pointer flow.
+// allocaInfo summarizes one alloca's pointer flow, as seen by the points-to
+// analysis.
 type allocaInfo struct {
 	root *llvm.Instr
-	// derived holds every SSA value known to point into the allocation
-	// (the alloca itself, GEPs and casts off it).
-	derived map[llvm.Value]bool
-	escaped bool
-	loads   []*llvm.Instr
-	stores  []*llvm.Instr
+	// escaped holds the points-to escape reason ("" when the address never
+	// left the function's view). Unlike the older syntactic closure, pointers
+	// merged through phi/select stay tracked — only calls, stores-as-value,
+	// integer casts, returns, and aggregate inserts escape.
+	escaped   bool
+	escReason string
+	loads     []*llvm.Instr
+	stores    []*llvm.Instr
 }
 
-// collectAllocas finds every alloca with its derived-pointer closure, escape
-// verdict, and the loads/stores through it. A pointer escapes when it is
-// passed to a call, stored as a value, cast to an integer, returned, or
-// merged through phi/select/insertvalue — after that, reads and writes can
-// happen through names this local analysis cannot see.
+// collectAllocas finds every alloca with its escape verdict and the loads and
+// stores that may touch it, all derived from the points-to relation.
 func collectAllocas(ctx *FuncContext) []*allocaInfo {
+	pts := ctx.PointsTo()
 	var infos []*allocaInfo
 	for _, b := range ctx.F.Blocks {
 		for _, in := range b.Instrs {
 			if in.Op == llvm.OpAlloca {
-				infos = append(infos, &allocaInfo{
-					root:    in,
-					derived: map[llvm.Value]bool{in: true},
-				})
+				ai := &allocaInfo{root: in}
+				ai.escReason, ai.escaped = pts.Escaped(in)
+				infos = append(infos, ai)
 			}
 		}
 	}
 	if len(infos) == 0 {
 		return nil
 	}
-	// Close the derived sets (GEP/bitcast chains can appear in any block
-	// order, so iterate to a fixpoint).
-	for changed := true; changed; {
-		changed = false
-		for _, b := range ctx.F.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op != llvm.OpGEP && in.Op != llvm.OpBitcast {
-					continue
-				}
-				for _, ai := range infos {
-					if ai.derived[in.Args[0]] && !ai.derived[in] {
-						ai.derived[in] = true
-						changed = true
-					}
-				}
-			}
-		}
-	}
 	for _, b := range ctx.F.Blocks {
 		for _, in := range b.Instrs {
 			for _, ai := range infos {
 				switch in.Op {
 				case llvm.OpLoad:
-					if ai.derived[in.Args[0]] {
+					if pts.Touches(in.Args[0], ai.root) {
 						ai.loads = append(ai.loads, in)
 					}
 				case llvm.OpStore:
-					if ai.derived[in.Args[1]] {
+					if pts.Touches(in.Args[1], ai.root) {
 						ai.stores = append(ai.stores, in)
-					}
-					if ai.derived[in.Args[0]] {
-						ai.escaped = true // address stored as a value
-					}
-				case llvm.OpCall, llvm.OpPtrToInt, llvm.OpPhi, llvm.OpSelect,
-					llvm.OpRet, llvm.OpInsertValue:
-					for _, a := range in.Args {
-						if ai.derived[a] {
-							ai.escaped = true
-						}
 					}
 				}
 			}
@@ -89,12 +62,15 @@ func collectAllocas(ctx *FuncContext) []*allocaInfo {
 // checkUninitLoad flags loads from non-escaping allocas that no execution
 // path has stored to: forward may-init dataflow over the CFG (a block's
 // entry state is the union over predecessors), then an in-order scan inside
-// each block. Because the merge is a union, a finding means *no* path from
-// entry initializes the location — reading truly undefined memory, which
-// interpretation and synthesis both turn into garbage.
+// each block. Because the merge is a union and any store that MAY touch the
+// allocation counts as initialization, a finding means *no* path from entry
+// initializes the location — reading truly undefined memory, which
+// interpretation and synthesis both turn into garbage. A load is only flagged
+// when its address provably points into the allocation and nowhere else.
 func checkUninitLoad(ctx *FuncContext) diag.Diagnostics {
 	var out diag.Diagnostics
 	const check = "uninit-load"
+	pts := ctx.PointsTo()
 	for _, ai := range collectAllocas(ctx) {
 		if ai.escaped || len(ai.loads) == 0 {
 			continue
@@ -128,14 +104,17 @@ func checkUninitLoad(ctx *FuncContext) diag.Diagnostics {
 			for _, i := range b.Instrs {
 				switch i.Op {
 				case llvm.OpStore:
-					if ai.derived[i.Args[1]] {
+					if pts.Touches(i.Args[1], ai.root) {
 						cur = true
 					}
 				case llvm.OpLoad:
-					if ai.derived[i.Args[0]] && !cur {
-						out = append(out, ctx.diag(diag.SevError, check, b, i,
+					if pts.DerivedFrom(i.Args[0], ai.root) && !cur {
+						d := ctx.diag(diag.SevError, check, b, i,
 							fmt.Sprintf("load from %s reads memory no path has initialized", ai.root.Ident()),
-							"store an initial value on every path before this load"))
+							"store an initial value on every path before this load")
+						d.Explanation = fmt.Sprintf("address %s points to %s; no store into the allocation reaches this load on any path",
+							i.Args[0].Ident(), pts.Describe(i.Args[0]))
+						out = append(out, d)
 					}
 				}
 			}
@@ -144,34 +123,66 @@ func checkUninitLoad(ctx *FuncContext) diag.Diagnostics {
 	return out
 }
 
+// mustAliasByElem reports whether the points-to analysis proves a and b
+// address exactly the same element: each resolves to a single location with a
+// known element index, and the locations are equal. This extends the
+// scheduler's structural SameAddress to GEP chains that compute the same
+// constant element through different expressions.
+func mustAliasByElem(pts *absint.PointsToResult, a, b llvm.Value) bool {
+	sa, oka := pts.Targets(a)
+	sb, okb := pts.Targets(b)
+	return oka && okb && len(sa) == 1 && len(sb) == 1 &&
+		sa[0] == sb[0] && sa[0].Elem != absint.ElemUnknown
+}
+
 // checkDeadStore flags a store overwritten by a later same-address store in
 // the same block with no intervening read: the first store's value can never
-// be observed. Calls and loads of the same base end the window (they may
-// read the location); the address comparison is the scheduler's own
-// SameAddress, so "provably same" here matches what synthesis serializes.
+// be observed. The window ends at a load that may alias the stored address
+// (points-to disproves loads of other arrays and other constant elements);
+// calls end the window only when the stored-to allocation escapes — a callee
+// cannot read an address it was never given. Same-address is the scheduler's
+// structural SameAddress, extended by points-to element equality.
 func checkDeadStore(ctx *FuncContext) diag.Diagnostics {
 	var out diag.Diagnostics
 	const check = "dead-store"
+	pts := ctx.PointsTo()
+	mayEscape := func(addr llvm.Value) bool {
+		targets, ok := pts.Targets(addr)
+		if !ok {
+			return true
+		}
+		for _, l := range targets {
+			if _, esc := pts.Escaped(l.Root); esc {
+				return true
+			}
+		}
+		return false
+	}
 	for _, b := range ctx.F.Blocks {
 		for i, st := range b.Instrs {
 			if st.Op != llvm.OpStore {
 				continue
 			}
-			base := hls.BaseOf(st.Args[1])
 		window:
 			for _, later := range b.Instrs[i+1:] {
 				switch later.Op {
 				case llvm.OpCall:
-					break window
+					if mayEscape(st.Args[1]) {
+						break window
+					}
 				case llvm.OpLoad:
-					if hls.BaseOf(later.Args[0]) == base {
+					if pts.MayAlias(later.Args[0], st.Args[1]) {
 						break window
 					}
 				case llvm.OpStore:
-					if hls.SameAddress(st.Args[1], later.Args[1]) {
-						out = append(out, ctx.diag(diag.SevWarning, check, b, st,
+					if hls.SameAddress(st.Args[1], later.Args[1]) ||
+						mustAliasByElem(pts, st.Args[1], later.Args[1]) {
+						d := ctx.diag(diag.SevWarning, check, b, st,
 							fmt.Sprintf("store to %s is overwritten before any read", st.Args[1].Ident()),
-							"remove the dead store or reorder the computation"))
+							"remove the dead store or reorder the computation")
+						d.Explanation = fmt.Sprintf("address %s points to %s; the next store to the same element precedes every read",
+							st.Args[1].Ident(), pts.Describe(st.Args[1]))
+						out = append(out, d)
 						break window
 					}
 				}

@@ -270,9 +270,9 @@ func FindLoops(c *CFG, d *DomTree) *LoopInfo {
 type IndVar struct {
 	Phi   *llvm.Instr
 	Start int64
-	Step  int64 // always > 0
+	Step  int64 // nonzero; negative for down-counting loops
 	Bound int64
-	Pred  string // slt, sle, ult, or ule
+	Pred  string // slt, sle, ult, ule (Step > 0) or sgt, sge (Step < 0)
 }
 
 // Trip returns the number of iterations the guard admits (0 when the bound
@@ -289,12 +289,23 @@ func (iv IndVar) Trip() int64 {
 			return 0
 		}
 		return (iv.Bound-iv.Start)/iv.Step + 1
+	case "sgt":
+		if iv.Start <= iv.Bound {
+			return 0
+		}
+		return (iv.Start - iv.Bound + (-iv.Step) - 1) / (-iv.Step)
+	case "sge":
+		if iv.Start < iv.Bound {
+			return 0
+		}
+		return (iv.Start-iv.Bound)/(-iv.Step) + 1
 	}
 	return 0
 }
 
-// Last returns the largest value the induction variable takes inside the
-// loop body. Only meaningful when Trip() >= 1.
+// Last returns the final value the induction variable takes inside the loop
+// body: the largest for positive steps, the smallest for negative ones. Only
+// meaningful when Trip() >= 1.
 func (iv IndVar) Last() int64 {
 	return iv.Start + (iv.Trip()-1)*iv.Step
 }
@@ -306,9 +317,12 @@ func (iv IndVar) Last() int64 {
 // the exit compare to sle, and unsigned forms appear after retyping):
 //
 //	header: %iv = phi [ C0, pre ], [ %next, latch ]
-//	        %c = icmp {slt|sle|ult|ule} %iv, C1
+//	        %c = icmp {slt|sle|ult|ule|sgt|sge} %iv, C1
 //	        br %c, body, exit
 //	...     %next = add %iv, C2
+//
+// The signed greater-than forms are the down-counting loops (C2 < 0); the
+// less-than forms require C2 > 0.
 func InductionVar(l *Loop) (IndVar, bool) {
 	var cmp *llvm.Instr
 	for _, in := range l.Header.Instrs {
@@ -326,7 +340,7 @@ func InductionVar(l *Loop) (IndVar, bool) {
 		return IndVar{}, false
 	}
 	switch cmp.Pred {
-	case "slt", "sle", "ult", "ule":
+	case "slt", "sle", "ult", "ule", "sgt", "sge":
 	default:
 		return IndVar{}, false
 	}
@@ -352,7 +366,13 @@ func InductionVar(l *Loop) (IndVar, bool) {
 			start, _ = inc.(*llvm.ConstInt)
 		}
 	}
-	if start == nil || step == nil || step.Val <= 0 {
+	if start == nil || step == nil || step.Val == 0 {
+		return IndVar{}, false
+	}
+	down := cmp.Pred == "sgt" || cmp.Pred == "sge"
+	if down != (step.Val < 0) {
+		// An up-counting guard over a negative step (or vice versa) is not a
+		// counted loop: it exits immediately or never via the guard.
 		return IndVar{}, false
 	}
 	if (cmp.Pred == "ult" || cmp.Pred == "ule") && (start.Val < 0 || bound.Val < 0) {

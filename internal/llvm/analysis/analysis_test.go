@@ -326,13 +326,21 @@ func TestTripCountPredicates(t *testing.T) {
 		{"sle", 0, 1, 8, 9, true},
 		{"ult", 0, 1, 8, 8, true},
 		{"ule", 0, 1, 8, 9, true},
-		{"slt", 2, 3, 11, 3, true},  // 2,5,8 < 11
-		{"sle", 2, 3, 11, 4, true},  // 2,5,8,11 <= 11
-		{"ult", 4, 2, 4, 0, true},   // bound == start: empty
-		{"sle", 5, 1, 4, 0, true},   // bound < start: empty
-		{"sgt", 8, 1, 0, 0, false},  // unsupported predicate
-		{"ult", -1, 1, 8, 0, false}, // unsigned with negative start
-		{"ule", 0, 1, -1, 0, false}, // unsigned with negative bound
+		{"slt", 2, 3, 11, 3, true},    // 2,5,8 < 11
+		{"sle", 2, 3, 11, 4, true},    // 2,5,8,11 <= 11
+		{"ult", 4, 2, 4, 0, true},     // bound == start: empty
+		{"sle", 5, 1, 4, 0, true},     // bound < start: empty
+		{"sgt", 8, 1, 0, 0, false},    // down-counting guard over an up-counting step
+		{"slt", 0, -1, 8, 0, false},   // up-counting guard over a down-counting step
+		{"ult", -1, 1, 8, 0, false},   // unsigned with negative start
+		{"ule", 0, 1, -1, 0, false},   // unsigned with negative bound
+		{"sgt", 8, -1, 0, 8, true},    // 8,7,...,1 > 0
+		{"sge", 8, -1, 0, 9, true},    // 8,7,...,0 >= 0
+		{"sgt", 11, -3, 2, 3, true},   // 11,8,5 > 2
+		{"sge", 11, -3, 2, 4, true},   // 11,8,5,2 >= 2
+		{"sgt", 0, -1, 8, 0, true},    // start below bound: empty
+		{"sge", 3, -2, 4, 0, true},    // start below bound: empty
+		{"sgt", -2, -4, -15, 4, true}, // -2,-6,-10,-14 > -15
 	}
 	for _, c := range cases {
 		_, l := buildCountedLoop(t, c.pred, c.start, c.step, c.bound)
@@ -358,6 +366,23 @@ func TestInductionVarLast(t *testing.T) {
 	}
 	if iv.Phi != l.Header.Instrs[0] {
 		t.Error("IndVar.Phi must be the header phi")
+	}
+}
+
+func TestInductionVarLastNegativeStep(t *testing.T) {
+	_, l := buildCountedLoop(t, "sgt", 9, -2, 0)
+	iv, ok := InductionVar(l)
+	if !ok {
+		t.Fatal("down-counting loop must be recognized")
+	}
+	if iv.Step != -2 || iv.Pred != "sgt" {
+		t.Errorf("iv = %+v, want step -2 pred sgt", iv)
+	}
+	if iv.Trip() != 5 { // 9,7,5,3,1
+		t.Errorf("trip = %d, want 5", iv.Trip())
+	}
+	if iv.Last() != 1 { // smallest value for a negative step
+		t.Errorf("last = %d, want 1", iv.Last())
 	}
 }
 

@@ -224,3 +224,100 @@ func TestCLIToolsFromFiles(t *testing.T) {
 		t.Errorf("unroll not applied through the CLI:\n%s", out)
 	}
 }
+
+// TestCLIHLSLintMultiInput covers the multi-input surface: several files and
+// a recursed directory in one run (with per-file locations in the text
+// report), stdin via "-", -format sarif, and -explain on a finding id.
+func TestCLIHLSLintMultiInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	tools := buildTools(t, "hls-lint")
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "nested")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(dir, "bad.ll")
+	nestedPath := filepath.Join(sub, "also_bad.ll")
+	for _, p := range []string{badPath, nestedPath} {
+		if err := os.WriteFile(p, []byte(badLL), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A directory argument recurses; both copies of the defect are found and
+	// attributed to their files.
+	out, _, err := runTool(t, tools["hls-lint"], "", dir)
+	if err == nil {
+		t.Fatalf("defective inputs must exit non-zero:\n%s", out)
+	}
+	if !strings.Contains(out, "4 error(s)") {
+		t.Errorf("two defective files carry four errors:\n%s", out)
+	}
+	for _, p := range []string{badPath, nestedPath} {
+		if !strings.Contains(out, p) {
+			t.Errorf("text report missing file location %q:\n%s", p, out)
+		}
+	}
+
+	// Explicit file arguments work too, and stdin stays reachable as "-".
+	out2, _, _ := runTool(t, tools["hls-lint"], "", badPath, nestedPath)
+	if out != out2 {
+		t.Errorf("directory walk and explicit files disagree:\n%s\nvs\n%s", out, out2)
+	}
+	stdinOut, _, err := runTool(t, tools["hls-lint"], badLL, "-")
+	if err == nil || !strings.Contains(stdinOut, "2 error(s)") {
+		t.Errorf("stdin via - broken (err=%v):\n%s", err, stdinOut)
+	}
+
+	// SARIF output: valid JSON with the expected shape and fingerprints.
+	sarifOut, _, err := runTool(t, tools["hls-lint"], "", "-format", "sarif", badPath)
+	if err == nil {
+		t.Fatal("-format sarif must keep the exit-code contract")
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID              string            `json:"ruleId"`
+				Level               string            `json:"level"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sarifOut), &log); err != nil {
+		t.Fatalf("-format sarif is not valid JSON: %v\n%s", err, sarifOut)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "hls-lint" {
+		t.Errorf("unexpected SARIF envelope:\n%s", sarifOut)
+	}
+	if len(log.Runs[0].Results) != 2 {
+		t.Errorf("want 2 SARIF results, got %d", len(log.Runs[0].Results))
+	}
+
+	// -explain: pull an id out of the report and ask for its analysis state.
+	id := log.Runs[0].Results[0].PartialFingerprints["hlsLintId"]
+	if id == "" {
+		t.Fatalf("SARIF results must carry hlsLintId fingerprints:\n%s", sarifOut)
+	}
+	expOut, _, err := runTool(t, tools["hls-lint"], "", "-explain", id, badPath)
+	if err != nil {
+		t.Fatalf("-explain on a known id: %v\n%s", err, expOut)
+	}
+	if !strings.Contains(expOut, id) {
+		t.Errorf("-explain output should echo the finding:\n%s", expOut)
+	}
+	// Unknown ids are usage errors (exit 2).
+	_, _, err = runTool(t, tools["hls-lint"], "", "-explain", "ffffffff", badPath)
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Errorf("unknown -explain id should exit 2, got %v", err)
+	}
+}
