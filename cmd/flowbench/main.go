@@ -30,11 +30,20 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "reuse results for identical (kernel, directives, target, flow) evaluations")
 	stats := flag.Bool("stats", false, "print engine counters and phase totals after the run")
+	fallback := flag.Bool("fallback", false, "degrade failed adaptor evaluations to the C++ baseline (rows marked *) instead of aborting the table")
+	quarantine := flag.String("quarantine", "", "directory for repro bundles of failing evaluations (re-execute with hls-adaptor -replay)")
+	retries := flag.Int("retries", 0, "re-executions granted per evaluation for transient failures")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.SizeName = strings.ToUpper(*size)
-	eng := engine.New(engine.Options{Workers: *workers, Cache: *cache})
+	eng := engine.New(engine.Options{
+		Workers:    *workers,
+		Cache:      *cache,
+		Retries:    *retries,
+		Fallback:   *fallback,
+		Quarantine: *quarantine,
+	})
 	cfg.Engine = eng
 
 	funcs := map[string]func(experiments.Config) (*experiments.Table, error){

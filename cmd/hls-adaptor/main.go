@@ -6,18 +6,31 @@
 // Usage:
 //
 //	hls-adaptor [-top NAME] [-report] [input.ll]
+//	hls-adaptor -replay repro-<id>.json   # re-execute a quarantine bundle
+//
+// Replay mode re-runs the flow recorded in a repro bundle (written by the
+// engine's quarantine bisector) with panic isolation and verify-each, and
+// reports whether the recorded failure reproduces. Exit codes: 0 the
+// failure reproduced (and was re-pinned), 2 the replay ran clean (the
+// original failure was transient or environmental), 1 the bundle could not
+// be replayed at all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/hls"
 	"repro/internal/lint"
 	"repro/internal/llvm/parser"
+	"repro/internal/mlir"
+	mlirparser "repro/internal/mlir/parser"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -25,7 +38,12 @@ func main() {
 	report := flag.Bool("report", true, "print the fix report to stderr")
 	check := flag.Bool("check", true, "verify the result passes the HLS readability gate")
 	runLint := flag.Bool("lint", false, "run the hls-lint static-analysis suite on the adapted IR (report on stderr)")
+	replay := flag.String("replay", "", "re-execute a quarantine repro bundle and report whether its failure reproduces")
 	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
 
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
@@ -56,6 +74,64 @@ func main() {
 		}
 	}
 	fmt.Print(m.Print())
+}
+
+// runReplay re-executes a repro bundle through the bisector: the recorded
+// input MLIR replays through the recorded flow kind with isolation,
+// verify-each, and per-pass snapshots, so a reproducing failure is pinned
+// again from scratch rather than trusted from the bundle.
+func runReplay(path string) int {
+	b, err := resilience.ReadBundle(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hls-adaptor: replay:", err)
+		return 1
+	}
+	if b.InputMLIR == "" {
+		fmt.Fprintln(os.Stderr, "hls-adaptor: replay: bundle has no input MLIR")
+		return 1
+	}
+	var d flow.Directives
+	if len(b.Directives) > 0 {
+		if err := json.Unmarshal(b.Directives, &d); err != nil {
+			fmt.Fprintln(os.Stderr, "hls-adaptor: replay: bad directives:", err)
+			return 1
+		}
+	}
+	tgt := hls.DefaultTarget()
+	if len(b.Target) > 0 {
+		if err := json.Unmarshal(b.Target, &tgt); err != nil {
+			fmt.Fprintln(os.Stderr, "hls-adaptor: replay: bad target:", err)
+			return 1
+		}
+	}
+	if _, err := mlirparser.Parse(b.InputMLIR); err != nil {
+		fmt.Fprintln(os.Stderr, "hls-adaptor: replay: bundle input does not parse:", err)
+		return 1
+	}
+	build := func() *mlir.Module {
+		m, err := mlirparser.Parse(b.InputMLIR)
+		if err != nil {
+			return nil
+		}
+		return m
+	}
+	fmt.Fprintf(os.Stderr, "hls-adaptor: replaying %s (%s flow, top %s)\n", b.Label, b.Flow, b.Top)
+	fmt.Fprintf(os.Stderr, "hls-adaptor: recorded failure: %v\n", &b.Failure)
+	nb := flow.Bisect(build, b.Flow, b.Label, b.Top, d, tgt, flow.Options{}, &b.Failure)
+	if !nb.Reproduced {
+		fmt.Fprintln(os.Stderr, "hls-adaptor: replay ran clean — failure did not reproduce")
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "hls-adaptor: reproduced at %s/%s: %v\n",
+		nb.Failure.Stage, nb.Failure.Pass, &nb.Failure)
+	if nb.Failure.Stage != b.Failure.Stage || nb.Failure.Pass != b.Failure.Pass {
+		fmt.Fprintf(os.Stderr, "hls-adaptor: note: bundle recorded %s/%s\n",
+			b.Failure.Stage, b.Failure.Pass)
+	}
+	if nb.SnapshotIR != "" {
+		fmt.Print(nb.SnapshotIR)
+	}
+	return 0
 }
 
 func readInput(path string) (string, error) {

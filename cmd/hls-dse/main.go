@@ -9,6 +9,12 @@
 //	hls-dse -kernel gemm [-size SMALL]        # explore a polybench kernel
 //	hls-dse -top name input.mlir              # explore a hand-written kernel
 //	hls-dse -kernel gemm -workers 8 -stats    # wider pool + engine counters
+//	hls-dse -kernel gemm -journal sweep.jsonl # crash-resumable sweep
+//	hls-dse -kernel gemm -fallback -quarantine ./quarantine
+//
+// Exit codes: 0 every configuration evaluated cleanly; 2 the sweep
+// completed but some configurations failed or were degraded to the C++
+// fallback; 1 hard failure (nothing usable produced).
 package main
 
 import (
@@ -18,13 +24,16 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/dse"
+	"repro/internal/engine"
 	"repro/internal/hls"
 	"repro/internal/mlir"
 	"repro/internal/mlir/parser"
 	"repro/internal/polybench"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -38,6 +47,12 @@ func main() {
 	failfast := flag.Bool("failfast", false, "abort the sweep on the first failing configuration")
 	precheck := flag.Bool("precheck", false, "prune II-infeasible pipeline points before the sweep (never changes the frontier)")
 	stats := flag.Bool("stats", false, "print engine counters and phase totals")
+	journalPath := flag.String("journal", "", "write-ahead journal file; a killed sweep rerun with the same file resumes without recomputing finished points")
+	fallback := flag.Bool("fallback", false, "degrade configurations whose direct-IR path fails to the C++ baseline flow (marked degraded, exit 2)")
+	quarantine := flag.String("quarantine", "", "directory for self-contained repro bundles of failing configurations (re-execute with hls-adaptor -replay)")
+	retries := flag.Int("retries", 0, "re-executions granted per configuration for transient failures (timeouts)")
+	seed := flag.Int64("seed", 0, "seed for the retry backoff jitter")
+	injectPanic := flag.String("inject-panic", "", "chaos hook: panic inside `config:stage/pass` of the direct path, exercising isolation/fallback/quarantine end to end")
 	flag.Parse()
 
 	tgt := hls.DefaultTarget()
@@ -80,26 +95,73 @@ func main() {
 		fatal(fmt.Errorf("pass -kernel NAME or an input.mlir with -top"))
 	}
 
-	t0 := time.Now()
-	res, err := dse.ExploreWith(build, name, tgt, dse.Options{
+	opts := dse.Options{
 		Workers:    *workers,
 		Cache:      *cache,
 		FailFast:   *failfast,
 		Timeout:    *timeout,
 		CacheScope: scope,
 		Precheck:   *precheck,
-	})
+	}
+	if *fallback || *quarantine != "" || *retries > 0 || *injectPanic != "" {
+		eopts := engine.Options{
+			Workers:    *workers,
+			Cache:      *cache,
+			Retries:    *retries,
+			Seed:       *seed,
+			Fallback:   *fallback,
+			Quarantine: *quarantine,
+		}
+		if spec := *injectPanic; spec != "" {
+			label, unit, ok := strings.Cut(spec, ":")
+			if !ok {
+				fatal(fmt.Errorf("-inject-panic wants config:stage/pass, got %q", spec))
+			}
+			eopts.FlowFaultHook = func(job engine.Job, flowName, stage, pass string) {
+				if flowName == "adaptor" && job.Label == label && stage+"/"+pass == unit {
+					panic("injected panic at " + spec)
+				}
+			}
+		}
+		opts.Engine = engine.New(eopts)
+	}
+	var journal *resilience.Journal
+	if *journalPath != "" {
+		j, err := resilience.OpenJournal(*journalPath)
+		if err != nil {
+			fatal(err)
+		}
+		journal = j
+		opts.Journal = j
+	}
+
+	t0 := time.Now()
+	res, err := dse.ExploreWith(build, name, tgt, opts)
 	if err != nil {
 		fatal(err)
 	}
 	wall := time.Since(t0)
 
-	fmt.Printf("explored %d configurations of %s:\n\n", len(res.Points), name)
+	degraded := 0
+	for _, p := range res.Points {
+		if p.Degraded {
+			degraded++
+		}
+	}
+	fmt.Printf("explored %d configurations of %s", len(res.Points), name)
+	if res.Resumed > 0 {
+		fmt.Printf(" (%d resumed from %s)", res.Resumed, *journalPath)
+	}
+	fmt.Printf(":\n\n")
 	pts := append([]dse.Point(nil), res.Points...)
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Latency() < pts[j].Latency() })
 	fmt.Printf("%-20s %10s %10s\n", "config", "latency", "area")
 	for _, p := range pts {
-		fmt.Printf("%-20s %10d %10.0f\n", p.Label, p.Latency(), p.Area)
+		mark := ""
+		if p.Degraded {
+			mark = "  degraded"
+		}
+		fmt.Printf("%-20s %10d %10.0f%s\n", p.Label, p.Latency(), p.Area, mark)
 	}
 	if len(res.Pruned) > 0 {
 		fmt.Printf("\npre-check pruned %d configuration(s):\n", len(res.Pruned))
@@ -113,10 +175,26 @@ func main() {
 			fmt.Printf("  %-20s %v\n", pe.Label, pe.Err)
 		}
 	}
+	if degraded > 0 {
+		fmt.Printf("\n%d configuration(s) degraded to the C++ fallback (direct path failed)\n", degraded)
+	}
+	if res.Stats.Quarantined > 0 {
+		fmt.Printf("%d repro bundle(s) in %s (re-execute with hls-adaptor -replay)\n",
+			res.Stats.Quarantined, *quarantine)
+	}
 	fmt.Printf("\nPareto frontier (latency vs area):\n%s", res)
 	if *stats {
 		fmt.Printf("\nengine: wall=%s workers=%d\n%s",
 			wall.Round(time.Microsecond), effectiveWorkers(*workers), res.Stats)
+	}
+	if journal != nil {
+		journal.Close()
+	}
+	// Exit 2 distinguishes "the sweep completed but not every point is the
+	// direct path's own result" from clean success; hard failures exited 1
+	// through fatal above.
+	if len(res.Errors) > 0 || degraded > 0 {
+		os.Exit(2)
 	}
 }
 

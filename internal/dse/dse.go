@@ -17,6 +17,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/mlir"
 	"repro/internal/mlir/passes"
+	"repro/internal/resilience"
 )
 
 // Point is one evaluated design.
@@ -26,6 +27,9 @@ type Point struct {
 	Report *hls.Report
 	// Area is the scalarized resource cost used for Pareto ranking.
 	Area float64
+	// Degraded marks a point whose report came from the C++ fallback path
+	// after the direct-IR flow failed (engine Fallback option).
+	Degraded bool
 }
 
 // Latency returns the point's latency in cycles.
@@ -98,6 +102,9 @@ type Result struct {
 	// Pruned lists configurations the feasibility pre-check skipped (only
 	// populated with Options.Precheck), in space order.
 	Pruned []PrunedPoint
+	// Resumed counts points served from the journal instead of evaluated
+	// (Options.Journal).
+	Resumed int
 	// Stats snapshots the evaluation engine's counters (cache hits,
 	// summed per-phase compute time) for this exploration's engine.
 	Stats engine.Stats
@@ -121,6 +128,15 @@ type Options struct {
 	// Engine, when non-nil, evaluates the jobs (sharing its cache and
 	// stats); Workers/Cache are then ignored.
 	Engine *engine.Engine
+	// Journal, when non-nil, is the write-ahead log for crash-resumable
+	// sweeps: every completed point is appended (and synced) the moment its
+	// worker finishes, and points whose key is already journaled are served
+	// from it without re-evaluation. A killed sweep rerun against the same
+	// journal file completes the remainder and returns the Pareto frontier
+	// a single uninterrupted run would have — byte-identical, because
+	// points are reconstructed in space order regardless of which side of
+	// the crash produced them.
+	Journal *resilience.Journal
 	// Precheck runs the lint feasibility pre-check before the sweep: one
 	// adaptor-flow preparation (no scheduling) computes per-loop II bounds —
 	// the alias-filtered recurrence floor plus memory-access counts priced
@@ -153,9 +169,16 @@ func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Opt
 	if opts.Precheck {
 		space, pruned = pruneInfeasible(space, build, top, tgt)
 	}
-	jobs := make([]engine.Job, len(space))
+	res := &Result{Pruned: pruned}
+	// slots holds each configuration's point at its space index, whether it
+	// came from the journal or from this run's engine — reconstruction in
+	// space order is what makes a resumed sweep's frontier byte-identical
+	// to an uninterrupted one.
+	slots := make([]*Point, len(space))
+	var jobs []engine.Job
+	var jobSlot []int
 	for i, cfg := range space {
-		jobs[i] = engine.Job{
+		job := engine.Job{
 			Label:      cfg.Label,
 			Kind:       engine.KindAdaptor,
 			Build:      build,
@@ -164,34 +187,73 @@ func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Opt
 			Target:     tgt,
 			CacheScope: opts.CacheScope,
 		}
+		if opts.Journal != nil {
+			var e journalEntry
+			if ok, jerr := opts.Journal.Get(engine.Key(job), &e); ok && jerr == nil {
+				slots[i] = &Point{Label: cfg.Label, D: cfg.D, Report: e.Report,
+					Area: e.Area, Degraded: e.Degraded}
+				res.Resumed++
+				continue
+			}
+		}
+		jobs = append(jobs, job)
+		jobSlot = append(jobSlot, i)
 	}
-	rs, err := eng.RunBatch(context.Background(), jobs, engine.BatchOptions{
+	batch := engine.BatchOptions{
 		ContinueOnError: !opts.FailFast,
 		Timeout:         opts.Timeout,
-	})
+	}
+	if opts.Journal != nil {
+		// Write-ahead: the worker journals each success before the batch
+		// returns, so a kill mid-sweep loses at most in-flight work.
+		batch.OnResult = func(i int, r engine.JobResult) {
+			if r.Err != nil || r.Res == nil {
+				return
+			}
+			_ = opts.Journal.Put(engine.Key(jobs[i]), journalEntry{
+				Label: r.Label, Degraded: r.Degraded,
+				Report: r.Res.Report, Area: areaOf(r.Res.Report),
+			})
+		}
+	}
+	rs, err := eng.RunBatch(context.Background(), jobs, batch)
 	if err != nil {
 		return nil, fmt.Errorf("dse: %w", err)
 	}
-	res := &Result{Pruned: pruned}
-	for i, r := range rs {
+	for pos, r := range rs {
+		i := jobSlot[pos]
 		if r.Err != nil {
 			res.Errors = append(res.Errors, PointError{Label: r.Label, Err: r.Err})
 			continue
 		}
-		res.Points = append(res.Points, Point{
-			Label:  r.Label,
-			D:      space[i].D,
-			Report: r.Res.Report,
-			Area:   areaOf(r.Res.Report),
-		})
+		slots[i] = &Point{Label: r.Label, D: space[i].D, Report: r.Res.Report,
+			Area: areaOf(r.Res.Report), Degraded: r.Degraded}
+	}
+	for _, p := range slots {
+		if p != nil {
+			res.Points = append(res.Points, *p)
+		}
 	}
 	if len(res.Points) == 0 {
+		if len(res.Errors) == 0 {
+			return nil, fmt.Errorf("dse: empty design space")
+		}
 		first := res.Errors[0]
 		return nil, fmt.Errorf("dse: no configuration evaluated; first failure %s: %w", first.Label, first.Err)
 	}
 	res.Pareto = paretoFrontier(res.Points)
 	res.Stats = eng.Stats()
 	return res, nil
+}
+
+// journalEntry is the persisted record of one completed point. The report
+// is stored whole so a resumed sweep rebuilds points without rerunning
+// flows.
+type journalEntry struct {
+	Label    string      `json:"label"`
+	Degraded bool        `json:"degraded,omitempty"`
+	Report   *hls.Report `json:"report"`
+	Area     float64     `json:"area"`
 }
 
 // pruneInfeasible removes II-infeasible pipeline points from the space: one
@@ -341,11 +403,17 @@ func paretoFrontier(points []Point) []Point {
 	return out
 }
 
-// String renders the frontier as a table.
+// String renders the frontier as a table. Points the C++ fallback path
+// produced are marked degraded — their numbers are the baseline flow's,
+// not the direct path's.
 func (r *Result) String() string {
 	s := fmt.Sprintf("%-18s %10s %10s\n", "config", "latency", "area")
 	for _, p := range r.Pareto {
-		s += fmt.Sprintf("%-18s %10d %10.0f\n", p.Label, p.Latency(), p.Area)
+		mark := ""
+		if p.Degraded {
+			mark = "  degraded"
+		}
+		s += fmt.Sprintf("%-18s %10d %10.0f%s\n", p.Label, p.Latency(), p.Area, mark)
 	}
 	return s
 }

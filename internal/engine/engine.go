@@ -29,6 +29,7 @@ import (
 	"repro/internal/hls"
 	"repro/internal/llvm"
 	"repro/internal/mlir"
+	"repro/internal/resilience"
 )
 
 // Kind selects which flow a job runs.
@@ -75,6 +76,17 @@ type JobResult struct {
 	CacheHit bool
 	// Elapsed is this job's wall time (near zero for cache hits).
 	Elapsed time.Duration
+	// Degraded marks a result the C++ fallback path produced after the
+	// direct-IR flow failed; Failure carries the direct-path failure (also
+	// set, without Degraded, when a job failed with a typed failure).
+	Degraded bool
+	Failure  *resilience.PassFailure
+	// Attempts counts executions including retries (1 = first try worked;
+	// 0 for cache hits and never-dispatched jobs).
+	Attempts int
+	// BundlePath is the quarantine repro bundle written for this job's
+	// direct-path failure (Options.Quarantine).
+	BundlePath string
 }
 
 // Options configures an Engine.
@@ -88,12 +100,50 @@ type Options struct {
 	ContinueOnError bool
 	// Timeout is the default per-job wall-time limit (0 = none).
 	Timeout time.Duration
+
+	// Retries is the number of re-executions granted to a job whose
+	// failure is transient (timeout, cancellation, or an injected fault
+	// wrapping one); deterministic failures (panics, verify violations,
+	// ordinary errors) never retry.
+	Retries int
+	// RetryBackoff is the base delay before the first retry, doubling per
+	// attempt with seeded jitter (0 = resilience.DefaultBase).
+	RetryBackoff time.Duration
+	// Seed makes the retry jitter (and anything else randomized in the
+	// engine) reproducible across runs.
+	Seed int64
+	// InjectFault, when non-nil, is consulted at the start of every
+	// execution attempt; a non-nil error becomes that attempt's outcome
+	// without running the flow. Tests drive every recovery path through
+	// it deterministically.
+	InjectFault func(Job) error
+	// Fallback degrades failed adaptor jobs to the C++ baseline flow:
+	// instead of a job error, the result carries the C++ report tagged
+	// Degraded with the direct-path failure attached.
+	Fallback bool
+	// Quarantine, when non-empty, is the directory where every direct-path
+	// failure is bisected (pipeline replayed with verify-each and per-pass
+	// snapshots) and written as a self-contained repro bundle that
+	// `hls-adaptor -replay` re-executes.
+	Quarantine string
+	// Flow is the base flow options applied to every job (VerifyEach,
+	// FaultHook for pass-level fault injection). The engine overrides
+	// Ctx/Isolate/Fallback per job.
+	Flow flow.Options
+	// FlowFaultHook, when non-nil, replaces Flow.FaultHook with a
+	// job-aware hook, so tests can target one kernel's run of one pass.
+	FlowFaultHook func(job Job, flowName, stage, pass string)
 }
 
 // BatchOptions overrides the engine's default policy for one Run call.
 type BatchOptions struct {
 	ContinueOnError bool
 	Timeout         time.Duration
+	// OnResult, when non-nil, is called by the executing worker the moment
+	// job i completes (cache hits included, never-dispatched jobs
+	// excluded). Callers use it for write-ahead journaling; it runs
+	// concurrently across workers and must be safe for parallel calls.
+	OnResult func(i int, r JobResult)
 }
 
 // Stats aggregates engine activity across all Run calls.
@@ -102,6 +152,13 @@ type Stats struct {
 	Errors      int64
 	CacheHits   int64
 	CacheMisses int64
+	// Retries counts re-executions granted for transient failures.
+	Retries int64
+	// Degraded counts jobs the C++ fallback path completed after a
+	// direct-IR failure.
+	Degraded int64
+	// Quarantined counts repro bundles written.
+	Quarantined int64
 	// CPU is the summed wall time of executed (non-cached) jobs; with
 	// Wall from the caller's clock it shows the parallel speedup.
 	CPU time.Duration
@@ -122,6 +179,10 @@ func (s Stats) HitRate() float64 {
 func (s Stats) String() string {
 	out := fmt.Sprintf("jobs=%d errors=%d cache hits=%d misses=%d (rate %.0f%%) cpu=%s\n",
 		s.Jobs, s.Errors, s.CacheHits, s.CacheMisses, 100*s.HitRate(), s.CPU.Round(time.Microsecond))
+	if s.Retries > 0 || s.Degraded > 0 || s.Quarantined > 0 {
+		out += fmt.Sprintf("retries=%d degraded=%d quarantined=%d\n",
+			s.Retries, s.Degraded, s.Quarantined)
+	}
 	if len(s.Phases) > 0 {
 		out += s.Phases.String()
 	}
@@ -131,17 +192,21 @@ func (s Stats) String() string {
 // Engine is a reusable evaluator; its cache and stats persist across Run
 // calls, so batches issued through one engine share results.
 type Engine struct {
-	opts  Options
-	cache *cache
+	opts    Options
+	cache   *cache
+	backoff *resilience.Backoff
 
 	mu    sync.Mutex
 	stats Stats
 }
 
 // New builds an engine. The zero Options value gives a GOMAXPROCS-wide
-// pool with no cache, no timeout, and fail-fast cancellation.
+// pool with no cache, no timeout, no retries, and fail-fast cancellation.
 func New(opts Options) *Engine {
-	e := &Engine{opts: opts}
+	e := &Engine{
+		opts:    opts,
+		backoff: &resilience.Backoff{Base: opts.RetryBackoff, Seed: opts.Seed},
+	}
 	if opts.Cache {
 		e.cache = newCache()
 	}
@@ -196,6 +261,9 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([
 			defer wg.Done()
 			for i := range feed {
 				results[i] = e.runOne(jobs[i], opts.Timeout, seen, &seenMu)
+				if opts.OnResult != nil {
+					opts.OnResult(i, results[i])
+				}
 				if results[i].Err != nil && !opts.ContinueOnError {
 					cancel()
 				}
@@ -241,6 +309,15 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([
 				e.stats.Phases = e.stats.Phases.Merge(r.Phases)
 			}
 		}
+		if results[i].Attempts > 1 {
+			e.stats.Retries += int64(results[i].Attempts - 1)
+		}
+		if results[i].Degraded {
+			e.stats.Degraded++
+		}
+		if results[i].BundlePath != "" {
+			e.stats.Quarantined++
+		}
 	}
 	e.mu.Unlock()
 
@@ -257,7 +334,9 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([
 	return results, nil
 }
 
-// runOne executes or cache-serves a single job.
+// runOne executes or cache-serves a single job. Degraded results are not
+// cached: the fallback report is a stand-in for a failed run, and caching
+// it would mask the direct path recovering on a later batch.
 func (e *Engine) runOne(job Job, timeout time.Duration, seen map[*mlir.Module]string, seenMu *sync.Mutex) JobResult {
 	if e.cache != nil {
 		key := Key(job)
@@ -266,10 +345,11 @@ func (e *Engine) runOne(job Job, timeout time.Duration, seen map[*mlir.Module]st
 			r.Label = job.Label
 			r.CacheHit = true
 			r.Elapsed = 0
+			r.Attempts = 0
 			return r
 		}
 		res := e.execute(job, timeout, seen, seenMu)
-		if res.Err == nil {
+		if res.Err == nil && !res.Degraded {
 			e.cache.put(key, res)
 		}
 		return res
@@ -277,28 +357,98 @@ func (e *Engine) runOne(job Job, timeout time.Duration, seen map[*mlir.Module]st
 	return e.execute(job, timeout, seen, seenMu)
 }
 
-// execute runs the flow, optionally bounded by a per-job timeout. Flows
-// are pure CPU-bound Go with no cancellation points, so a timed-out job's
-// goroutine is abandoned and finishes in the background; its result is
-// discarded.
+// execute runs a job's attempt loop: transient failures (timeouts,
+// cancellations) are retried up to Options.Retries with seeded jittered
+// backoff; deterministic failures (panics, verify violations, plain
+// errors) fail immediately — re-running identical input through
+// deterministic code cannot help. After the final attempt, a surviving
+// direct-path failure is bisected into a quarantine repro bundle when
+// Options.Quarantine is set.
 func (e *Engine) execute(job Job, timeout time.Duration, seen map[*mlir.Module]string, seenMu *sync.Mutex) JobResult {
-	if timeout <= 0 {
-		return runFlow(job, seen, seenMu)
+	var res JobResult
+	for attempt := 1; ; attempt++ {
+		res = e.attempt(job, timeout, seen, seenMu)
+		res.Attempts = attempt
+		if res.Err == nil || attempt > e.opts.Retries || !resilience.Transient(res.Err) {
+			break
+		}
+		time.Sleep(e.backoff.Delay(attempt))
 	}
-	done := make(chan JobResult, 1)
-	go func() { done <- runFlow(job, seen, seenMu) }()
-	select {
-	case r := <-done:
-		return r
-	case <-time.After(timeout):
-		return JobResult{Label: job.Label, Kind: job.Kind, Elapsed: timeout,
-			Err: fmt.Errorf("job %q exceeded timeout %s", job.Label, timeout)}
+	e.quarantine(job, &res)
+	return res
+}
+
+// quarantine bisects a deterministic direct-path failure — a failed job,
+// or a degraded one whose failure rode along — and writes the repro
+// bundle, recording its path on the result.
+func (e *Engine) quarantine(job Job, res *JobResult) {
+	if e.opts.Quarantine == "" {
+		return
+	}
+	var cause error
+	switch {
+	case res.Err != nil && !resilience.Transient(res.Err):
+		cause = res.Err
+	case res.Degraded && res.Failure != nil:
+		cause = res.Failure
+	default:
+		return
+	}
+	bundle := flow.Bisect(job.Build, string(job.Kind), job.Label, job.Top,
+		job.Directives, job.Target, e.flowOptions(job), cause)
+	bundle.Scope = job.CacheScope
+	if path, err := resilience.WriteBundle(e.opts.Quarantine, bundle); err == nil {
+		res.BundlePath = path
 	}
 }
 
+// attempt runs one bounded execution of the flow. The per-attempt context
+// derives from context.Background(), not the batch context: the batch
+// context gates the feeder (determinism contract), while this one exists
+// to reclaim the job's goroutine — on timeout the flow observes
+// cancellation at its next pass boundary and unwinds instead of leaking.
+func (e *Engine) attempt(job Job, timeout time.Duration, seen map[*mlir.Module]string, seenMu *sync.Mutex) JobResult {
+	if e.opts.InjectFault != nil {
+		if err := e.opts.InjectFault(job); err != nil {
+			return JobResult{Label: job.Label, Kind: job.Kind, Err: err}
+		}
+	}
+	if timeout <= 0 {
+		return e.runFlow(context.Background(), job, seen, seenMu)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	done := make(chan JobResult, 1)
+	go func() { done <- e.runFlow(ctx, job, seen, seenMu) }()
+	select {
+	case r := <-done:
+		return r
+	case <-ctx.Done():
+		// The worker moves on; the flow goroutine sees the cancelled
+		// context at its next pass boundary and returns. Its result is
+		// discarded.
+		return JobResult{Label: job.Label, Kind: job.Kind, Elapsed: timeout,
+			Err: fmt.Errorf("job %q exceeded timeout %s: %w", job.Label, timeout, context.DeadlineExceeded)}
+	}
+}
+
+// flowOptions assembles the per-job flow options from the engine-wide
+// base: isolation is always on (a panic in one job must never take down
+// the batch), and FlowFaultHook specializes the pass-level fault hook to
+// this job.
+func (e *Engine) flowOptions(job Job) flow.Options {
+	fopts := e.opts.Flow
+	fopts.Isolate = true
+	if e.opts.FlowFaultHook != nil {
+		hook := e.opts.FlowFaultHook
+		fopts.FaultHook = func(flowName, stage, pass string) { hook(job, flowName, stage, pass) }
+	}
+	return fopts
+}
+
 // runFlow builds the module, enforces the fresh-module contract, and
-// dispatches to the right flow.
-func runFlow(job Job, seen map[*mlir.Module]string, seenMu *sync.Mutex) (out JobResult) {
+// dispatches to the right flow under this attempt's context.
+func (e *Engine) runFlow(ctx context.Context, job Job, seen map[*mlir.Module]string, seenMu *sync.Mutex) (out JobResult) {
 	out = JobResult{Label: job.Label, Kind: job.Kind}
 	start := time.Now()
 	defer func() { out.Elapsed = time.Since(start) }()
@@ -307,29 +457,58 @@ func runFlow(job Job, seen map[*mlir.Module]string, seenMu *sync.Mutex) (out Job
 		out.Err = fmt.Errorf("job %q: nil Build", job.Label)
 		return out
 	}
+	register := func(m *mlir.Module, label string) error {
+		seenMu.Lock()
+		defer seenMu.Unlock()
+		if prev, dup := seen[m]; dup {
+			return fmt.Errorf("job %q: Build returned the same *mlir.Module as job %q; flows mutate their input, so Build must construct a fresh module per call (see internal/mlir/clone.go)", label, prev)
+		}
+		seen[m] = label
+		return nil
+	}
 	m := job.Build()
 	if m == nil {
 		out.Err = fmt.Errorf("job %q: Build returned nil module", job.Label)
 		return out
 	}
-	seenMu.Lock()
-	if prev, dup := seen[m]; dup {
-		seenMu.Unlock()
-		out.Err = fmt.Errorf("job %q: Build returned the same *mlir.Module as job %q; flows mutate their input, so Build must construct a fresh module per call (see internal/mlir/clone.go)", job.Label, prev)
+	if err := register(m, job.Label); err != nil {
+		out.Err = err
 		return out
 	}
-	seen[m] = job.Label
-	seenMu.Unlock()
+
+	fopts := e.flowOptions(job)
+	fopts.Ctx = ctx
+	if e.opts.Fallback && job.Kind == KindAdaptor {
+		fopts.Fallback = func() *mlir.Module {
+			fm := job.Build()
+			if fm == nil {
+				return nil
+			}
+			if err := register(fm, job.Label+" (fallback)"); err != nil {
+				return nil
+			}
+			return fm
+		}
+	}
 
 	switch job.Kind {
 	case KindAdaptor:
-		out.Res, out.Err = flow.AdaptorFlow(m, job.Top, job.Directives, job.Target)
+		out.Res, out.Err = flow.AdaptorFlowWith(m, job.Top, job.Directives, job.Target, fopts)
 	case KindCxx:
-		out.Res, out.Err = flow.CxxFlow(m, job.Top, job.Directives, job.Target)
+		out.Res, out.Err = flow.CxxFlowWith(m, job.Top, job.Directives, job.Target, fopts)
 	case KindRaw:
-		out.Violations, out.LLVM, out.Err = flow.RawFlow(m, job.Top, job.Directives)
+		out.Violations, out.LLVM, out.Err = flow.RawFlowWith(m, job.Top, job.Directives, fopts)
 	default:
 		out.Err = fmt.Errorf("job %q: unknown kind %q", job.Label, job.Kind)
+	}
+	if out.Res != nil {
+		out.Degraded = out.Res.Degraded
+		out.Failure = out.Res.Failure
+	}
+	if out.Err != nil {
+		if pf, ok := resilience.AsPassFailure(out.Err); ok {
+			out.Failure = pf
+		}
 	}
 	return out
 }

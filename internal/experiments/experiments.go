@@ -274,22 +274,38 @@ func latencyTable(cfg Config, id, title string, d flow.Directives) (*Table, erro
 	if err != nil {
 		return nil, err
 	}
+	return pairsTable(id, title, pairs), nil
+}
+
+// pairsTable renders per-kernel latency pairs. An adaptor result the C++
+// fallback produced after a direct-path failure is marked degraded: its
+// cycles are the baseline flow's, so the ratio column says nothing about
+// the direct path for that row.
+func pairsTable(id, title string, pairs []*Pair) *Table {
 	t := &Table{
 		ID:     id,
 		Title:  title,
 		Header: []string{"kernel", "adaptor-cycles", "hlscpp-cycles", "ratio"},
 		Note:   "ratio = adaptor / hlscpp; comparable means ~1.0",
 	}
+	degraded := false
 	for _, p := range pairs {
+		mark := ""
+		if p.Adaptor.Degraded {
+			mark, degraded = "*", true
+		}
 		ratio := float64(p.Adaptor.Report.LatencyCycles) / float64(p.Cxx.Report.LatencyCycles)
 		t.Rows = append(t.Rows, []string{
 			p.Kernel,
-			fmt.Sprintf("%d", p.Adaptor.Report.LatencyCycles),
+			fmt.Sprintf("%d%s", p.Adaptor.Report.LatencyCycles, mark),
 			fmt.Sprintf("%d", p.Cxx.Report.LatencyCycles),
 			fmt.Sprintf("%.3f", ratio),
 		})
 	}
-	return t, nil
+	if degraded {
+		t.Note += "; * = degraded (direct path failed, C++ fallback result)"
+	}
+	return t
 }
 
 // Fig4 compares flow latencies without directives.

@@ -1,0 +1,153 @@
+package flow
+
+import (
+	"encoding/json"
+
+	"repro/internal/hls"
+	"repro/internal/mlir"
+	"repro/internal/resilience"
+)
+
+// PipelineUnit names one unit of a flow pipeline as (stage, pass).
+type PipelineUnit struct {
+	Stage string
+	Pass  string
+}
+
+// String renders the unit as "stage/pass" — the form bundles store.
+func (u PipelineUnit) String() string { return u.Stage + "/" + u.Pass }
+
+// mlirPassNames mirrors mlirPrep's pipeline construction: the registry and
+// the runner must agree, and TestPipelineUnitsMatchObserver holds them
+// together.
+func mlirPassNames(d Directives, materializeUnroll bool) []string {
+	names := []string{"hls-mark-top"}
+	if d.Pipeline {
+		names = append(names, "hls-pipeline-innermost")
+	}
+	if d.Unroll > 1 {
+		names = append(names, "hls-mark-unroll")
+		if materializeUnroll {
+			names = append(names, "affine-loop-unroll")
+		}
+	}
+	if d.Partition != nil {
+		names = append(names, "hls-array-partition-all")
+	}
+	if d.Flatten {
+		names = append(names, "hls-mark-flatten")
+	}
+	if d.Dataflow {
+		names = append(names, "hls-mark-dataflow")
+	}
+	return append(names, "canonicalize", "cse")
+}
+
+// llvmPassNames is the adaptor flow's LLVM cleanup pipeline.
+func llvmPassNames() []string {
+	return []string{"simplifycfg", "constfold", "strength-reduce", "cse", "dce"}
+}
+
+// PipelineUnits enumerates every pipeline unit the named flow kind runs
+// under the given directives, in execution order. The resilience tests
+// iterate it to prove a panic injected into any single unit is isolated,
+// bisected, and degraded rather than fatal.
+func PipelineUnits(kind string, d Directives) []PipelineUnit {
+	var units []PipelineUnit
+	add := func(stage string, passes ...string) {
+		for _, p := range passes {
+			units = append(units, PipelineUnit{Stage: stage, Pass: p})
+		}
+	}
+	switch kind {
+	case "cxx":
+		add("mlir-opt", mlirPassNames(d, false)...)
+		add("emit-hlscpp", "emit-hlscpp")
+		add("c-frontend", "c-frontend")
+		add("synthesis", "synthesis")
+	case "raw":
+		add("mlir-opt", mlirPassNames(d, true)...)
+		add("lowering", "affine-to-scf", "scf-to-cf")
+		add("translate", "translate")
+	default: // adaptor
+		add("mlir-opt", mlirPassNames(d, true)...)
+		add("lowering", "affine-to-scf", "scf-to-cf")
+		add("translate", "translate")
+		add("adaptor", "adaptor")
+		add("llvm-opt", llvmPassNames()...)
+		add("synthesis", "synthesis")
+	}
+	return units
+}
+
+// Bisect replays a failed flow to localize the first offending pipeline
+// unit. The replay runs with panic isolation, verify-each (so a pass that
+// silently broke the IR is caught where it ran, not at the downstream
+// symptom), and per-unit IR snapshotting; the result is a self-contained
+// repro bundle carrying the pristine input, the directive configuration,
+// the observed pass list, the pinned failure, and the IR entering the
+// offending unit. orig is the original run's failure, kept when the
+// replay does not reproduce (a transient failure). base carries the
+// caller's hooks — notably FaultHook, so injected faults reproduce — and
+// an optional Ctx bounding the replay.
+func Bisect(build func() *mlir.Module, kind, label, top string, d Directives,
+	tgt hls.Target, base Options, orig error) *resilience.Bundle {
+
+	b := &resilience.Bundle{Label: label, Flow: kind, Top: top}
+	if data, err := json.Marshal(d); err == nil {
+		b.Directives = data
+	}
+	if data, err := json.Marshal(tgt); err == nil {
+		b.Target = data
+	}
+	if orig != nil {
+		if pf, ok := resilience.AsPassFailure(orig); ok {
+			b.Failure = *pf
+		} else {
+			b.Failure = *resilience.NewFailure(kind+"-flow", kind+"-flow", resilience.KindError, orig)
+		}
+	}
+	if build == nil {
+		b.Note = "no module builder available; bundle records the original failure only"
+		return b
+	}
+	input := build()
+	if input == nil {
+		b.Note = "module builder returned nil; bundle records the original failure only"
+		return b
+	}
+	b.InputMLIR = input.Print()
+
+	ropts := base
+	ropts.Isolate = true
+	ropts.VerifyEach = true
+	ropts.Fallback = nil
+	snaps := map[string]string{}
+	ropts.Observer = func(stage, pass, ir string) {
+		key := stage + "/" + pass
+		b.Passes = append(b.Passes, key)
+		snaps[key] = ir
+	}
+
+	var err error
+	switch kind {
+	case "cxx":
+		_, err = CxxFlowWith(input, top, d, tgt, ropts)
+	case "raw":
+		_, _, err = RawFlowWith(input, top, d, ropts)
+	default:
+		_, err = AdaptorFlowWith(input, top, d, tgt, ropts)
+	}
+	if err == nil {
+		b.Note = "replay with verify-each did not reproduce the failure; the original run's failure was transient or environmental"
+		return b
+	}
+	pf, ok := resilience.AsPassFailure(err)
+	if !ok {
+		pf = resilience.NewFailure(kind+"-flow", kind+"-flow", resilience.KindError, err)
+	}
+	b.Failure = *pf
+	b.Reproduced = true
+	b.SnapshotIR = snaps[pf.Stage+"/"+pf.Pass]
+	return b
+}

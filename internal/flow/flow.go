@@ -10,6 +10,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/mlir"
 	"repro/internal/mlir/lower"
 	"repro/internal/mlir/passes"
+	"repro/internal/resilience"
 	"repro/internal/translate"
 )
 
@@ -35,6 +37,39 @@ type Options struct {
 	// frontend). A violation fails the flow naming the offending pass or
 	// boundary — the -verify-each flag of the cmd tools.
 	VerifyEach bool
+
+	// Ctx, when non-nil, is checked cooperatively at every pipeline-unit
+	// boundary (each pass of both pass managers, plus every inter-stage
+	// boundary): once done, the flow stops at the next boundary with a
+	// typed timeout/cancellation failure instead of running to completion
+	// in a leaked goroutine.
+	Ctx context.Context
+
+	// Isolate runs every pipeline unit inside a recovery boundary: a panic
+	// anywhere in a pass, the translation, the adaptor, or synthesis comes
+	// back as a *resilience.PassFailure (stage, pass, kind, stack) instead
+	// of killing the process.
+	Isolate bool
+
+	// FaultHook, when non-nil, is called inside each unit's recovery
+	// boundary just before the unit body with (flow, stage, pass) — the
+	// deterministic fault-injection point the resilience tests use (a
+	// panicking hook is attributed to the unit it targeted).
+	FaultHook func(flow, stage, pass string)
+
+	// Observer, when non-nil, receives the IR entering every pipeline unit
+	// as (stage, pass, ir) — MLIR text through the MLIR stages, LLVM text
+	// after translation, C source entering the C frontend. The bisection
+	// replay records per-unit snapshots through it.
+	Observer func(stage, pass, ir string)
+
+	// Fallback enables graceful degradation for AdaptorFlowWith: when the
+	// direct-IR path fails, the kernel is rebuilt through this function
+	// and rerun through the C++ flow, and the result comes back with
+	// Degraded set and the direct-path failure attached instead of an
+	// error. Flows mutate their input, so Fallback must build a fresh
+	// module (engine jobs reuse Job.Build).
+	Fallback func() *mlir.Module
 }
 
 // Directives selects the HLS optimization configuration applied before the
@@ -70,11 +105,30 @@ type Result struct {
 	// cross-run aggregation must go through Phases.Merge.
 	Phases Phases
 	Total  time.Duration
+
+	// Degraded marks a result produced by the C++ fallback path after the
+	// direct-IR flow failed; Failure carries that direct-path failure.
+	Degraded bool
+	Failure  *resilience.PassFailure
 }
 
-// mlirPrep runs the shared MLIR-level preparation.
-func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool, opts Options) error {
+// mlirPrep runs the shared MLIR-level preparation. flowName tags the
+// resilience hooks so fault injection can target one flow's run of the
+// shared MLIR stage.
+func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool, flowName string, opts Options) error {
 	pm := passes.NewPassManager()
+	pm.Ctx = opts.Ctx
+	pm.Isolate = opts.Isolate
+	if opts.Observer != nil || opts.FaultHook != nil {
+		pm.BeforePass = func(name string, mm *mlir.Module) {
+			if opts.Observer != nil {
+				opts.Observer("mlir-opt", name, mm.Print())
+			}
+			if opts.FaultHook != nil {
+				opts.FaultHook(flowName, "mlir-opt", name)
+			}
+		}
+	}
 	if opts.VerifyEach {
 		pm.AfterPass = func(_ string, mm *mlir.Module) error { return lint.MLIRInvariants(mm) }
 	}
@@ -107,18 +161,47 @@ func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool, 
 
 // boundaryCheck runs the inter-layer invariant check under VerifyEach: the
 // module verifier plus the lint invariant subset, attributed to the named
-// flow boundary.
+// flow boundary (typed under Isolate so bisection can pin it).
 func boundaryCheck(opts Options, where string, lm *llvm.Module) error {
 	if !opts.VerifyEach {
 		return nil
 	}
 	if err := lm.Verify(); err != nil {
+		if opts.Isolate {
+			return resilience.NewFailure(where, where, resilience.KindVerify, err)
+		}
 		return fmt.Errorf("verification after %s: %w", where, err)
 	}
 	if err := lint.Invariants(lm); err != nil {
+		if opts.Isolate {
+			return resilience.NewFailure(where, where, resilience.KindVerify, err)
+		}
 		return fmt.Errorf("invariant violation after %s: %w", where, err)
 	}
 	return nil
+}
+
+// unit runs one named pipeline unit under the options' resilience policy:
+// cooperative context check at the boundary, snapshot/fault hooks inside
+// the recovery boundary, panic isolation when requested. snap renders the
+// IR entering the unit for the Observer (nil when there is none).
+func unit(opts Options, flowName, stage, pass string, snap func() string, fn func() error) error {
+	if err := resilience.Interrupted(opts.Ctx, stage, pass); err != nil {
+		return err
+	}
+	body := func() error {
+		if opts.Observer != nil && snap != nil {
+			opts.Observer(stage, pass, snap())
+		}
+		if opts.FaultHook != nil {
+			opts.FaultHook(flowName, stage, pass)
+		}
+		return fn()
+	}
+	if opts.Isolate {
+		return resilience.Guard(stage, pass, body)
+	}
+	return body()
 }
 
 // prepareLLVM runs the adaptor flow's front half — MLIR preparation,
@@ -128,37 +211,46 @@ func boundaryCheck(opts Options, where string, lm *llvm.Module) error {
 func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 	phase func(name string, fn func() error) error, adaptorRep **core.Report) (*llvm.Module, error) {
 
-	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, true, opts) }); err != nil {
+	const flowName = "adaptor"
+	mlirSnap := func() string { return m.Print() }
+	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, true, flowName, opts) }); err != nil {
 		return nil, err
 	}
 	if err := phase("lowering", func() error {
-		if err := lower.AffineToSCF(m); err != nil {
+		if err := unit(opts, flowName, "lowering", "affine-to-scf", mlirSnap,
+			func() error { return lower.AffineToSCF(m) }); err != nil {
 			return err
 		}
-		return lower.SCFToCF(m)
+		return unit(opts, flowName, "lowering", "scf-to-cf", mlirSnap,
+			func() error { return lower.SCFToCF(m) })
 	}); err != nil {
 		return nil, err
 	}
 	var lm *llvm.Module
 	if err := phase("translate", func() error {
-		var err error
-		lm, err = translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
-		if err != nil {
-			return err
-		}
-		return boundaryCheck(opts, "translation", lm)
+		return unit(opts, flowName, "translate", "translate", mlirSnap, func() error {
+			var err error
+			lm, err = translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
+			if err != nil {
+				return err
+			}
+			return boundaryCheck(opts, "translate", lm)
+		})
 	}); err != nil {
 		return nil, err
 	}
+	llvmSnap := func() string { return lm.Print() }
 	if err := phase("adaptor", func() error {
-		rep, err := core.Adapt(lm, core.Options{TopFunc: top})
-		if adaptorRep != nil {
-			*adaptorRep = rep
-		}
-		if err != nil {
-			return err
-		}
-		return boundaryCheck(opts, "adaptor", lm)
+		return unit(opts, flowName, "adaptor", "adaptor", llvmSnap, func() error {
+			rep, err := core.Adapt(lm, core.Options{TopFunc: top})
+			if adaptorRep != nil {
+				*adaptorRep = rep
+			}
+			if err != nil {
+				return err
+			}
+			return boundaryCheck(opts, "adaptor", lm)
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -170,6 +262,18 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 			lpasses.PassCSE,
 			lpasses.PassDCE,
 		)
+		pm.Ctx = opts.Ctx
+		pm.Isolate = opts.Isolate
+		if opts.Observer != nil || opts.FaultHook != nil {
+			pm.BeforePass = func(name string, mm *llvm.Module) {
+				if opts.Observer != nil {
+					opts.Observer("llvm-opt", name, mm.Print())
+				}
+				if opts.FaultHook != nil {
+					opts.FaultHook(flowName, "llvm-opt", name)
+				}
+			}
+		}
 		if opts.VerifyEach {
 			pm.VerifyEach = true
 			pm.Invariants = lint.Invariants
@@ -212,17 +316,50 @@ func AdaptorFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, o
 
 	lm, err := prepareLLVM(m, top, d, opts, phase, &res.Adaptor)
 	if err != nil {
-		return nil, fmt.Errorf("adaptor flow: %w", err)
+		return degradeOrFail(opts, top, d, tgt, err)
 	}
 	if err := phase("synthesis", func() error {
-		rep, err := hls.Synthesize(lm, top, tgt)
-		res.Report = rep
-		return err
+		return unit(opts, "adaptor", "synthesis", "synthesis",
+			func() string { return lm.Print() }, func() error {
+				rep, err := hls.Synthesize(lm, top, tgt)
+				res.Report = rep
+				return err
+			})
 	}); err != nil {
-		return nil, fmt.Errorf("adaptor flow: %w", err)
+		return degradeOrFail(opts, top, d, tgt, err)
 	}
 	res.LLVM = lm
 	res.Total = time.Since(t0)
+	return res, nil
+}
+
+// degradeOrFail implements graceful degradation: with a Fallback builder
+// and a deterministic direct-path failure, the kernel reruns through the
+// C++ baseline flow and the result is tagged Degraded with the captured
+// failure attached. Transient failures (timeout, cancellation) never fall
+// back — the context that killed the direct path would kill the fallback
+// at its first boundary too, and the caller's retry policy owns them.
+func degradeOrFail(opts Options, top string, d Directives, tgt hls.Target, cause error) (*Result, error) {
+	if opts.Fallback == nil || resilience.Transient(cause) {
+		return nil, fmt.Errorf("adaptor flow: %w", cause)
+	}
+	pf, ok := resilience.AsPassFailure(cause)
+	if !ok {
+		pf = resilience.NewFailure("adaptor-flow", "adaptor-flow", resilience.KindError, cause)
+	}
+	m2 := opts.Fallback()
+	if m2 == nil {
+		return nil, fmt.Errorf("adaptor flow: %w (fallback builder returned no module)", cause)
+	}
+	fopts := opts
+	fopts.Fallback = nil
+	res, err := CxxFlowWith(m2, top, d, tgt, fopts)
+	if err != nil {
+		return nil, fmt.Errorf("adaptor flow: %w (C++ fallback also failed: %v)", cause, err)
+	}
+	res.Flow = "cxx-fallback"
+	res.Degraded = true
+	res.Failure = pf
 	return res, nil
 }
 
@@ -242,31 +379,41 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 		return err
 	}
 
-	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, false, opts) }); err != nil {
+	const flowName = "cxx"
+	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, false, flowName, opts) }); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
 	if err := phase("emit-hlscpp", func() error {
-		src, err := cgen.Emit(m)
-		res.CSource = src
-		return err
+		return unit(opts, flowName, "emit-hlscpp", "emit-hlscpp",
+			func() string { return m.Print() }, func() error {
+				src, err := cgen.Emit(m)
+				res.CSource = src
+				return err
+			})
 	}); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
 	var lm *llvm.Module
 	if err := phase("c-frontend", func() error {
-		var err error
-		lm, err = cfront.Compile(res.CSource, cfront.Options{Top: top})
-		if err != nil {
-			return err
-		}
-		return boundaryCheck(opts, "c-frontend", lm)
+		return unit(opts, flowName, "c-frontend", "c-frontend",
+			func() string { return res.CSource }, func() error {
+				var err error
+				lm, err = cfront.Compile(res.CSource, cfront.Options{Top: top})
+				if err != nil {
+					return err
+				}
+				return boundaryCheck(opts, "c-frontend", lm)
+			})
 	}); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
 	if err := phase("synthesis", func() error {
-		rep, err := hls.Synthesize(lm, top, tgt)
-		res.Report = rep
-		return err
+		return unit(opts, flowName, "synthesis", "synthesis",
+			func() string { return lm.Print() }, func() error {
+				rep, err := hls.Synthesize(lm, top, tgt)
+				res.Report = rep
+				return err
+			})
 	}); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
@@ -278,17 +425,31 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 // RawFlow translates without adapting and returns the gate violations (nil
 // error with non-empty violations is the expected outcome).
 func RawFlow(m *mlir.Module, top string, d Directives) ([]hls.Violation, *llvm.Module, error) {
-	if err := mlirPrep(m, top, d, true, Options{}); err != nil {
+	return RawFlowWith(m, top, d, Options{})
+}
+
+// RawFlowWith is RawFlow with explicit options (resilience boundaries
+// included, so engine-run raw jobs cannot crash the process either).
+func RawFlowWith(m *mlir.Module, top string, d Directives, opts Options) ([]hls.Violation, *llvm.Module, error) {
+	const flowName = "raw"
+	mlirSnap := func() string { return m.Print() }
+	if err := mlirPrep(m, top, d, true, flowName, opts); err != nil {
 		return nil, nil, err
 	}
-	if err := lower.AffineToSCF(m); err != nil {
+	if err := unit(opts, flowName, "lowering", "affine-to-scf", mlirSnap,
+		func() error { return lower.AffineToSCF(m) }); err != nil {
 		return nil, nil, err
 	}
-	if err := lower.SCFToCF(m); err != nil {
+	if err := unit(opts, flowName, "lowering", "scf-to-cf", mlirSnap,
+		func() error { return lower.SCFToCF(m) }); err != nil {
 		return nil, nil, err
 	}
-	lm, err := translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
-	if err != nil {
+	var lm *llvm.Module
+	if err := unit(opts, flowName, "translate", "translate", mlirSnap, func() error {
+		var err error
+		lm, err = translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
+		return err
+	}); err != nil {
 		return nil, nil, err
 	}
 	return hls.Check(lm), lm, nil

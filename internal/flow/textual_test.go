@@ -32,7 +32,7 @@ func TestTextualToolPipeline(t *testing.T) {
 
 	// Stage 1: mlir-opt (directive passes) -> text.
 	m := k.Build(s)
-	if err := mlirPrep(m, k.Name, d, true, Options{}); err != nil {
+	if err := mlirPrep(m, k.Name, d, true, "adaptor", Options{}); err != nil {
 		t.Fatal(err)
 	}
 	mlirText := m.Print()

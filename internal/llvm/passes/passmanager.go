@@ -1,9 +1,11 @@
 package passes
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/llvm"
+	"repro/internal/resilience"
 )
 
 // Pass is one named LLVM-level transformation, applied per function.
@@ -34,6 +36,20 @@ type PassManager struct {
 	// VerifyEach. The flow layer injects lint.Invariants here; keeping it a
 	// function value keeps this package free of a lint dependency.
 	Invariants func(*llvm.Module) error
+	// Ctx, when non-nil, is checked at every pass boundary: once done, the
+	// pipeline stops before the next pass with a typed failure instead of
+	// running to completion in a leaked goroutine.
+	Ctx context.Context
+	// Isolate runs each pass (across all functions) inside a recovery
+	// boundary, converting a panic into a *resilience.PassFailure naming
+	// Stage and the pass.
+	Isolate bool
+	// Stage attributes failures under Isolate; defaults to "llvm-opt".
+	Stage string
+	// BeforePass, when non-nil, runs inside the pass's recovery boundary
+	// before the pass visits any function — the flow layer's snapshot and
+	// fault-injection hook.
+	BeforePass func(passName string, m *llvm.Module)
 }
 
 // NewPassManager returns an empty pass manager with VerifyEach off (the
@@ -46,22 +62,52 @@ func (pm *PassManager) Add(ps ...Pass) *PassManager {
 	return pm
 }
 
+// stage returns the failure-attribution stage name.
+func (pm *PassManager) stage() string {
+	if pm.Stage != "" {
+		return pm.Stage
+	}
+	return "llvm-opt"
+}
+
 // Run executes the pipeline over every defined function of m, then runs a
 // final module verification.
 func (pm *PassManager) Run(m *llvm.Module) error {
 	for _, p := range pm.passes {
-		for _, f := range m.Funcs {
-			if f.IsDecl {
-				continue
+		if err := resilience.Interrupted(pm.Ctx, pm.stage(), p.Name); err != nil {
+			return err
+		}
+		body := func() error {
+			if pm.BeforePass != nil {
+				pm.BeforePass(p.Name, m)
 			}
-			p.Run(f)
+			for _, f := range m.Funcs {
+				if f.IsDecl {
+					continue
+				}
+				p.Run(f)
+			}
+			return nil
+		}
+		if pm.Isolate {
+			if err := resilience.Guard(pm.stage(), p.Name, body); err != nil {
+				return err
+			}
+		} else if err := body(); err != nil {
+			return err
 		}
 		if pm.VerifyEach {
 			if err := m.Verify(); err != nil {
+				if pm.Isolate {
+					return resilience.NewFailure(pm.stage(), p.Name, resilience.KindVerify, err)
+				}
 				return fmt.Errorf("verification after LLVM pass %s: %w", p.Name, err)
 			}
 			if pm.Invariants != nil {
 				if err := pm.Invariants(m); err != nil {
+					if pm.Isolate {
+						return resilience.NewFailure(pm.stage(), p.Name, resilience.KindVerify, err)
+					}
 					return fmt.Errorf("invariant violation after LLVM pass %s: %w", p.Name, err)
 				}
 			}

@@ -1,0 +1,71 @@
+package passes
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/llvm"
+	"repro/internal/resilience"
+)
+
+// TestLLVMPassManagerIsolatesPanic: a panicking LLVM pass surfaces as a
+// typed PassFailure naming the pass.
+func TestLLVMPassManagerIsolatesPanic(t *testing.T) {
+	m, _ := buildCountdown(t)
+	bomb := Pass{Name: "bomb", Run: func(f *llvm.Function) {
+		panic("nil map write")
+	}}
+	pm := NewPassManager().Add(PassMem2Reg, bomb, PassDCE)
+	pm.Isolate = true
+	err := pm.Run(m)
+	f, ok := resilience.AsPassFailure(err)
+	if !ok {
+		t.Fatalf("want *PassFailure, got %T: %v", err, err)
+	}
+	if f.Stage != "llvm-opt" || f.Pass != "bomb" || f.Kind != resilience.KindPanic {
+		t.Errorf("wrong attribution: %+v", f)
+	}
+}
+
+// TestLLVMPassManagerStopsAtBoundaryWhenCanceled mirrors the MLIR-side
+// cooperative-cancellation regression test.
+func TestLLVMPassManagerStopsAtBoundaryWhenCanceled(t *testing.T) {
+	m, _ := buildCountdown(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran []string
+	canceler := Pass{Name: "canceler", Run: func(f *llvm.Function) {
+		ran = append(ran, "canceler")
+		cancel()
+	}}
+	after := Pass{Name: "late", Run: func(f *llvm.Function) {
+		ran = append(ran, "late")
+	}}
+	pm := NewPassManager().Add(canceler, after)
+	pm.Ctx = ctx
+	err := pm.Run(m)
+	f, ok := resilience.AsPassFailure(err)
+	if !ok || f.Kind != resilience.KindCanceled || f.Pass != "late" {
+		t.Fatalf("want cancellation observed before %q, got %v", "late", err)
+	}
+	if len(ran) != 1 {
+		t.Errorf("pass after cancellation boundary ran: %v", ran)
+	}
+}
+
+// TestLLVMPassManagerHookFaultAttribution: a BeforePass fault lands on the
+// targeted pass.
+func TestLLVMPassManagerHookFaultAttribution(t *testing.T) {
+	m, _ := buildCountdown(t)
+	pm := NewPassManager().Add(PassMem2Reg, PassDCE)
+	pm.Isolate = true
+	pm.BeforePass = func(name string, mm *llvm.Module) {
+		if name == "dce" {
+			panic("injected fault")
+		}
+	}
+	err := pm.Run(m)
+	f, ok := resilience.AsPassFailure(err)
+	if !ok || f.Pass != "dce" || f.Kind != resilience.KindPanic {
+		t.Fatalf("hook fault not attributed to dce: %v", err)
+	}
+}

@@ -5,9 +5,11 @@
 package passes
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mlir"
+	"repro/internal/resilience"
 )
 
 // Pass transforms a module in place.
@@ -27,6 +29,23 @@ type PassManager struct {
 	// flow layer injects the lint invariant checks here, keeping this
 	// package free of a lint dependency.
 	AfterPass func(passName string, m *mlir.Module) error
+	// Ctx, when non-nil, is checked at every pass boundary: once it is
+	// done the pipeline stops before the next pass with a typed
+	// timeout/cancellation failure. This is what lets a timed-out engine
+	// job stop at the next boundary instead of running the remaining
+	// pipeline in a leaked goroutine.
+	Ctx context.Context
+	// Isolate runs every pass inside a recovery boundary: a panic (or any
+	// failure) surfaces as a *resilience.PassFailure naming this manager's
+	// Stage and the pass, instead of killing the process.
+	Isolate bool
+	// Stage attributes failures under Isolate; defaults to "mlir-opt".
+	Stage string
+	// BeforePass, when non-nil, runs inside the pass's recovery boundary
+	// immediately before the pass body. The flow layer hangs IR
+	// snapshotting (bisection replay) and deterministic fault injection
+	// (tests) here; a panic in the hook is attributed to the pass.
+	BeforePass func(passName string, m *mlir.Module)
 }
 
 // NewPassManager returns a pass manager that verifies after each pass.
@@ -38,19 +57,46 @@ func (pm *PassManager) Add(ps ...Pass) *PassManager {
 	return pm
 }
 
+// stage returns the failure-attribution stage name.
+func (pm *PassManager) stage() string {
+	if pm.Stage != "" {
+		return pm.Stage
+	}
+	return "mlir-opt"
+}
+
 // Run executes the pipeline.
 func (pm *PassManager) Run(m *mlir.Module) error {
 	for _, p := range pm.passes {
-		if err := p.Run(m); err != nil {
+		if err := resilience.Interrupted(pm.Ctx, pm.stage(), p.Name()); err != nil {
+			return err
+		}
+		body := func() error {
+			if pm.BeforePass != nil {
+				pm.BeforePass(p.Name(), m)
+			}
+			return p.Run(m)
+		}
+		if pm.Isolate {
+			if err := resilience.Guard(pm.stage(), p.Name(), body); err != nil {
+				return err
+			}
+		} else if err := body(); err != nil {
 			return fmt.Errorf("pass %s: %w", p.Name(), err)
 		}
 		if pm.VerifyEach {
 			if err := m.Verify(); err != nil {
+				if pm.Isolate {
+					return resilience.NewFailure(pm.stage(), p.Name(), resilience.KindVerify, err)
+				}
 				return fmt.Errorf("verification after pass %s: %w", p.Name(), err)
 			}
 		}
 		if pm.AfterPass != nil {
 			if err := pm.AfterPass(p.Name(), m); err != nil {
+				if pm.Isolate {
+					return resilience.NewFailure(pm.stage(), p.Name(), resilience.KindVerify, err)
+				}
 				return fmt.Errorf("invariant violation after pass %s: %w", p.Name(), err)
 			}
 		}

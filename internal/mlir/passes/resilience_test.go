@@ -1,0 +1,108 @@
+package passes
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/mlir"
+	"repro/internal/resilience"
+)
+
+// TestPassManagerIsolatesPanic proves a panicking pass surfaces as a typed
+// PassFailure naming the pass instead of killing the process.
+func TestPassManagerIsolatesPanic(t *testing.T) {
+	bomb := funcPass{name: "bomb", fn: func(f *mlir.Op) error {
+		var s []int
+		_ = s[3] // index out of range
+		return nil
+	}}
+	m := buildMatMul(2)
+	pm := NewPassManager().Add(Canonicalize(), bomb)
+	pm.Isolate = true
+	err := pm.Run(m)
+	f, ok := resilience.AsPassFailure(err)
+	if !ok {
+		t.Fatalf("want *PassFailure, got %T: %v", err, err)
+	}
+	if f.Stage != "mlir-opt" || f.Pass != "bomb" || f.Kind != resilience.KindPanic {
+		t.Errorf("wrong attribution: %+v", f)
+	}
+	if f.Stack == "" {
+		t.Error("panic stack not captured")
+	}
+}
+
+// TestPassManagerIsolateTypesVerifyFailure: under Isolate, a post-pass
+// verifier violation comes back as a KindVerify failure naming the pass.
+func TestPassManagerIsolateTypesVerifyFailure(t *testing.T) {
+	breaker := funcPass{name: "breaker", fn: func(f *mlir.Op) error {
+		mlir.Walk(f, func(o *mlir.Op) bool {
+			if o.Name == mlir.OpAffineFor {
+				b := o.Regions[0].Blocks[0]
+				b.Remove(b.Terminator())
+				return false
+			}
+			return true
+		})
+		return nil
+	}}
+	pm := NewPassManager().Add(breaker)
+	pm.Isolate = true
+	err := pm.Run(buildMatMul(2))
+	f, ok := resilience.AsPassFailure(err)
+	if !ok || f.Kind != resilience.KindVerify || f.Pass != "breaker" {
+		t.Fatalf("want typed verify failure for breaker, got %v", err)
+	}
+}
+
+// TestPassManagerStopsAtBoundaryWhenCanceled proves the cooperative
+// context check: once the context is done, the pipeline stops before the
+// next pass rather than running the rest.
+func TestPassManagerStopsAtBoundaryWhenCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran []string
+	mark := func(name string) Pass {
+		return funcPass{name: name, fn: func(f *mlir.Op) error {
+			ran = append(ran, name)
+			return nil
+		}}
+	}
+	canceler := funcPass{name: "canceler", fn: func(f *mlir.Op) error {
+		cancel() // the deadline fires while this pass runs
+		return nil
+	}}
+	pm := NewPassManager().Add(mark("first"), canceler, mark("after"))
+	pm.Ctx = ctx
+	err := pm.Run(buildMatMul(2))
+	f, ok := resilience.AsPassFailure(err)
+	if !ok || f.Kind != resilience.KindCanceled {
+		t.Fatalf("want typed cancellation, got %v", err)
+	}
+	if f.Pass != "after" {
+		t.Errorf("cancellation should be observed at the boundary before %q, got %q", "after", f.Pass)
+	}
+	if len(ran) != 1 || ran[0] != "first" {
+		t.Errorf("passes after the cancellation boundary ran: %v", ran)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("cause chain must expose context.Canceled")
+	}
+}
+
+// TestPassManagerBeforePassInsideGuard: a fault injected via the hook is
+// attributed to the pass it targeted.
+func TestPassManagerBeforePassInsideGuard(t *testing.T) {
+	pm := NewPassManager().Add(Canonicalize(), CSE())
+	pm.Isolate = true
+	pm.BeforePass = func(name string, m *mlir.Module) {
+		if name == "cse" {
+			panic("injected fault")
+		}
+	}
+	err := pm.Run(buildMatMul(2))
+	f, ok := resilience.AsPassFailure(err)
+	if !ok || f.Pass != "cse" || f.Kind != resilience.KindPanic {
+		t.Fatalf("hook fault not attributed to cse: %v", err)
+	}
+}

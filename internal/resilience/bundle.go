@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Bundle is a self-contained reproduction of one flow failure: everything
+// needed to re-execute the failing pipeline offline — the pristine input
+// IR, the directive configuration, the target, the pass list the pipeline
+// ran, and the pinned failure with the IR snapshot entering the offending
+// unit. `hls-adaptor -replay bundle.json` re-executes it.
+type Bundle struct {
+	Version int `json:"version"`
+	// Label identifies the originating job ("gemm adaptor", a DSE config).
+	Label string `json:"label"`
+	// Flow is the pipeline kind: "adaptor", "cxx", or "raw".
+	Flow string `json:"flow"`
+	Top  string `json:"top"`
+	// Scope carries the caller's cache scope (size preset or input hash).
+	Scope string `json:"scope,omitempty"`
+	// Directives and Target are the originating layers' own JSON encodings
+	// (flow.Directives, hls.Target); resilience treats them opaquely.
+	Directives json.RawMessage `json:"directives,omitempty"`
+	Target     json.RawMessage `json:"target,omitempty"`
+	// InputMLIR is the pristine input module, before any pass ran.
+	InputMLIR string `json:"input_mlir"`
+	// Passes lists every pipeline unit the replay observed, in run order,
+	// as "stage/pass".
+	Passes []string `json:"passes"`
+	// Failure pins the first offending unit (from the bisection replay
+	// when it reproduced, otherwise from the original run).
+	Failure PassFailure `json:"failure"`
+	// SnapshotIR is the IR entering the offending unit, captured by the
+	// bisection replay (empty when the failure did not reproduce).
+	SnapshotIR string `json:"snapshot_ir,omitempty"`
+	// Reproduced reports whether the bisection replay hit the failure
+	// again; a false value usually means the original failure was
+	// transient (timeout) or environmental.
+	Reproduced bool `json:"reproduced"`
+	// Note carries free-form context (e.g. why bisection was skipped).
+	Note string `json:"note,omitempty"`
+}
+
+// BundleVersion is the current bundle schema version.
+const BundleVersion = 1
+
+// ID returns the bundle's content-derived identity: a short hash over the
+// fields that determine the reproduction, so re-quarantining the same
+// failure overwrites rather than accumulates.
+func (b *Bundle) ID() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%s|%s|%s|%s",
+		b.Label, b.Flow, b.Top, b.Directives, b.InputMLIR,
+		b.Failure.Stage, b.Failure.Pass, b.Failure.Kind)
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// WriteBundle serializes b into dir (created if missing) as
+// repro-<id>.json and returns the written path.
+func WriteBundle(dir string, b *Bundle) (string, error) {
+	if b.Version == 0 {
+		b.Version = BundleVersion
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("quarantine dir: %w", err)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("marshal bundle: %w", err)
+	}
+	path := filepath.Join(dir, "repro-"+b.ID()+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("write bundle: %w", err)
+	}
+	return path, nil
+}
+
+// ReadBundle loads a bundle written by WriteBundle.
+func ReadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read bundle: %w", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse bundle %s: %w", path, err)
+	}
+	if b.Version > BundleVersion {
+		return nil, fmt.Errorf("bundle %s has version %d, this build understands <= %d",
+			path, b.Version, BundleVersion)
+	}
+	return &b, nil
+}

@@ -1,0 +1,153 @@
+package repro_test
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/resilience"
+)
+
+// exitCode extracts a tool's exit status (0 on success, -1 when the
+// process did not run at all).
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestCLIDseExitCodesAndQuarantine covers the hls-dse exit-code contract
+// — 0 clean, 2 completed-with-degradation, 1 hard failure — and the
+// quarantine/replay round trip between hls-dse and hls-adaptor.
+func TestCLIDseExitCodesAndQuarantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	tools := buildTools(t, "hls-dse", "hls-adaptor")
+
+	// Clean sweep: exit 0.
+	out, errOut, err := runTool(t, tools["hls-dse"], "", "-kernel", "gemm", "-size", "MINI")
+	if code := exitCode(err); code != 0 {
+		t.Fatalf("clean sweep exit=%d, want 0\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "Pareto frontier") {
+		t.Fatalf("frontier missing:\n%s", out)
+	}
+
+	// Degraded sweep: an injected direct-path panic plus -fallback means
+	// the sweep completes but one point is the C++ baseline's — exit 2,
+	// marked in the listing, with a repro bundle in quarantine.
+	qdir := t.TempDir()
+	out, errOut, err = runTool(t, tools["hls-dse"], "", "-kernel", "gemm", "-size", "MINI",
+		"-fallback", "-quarantine", qdir, "-inject-panic", "base:adaptor/adaptor")
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("degraded sweep exit=%d, want 2\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "degraded") {
+		t.Errorf("degraded mark missing:\n%s", out)
+	}
+	bundles, err := filepath.Glob(filepath.Join(qdir, "repro-*.json"))
+	if err != nil || len(bundles) != 1 {
+		t.Fatalf("want exactly one quarantine bundle, got %v (%v)", bundles, err)
+	}
+
+	// Replaying that bundle without the chaos hook runs clean: exit 2 and
+	// an explicit did-not-reproduce message (the failure was injected, not
+	// in the IR).
+	_, errOut, err = runTool(t, tools["hls-adaptor"], "", "-replay", bundles[0])
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("replay of injected-fault bundle exit=%d, want 2\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "did not reproduce") {
+		t.Errorf("replay verdict missing:\n%s", errOut)
+	}
+
+	// Hard failure: a 1ns per-configuration timeout kills every point, so
+	// nothing evaluates — exit 1.
+	_, errOut, err = runTool(t, tools["hls-dse"], "", "-kernel", "gemm", "-size", "MINI",
+		"-timeout", "1ns")
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("hard failure exit=%d, want 1\n%s", code, errOut)
+	}
+}
+
+// TestCLIDseJournalResume: a sweep journaled to disk resumes — the second
+// run evaluates nothing and prints the identical Pareto frontier.
+func TestCLIDseJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	tools := buildTools(t, "hls-dse")
+	jp := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+	first, errOut, err := runTool(t, tools["hls-dse"], "", "-kernel", "gemm", "-size", "MINI",
+		"-journal", jp)
+	if err != nil {
+		t.Fatalf("journaled sweep: %v\n%s", err, errOut)
+	}
+	if fi, err := os.Stat(jp); err != nil || fi.Size() == 0 {
+		t.Fatalf("journal not written: %v", err)
+	}
+	second, errOut, err := runTool(t, tools["hls-dse"], "", "-kernel", "gemm", "-size", "MINI",
+		"-journal", jp)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v\n%s", err, errOut)
+	}
+	if !strings.Contains(second, "resumed from") {
+		t.Errorf("resume not reported:\n%s", second)
+	}
+	cut := func(s string) string {
+		i := strings.Index(s, "Pareto frontier")
+		if i < 0 {
+			t.Fatalf("frontier missing:\n%s", s)
+		}
+		return s[i:]
+	}
+	if cut(first) != cut(second) {
+		t.Errorf("resumed frontier differs:\n--- first ---\n%s--- second ---\n%s",
+			cut(first), cut(second))
+	}
+}
+
+// TestCLIAdaptorReplayReproduces: a bundle whose failure is genuinely in
+// the recorded input (top function missing, so synthesis fails) reproduces
+// under replay — exit 0 with the failure re-pinned — and a missing bundle
+// file is a hard error.
+func TestCLIAdaptorReplayReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	tools := buildTools(t, "hls-adaptor")
+	dir := t.TempDir()
+	path, err := resilience.WriteBundle(dir, &resilience.Bundle{
+		Label:     "axpy bad-top",
+		Flow:      "adaptor",
+		Top:       "nope",
+		InputMLIR: axpyMLIR,
+		Failure: *resilience.NewFailure("synthesis", "synthesis", resilience.KindError,
+			errors.New("recorded failure")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, err := runTool(t, tools["hls-adaptor"], "", "-replay", path)
+	if code := exitCode(err); code != 0 {
+		t.Fatalf("reproducing replay exit=%d, want 0\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "reproduced at synthesis/synthesis") {
+		t.Errorf("failure not re-pinned:\n%s", errOut)
+	}
+
+	_, errOut, err = runTool(t, tools["hls-adaptor"], "", "-replay", filepath.Join(dir, "missing.json"))
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("missing bundle exit=%d, want 1\n%s", code, errOut)
+	}
+}
