@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/flow"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	fallback := flag.Bool("fallback", false, "degrade failed adaptor evaluations to the C++ baseline (rows marked *) instead of aborting the table")
 	quarantine := flag.String("quarantine", "", "directory for repro bundles of failing evaluations (re-execute with hls-adaptor -replay)")
 	retries := flag.Int("retries", 0, "re-executions granted per evaluation for transient failures")
+	verify := flag.Bool("verify-semantics", false, "run every evaluation under the differential semantic oracle (a pass that changes results fails as a localized miscompile)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -43,6 +45,7 @@ func main() {
 		Retries:    *retries,
 		Fallback:   *fallback,
 		Quarantine: *quarantine,
+		Flow:       flow.Options{VerifySemantics: *verify},
 	})
 	cfg.Engine = eng
 

@@ -5,15 +5,23 @@
 //
 // Usage:
 //
-//	hls-adaptor [-top NAME] [-report] [input.ll]
+//	hls-adaptor [-top NAME] [-report] [-verify-semantics] [input.ll]
 //	hls-adaptor -replay repro-<id>.json   # re-execute a quarantine bundle
 //
+// -verify-semantics differentially executes the module before and after
+// adaptation on identical deterministic inputs (bitwise for integers, ULP
+// tolerance for floats) and runs the strict HLS conformance gate on the
+// result; a divergence is a miscompile and exits 1 — never 2. A module the
+// oracle cannot execute (an unrecoverable shape, an unsupported op) is an
+// oracle limitation, warned about and not treated as a failure.
+//
 // Replay mode re-runs the flow recorded in a repro bundle (written by the
-// engine's quarantine bisector) with panic isolation and verify-each, and
-// reports whether the recorded failure reproduces. Exit codes: 0 the
-// failure reproduced (and was re-pinned), 2 the replay ran clean (the
-// original failure was transient or environmental), 1 the bundle could not
-// be replayed at all.
+// engine's quarantine bisector) with panic isolation and verify-each —
+// re-arming the bundle's recorded miscompile injection and the semantic
+// oracle for miscompile-kind failures — and reports whether the recorded
+// failure reproduces. Exit codes: 0 the failure reproduced (and was
+// re-pinned), 2 the replay ran clean (the original failure was transient
+// or environmental), 1 the bundle could not be replayed at all.
 package main
 
 import (
@@ -27,9 +35,11 @@ import (
 	"repro/internal/flow"
 	"repro/internal/hls"
 	"repro/internal/lint"
+	"repro/internal/llvm"
 	"repro/internal/llvm/parser"
 	"repro/internal/mlir"
 	mlirparser "repro/internal/mlir/parser"
+	"repro/internal/oracle"
 	"repro/internal/resilience"
 )
 
@@ -38,6 +48,7 @@ func main() {
 	report := flag.Bool("report", true, "print the fix report to stderr")
 	check := flag.Bool("check", true, "verify the result passes the HLS readability gate")
 	runLint := flag.Bool("lint", false, "run the hls-lint static-analysis suite on the adapted IR (report on stderr)")
+	verify := flag.Bool("verify-semantics", false, "differentially execute the module before and after adaptation and run the strict conformance gate (miscompile = exit 1)")
 	replay := flag.String("replay", "", "re-execute a quarantine repro bundle and report whether its failure reproduces")
 	flag.Parse()
 
@@ -57,6 +68,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *verify {
+		verifySemantics(src, m, *top)
+	}
 	if *check {
 		if vs := hls.Check(m); len(vs) > 0 {
 			fmt.Fprintln(os.Stderr, "hls-adaptor: WARNING: result still violates the gate:")
@@ -74,6 +88,66 @@ func main() {
 		}
 	}
 	fmt.Print(m.Print())
+}
+
+// verifySemantics differentially executes the pristine input (re-parsed
+// from src) against the adapted module on identical deterministic buffers,
+// then runs the strict conformance gate on the adapted module. A
+// divergence or a conformance diagnostic is fatal (exit 1); a module the
+// oracle cannot set up — no recoverable static shapes, an op the
+// interpreter lacks — is an oracle limitation, reported as a warning.
+func verifySemantics(src string, adapted *llvm.Module, topFlag string) {
+	topFn := resolveTop(adapted, topFlag)
+	if topFn == nil {
+		fmt.Fprintln(os.Stderr, "hls-adaptor: verify-semantics: cannot resolve the top function; skipping")
+		return
+	}
+	pristine, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	shapes, err := oracle.ShapesOf(topFn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hls-adaptor: verify-semantics: oracle limitation:", err)
+		return
+	}
+	h, err := oracle.NewFromLLVM(pristine, topFn.Name, shapes)
+	if err != nil {
+		if oracle.IsMiscompile(err) {
+			fatal(fmt.Errorf("verify-semantics: input module faults under execution: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "hls-adaptor: verify-semantics: oracle limitation:", err)
+		return
+	}
+	if err := h.CheckLLVM(adapted); err != nil {
+		if oracle.IsMiscompile(err) {
+			fatal(fmt.Errorf("verify-semantics: MISCOMPILE: adaptation changed results: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "hls-adaptor: verify-semantics: oracle limitation:", err)
+		return
+	}
+	if ds := hls.Conformance(adapted); len(ds) > 0 {
+		fmt.Fprintf(os.Stderr, "hls-adaptor: verify-semantics: conformance gate:\n%s", ds.Text())
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "hls-adaptor: verify-semantics: adapted module matches the input (and clears the conformance gate)")
+}
+
+// resolveTop mirrors the adaptor's own top-function resolution: explicit
+// name, else the hls.top attribute, else the only function in the module.
+func resolveTop(m *llvm.Module, name string) *llvm.Function {
+	if name != "" {
+		return m.FindFunc(name)
+	}
+	for _, f := range m.Funcs {
+		if _, ok := f.Attrs["hls.top"]; ok {
+			return f
+		}
+	}
+	if len(m.Funcs) == 1 {
+		return m.Funcs[0]
+	}
+	return nil
 }
 
 // runReplay re-executes a repro bundle through the bisector: the recorded
@@ -117,7 +191,10 @@ func runReplay(path string) int {
 	}
 	fmt.Fprintf(os.Stderr, "hls-adaptor: replaying %s (%s flow, top %s)\n", b.Label, b.Flow, b.Top)
 	fmt.Fprintf(os.Stderr, "hls-adaptor: recorded failure: %v\n", &b.Failure)
-	nb := flow.Bisect(build, b.Flow, b.Label, b.Top, d, tgt, flow.Options{}, &b.Failure)
+	// Re-arm the bundle's recorded corruption; Bisect itself forces the
+	// semantic oracle on for miscompile-kind failures.
+	nb := flow.Bisect(build, b.Flow, b.Label, b.Top, d, tgt,
+		flow.Options{InjectMiscompile: b.Inject}, &b.Failure)
 	if !nb.Reproduced {
 		fmt.Fprintln(os.Stderr, "hls-adaptor: replay ran clean — failure did not reproduce")
 		return 2

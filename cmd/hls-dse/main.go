@@ -12,9 +12,18 @@
 //	hls-dse -kernel gemm -journal sweep.jsonl # crash-resumable sweep
 //	hls-dse -kernel gemm -fallback -quarantine ./quarantine
 //
-// Exit codes: 0 every configuration evaluated cleanly; 2 the sweep
-// completed but some configurations failed or were degraded to the C++
-// fallback; 1 hard failure (nothing usable produced).
+// -oracle N samples the differential semantic oracle across the sweep:
+// every Nth configuration re-executes its IR after every pipeline unit
+// against the pristine kernel's reference run (N=1 verifies every point).
+// -inject-miscompile config:stage/pass arms a deliberate wrong rewrite in
+// one configuration's pipeline, proving end to end that the oracle
+// detects, localizes, and quarantines it.
+//
+// Exit codes: 0 every configuration evaluated cleanly; 1 the oracle found
+// a miscompile — a pass that changed results is never a soft failure — or
+// a hard failure (nothing usable produced); 2 the sweep completed but some
+// configurations failed for non-semantic reasons or were degraded to the
+// C++ fallback.
 package main
 
 import (
@@ -53,6 +62,8 @@ func main() {
 	retries := flag.Int("retries", 0, "re-executions granted per configuration for transient failures (timeouts)")
 	seed := flag.Int64("seed", 0, "seed for the retry backoff jitter")
 	injectPanic := flag.String("inject-panic", "", "chaos hook: panic inside `config:stage/pass` of the direct path, exercising isolation/fallback/quarantine end to end")
+	oracleRate := flag.Int("oracle", 0, "sample the differential semantic oracle on every Nth configuration (1 = every point, 0 = off)")
+	injectMiscompile := flag.String("inject-miscompile", "", "chaos hook: corrupt the IR inside `config:stage/pass`, exercising oracle detection/localization/quarantine end to end")
 	flag.Parse()
 
 	tgt := hls.DefaultTarget()
@@ -102,8 +113,9 @@ func main() {
 		Timeout:    *timeout,
 		CacheScope: scope,
 		Precheck:   *precheck,
+		Oracle:     *oracleRate,
 	}
-	if *fallback || *quarantine != "" || *retries > 0 || *injectPanic != "" {
+	if *fallback || *quarantine != "" || *retries > 0 || *injectPanic != "" || *injectMiscompile != "" {
 		eopts := engine.Options{
 			Workers:    *workers,
 			Cache:      *cache,
@@ -121,6 +133,18 @@ func main() {
 				if flowName == "adaptor" && job.Label == label && stage+"/"+pass == unit {
 					panic("injected panic at " + spec)
 				}
+			}
+		}
+		if spec := *injectMiscompile; spec != "" {
+			label, unit, ok := strings.Cut(spec, ":")
+			if !ok {
+				fatal(fmt.Errorf("-inject-miscompile wants config:stage/pass, got %q", spec))
+			}
+			eopts.MiscompileHook = func(job engine.Job) string {
+				if job.Label == label {
+					return unit
+				}
+				return ""
 			}
 		}
 		opts.Engine = engine.New(eopts)
@@ -190,9 +214,20 @@ func main() {
 	if journal != nil {
 		journal.Close()
 	}
-	// Exit 2 distinguishes "the sweep completed but not every point is the
-	// direct path's own result" from clean success; hard failures exited 1
-	// through fatal above.
+	// A miscompile is never a soft failure: a pass that changed results
+	// exits 1, same as a hard failure. Exit 2 distinguishes "the sweep
+	// completed but not every point is the direct path's own result" from
+	// clean success.
+	miscompiles := 0
+	for _, pe := range res.Errors {
+		if pf, ok := resilience.AsPassFailure(pe.Err); ok && pf.Kind == resilience.KindMiscompile {
+			miscompiles++
+		}
+	}
+	if miscompiles > 0 {
+		fmt.Fprintf(os.Stderr, "hls-dse: MISCOMPILE: the semantic oracle caught %d configuration(s) computing wrong results\n", miscompiles)
+		os.Exit(1)
+	}
 	if len(res.Errors) > 0 || degraded > 0 {
 		os.Exit(2)
 	}

@@ -1,6 +1,7 @@
 package cfront
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/llvm/interp"
@@ -18,7 +19,7 @@ func runVoid(t *testing.T, src, fn string, mems ...*interp.Mem) {
 		args[i] = interp.PtrArg(mems[i], 0)
 	}
 	mc := interp.NewMachine(m)
-	if _, _, err := mc.Run(fn, args...); err != nil {
+	if _, _, err := mc.Run(context.Background(), fn, args...); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package cgen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cfront"
@@ -47,7 +48,7 @@ func TestEmitAllKernels(t *testing.T) {
 				args[i] = interp.PtrArg(mems[i], 0)
 			}
 			mc := interp.NewMachine(lm)
-			if _, _, err := mc.Run(k.Name, args...); err != nil {
+			if _, _, err := mc.Run(context.Background(), k.Name, args...); err != nil {
 				t.Fatalf("execute: %v", err)
 			}
 			for ai := range want {

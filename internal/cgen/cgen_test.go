@@ -1,6 +1,7 @@
 package cgen
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -91,7 +92,7 @@ func TestEmittedCodeCompilesAndMatches(t *testing.T) {
 	}
 	ma, mb, mc := mk(A.F), mk(B.F), mk(make([]float64, n*n))
 	machine := interp.NewMachine(lm)
-	if _, _, err := machine.Run("gemm",
+	if _, _, err := machine.Run(context.Background(), "gemm",
 		interp.PtrArg(ma, 0), interp.PtrArg(mb, 0), interp.PtrArg(mc, 0)); err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestEmitStencilNegativeOffsets(t *testing.T) {
 		in.SetFloat64(i, float64(i))
 	}
 	machine := interp.NewMachine(lm)
-	if _, _, err := machine.Run("sten", interp.PtrArg(in, 0), interp.PtrArg(out, 0)); err != nil {
+	if _, _, err := machine.Run(context.Background(), "sten", interp.PtrArg(in, 0), interp.PtrArg(out, 0)); err != nil {
 		t.Fatal(err)
 	}
 	got := out.Float64Slice()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -132,7 +133,7 @@ func TestAdaptPreservesSemantics(t *testing.T) {
 	}
 	ma, mb, mc := mk(a), mk(bb), mk(make([]float64, n*n))
 	machine := interp.NewMachine(lm)
-	if _, _, err := machine.Run("gemm",
+	if _, _, err := machine.Run(context.Background(), "gemm",
 		interp.PtrArg(ma, 0), interp.PtrArg(mb, 0), interp.PtrArg(mc, 0)); err != nil {
 		t.Fatalf("adapted IR failed to run: %v", err)
 	}
@@ -191,7 +192,7 @@ func TestAdaptMallocAndLifetime(t *testing.T) {
 		mem.SetFloat32(i, float32(i))
 	}
 	machine := interp.NewMachine(lm)
-	if _, _, err := machine.Run("scratch", interp.PtrArg(mem, 0)); err != nil {
+	if _, _, err := machine.Run(context.Background(), "scratch", interp.PtrArg(mem, 0)); err != nil {
 		t.Fatal(err)
 	}
 	out := mem.Float32Slice()

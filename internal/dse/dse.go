@@ -147,6 +147,15 @@ type Options struct {
 	// kept representative of each pruned group evaluates to the identical
 	// report. Off by default.
 	Precheck bool
+	// Oracle samples the differential semantic oracle across the sweep:
+	// when N > 0, every Nth configuration by space index (idx % N == 0)
+	// runs with flow.Options.VerifySemantics, re-executing the IR after
+	// every pipeline unit against the pristine kernel's reference run. A
+	// 1-in-N spot check catches a directive-dependent miscompile without
+	// paying the oracle on the whole space; Oracle = 1 verifies every
+	// point. Sampled points carry distinct cache/journal keys from their
+	// unverified twins.
+	Oracle int
 }
 
 // Explore evaluates the whole directive space for a kernel in parallel.
@@ -186,6 +195,9 @@ func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Opt
 			Directives: cfg.D,
 			Target:     tgt,
 			CacheScope: opts.CacheScope,
+		}
+		if opts.Oracle > 0 && i%opts.Oracle == 0 {
+			job.VerifySemantics = true
 		}
 		if opts.Journal != nil {
 			var e journalEntry

@@ -19,9 +19,10 @@ import (
 // deliberately do not participate.
 func Key(job Job) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "kind=%s|top=%s|scope=%s|%s|%s",
+	fmt.Fprintf(h, "kind=%s|top=%s|scope=%s|%s|%s|verify=%t",
 		job.Kind, job.Top, job.CacheScope,
-		canonDirectives(job.Directives), canonTarget(job.Target))
+		canonDirectives(job.Directives), canonTarget(job.Target),
+		job.VerifySemantics)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -59,6 +59,13 @@ type Job struct {
 	// a content hash of hand-written MLIR input. Jobs with equal cache
 	// keys are assumed to produce equal results.
 	CacheScope string
+	// VerifySemantics runs this job under the differential oracle: the IR
+	// is re-executed after every pipeline unit and compared against the
+	// pristine input's reference run, so a pass that silently changes
+	// results fails as KindMiscompile at the unit that broke it. It
+	// participates in the cache key — a verified result and an unverified
+	// one are distinct artifacts.
+	VerifySemantics bool
 }
 
 // JobResult is one job's outcome, at the job's index in the input slice.
@@ -133,6 +140,12 @@ type Options struct {
 	// FlowFaultHook, when non-nil, replaces Flow.FaultHook with a
 	// job-aware hook, so tests can target one kernel's run of one pass.
 	FlowFaultHook func(job Job, flowName, stage, pass string)
+	// MiscompileHook, when non-nil, is consulted per job; a non-empty
+	// "stage/pass" return arms a deterministic IR corruption inside that
+	// unit and forces the semantic oracle on for the job, so CI chaos
+	// suites can prove a miscompile in any single job is detected,
+	// localized, and quarantined without poisoning the batch.
+	MiscompileHook func(Job) string
 }
 
 // BatchOptions overrides the engine's default policy for one Run call.
@@ -159,6 +172,9 @@ type Stats struct {
 	Degraded int64
 	// Quarantined counts repro bundles written.
 	Quarantined int64
+	// Miscompiles counts jobs whose failure the semantic oracle typed
+	// KindMiscompile — passes that changed results, not passes that crashed.
+	Miscompiles int64
 	// CPU is the summed wall time of executed (non-cached) jobs; with
 	// Wall from the caller's clock it shows the parallel speedup.
 	CPU time.Duration
@@ -179,9 +195,9 @@ func (s Stats) HitRate() float64 {
 func (s Stats) String() string {
 	out := fmt.Sprintf("jobs=%d errors=%d cache hits=%d misses=%d (rate %.0f%%) cpu=%s\n",
 		s.Jobs, s.Errors, s.CacheHits, s.CacheMisses, 100*s.HitRate(), s.CPU.Round(time.Microsecond))
-	if s.Retries > 0 || s.Degraded > 0 || s.Quarantined > 0 {
-		out += fmt.Sprintf("retries=%d degraded=%d quarantined=%d\n",
-			s.Retries, s.Degraded, s.Quarantined)
+	if s.Retries > 0 || s.Degraded > 0 || s.Quarantined > 0 || s.Miscompiles > 0 {
+		out += fmt.Sprintf("retries=%d degraded=%d quarantined=%d miscompiles=%d\n",
+			s.Retries, s.Degraded, s.Quarantined, s.Miscompiles)
 	}
 	if len(s.Phases) > 0 {
 		out += s.Phases.String()
@@ -318,6 +334,9 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([
 		if results[i].BundlePath != "" {
 			e.stats.Quarantined++
 		}
+		if f := results[i].Failure; f != nil && f.Kind == resilience.KindMiscompile {
+			e.stats.Miscompiles++
+		}
 	}
 	e.mu.Unlock()
 
@@ -442,6 +461,15 @@ func (e *Engine) flowOptions(job Job) flow.Options {
 	if e.opts.FlowFaultHook != nil {
 		hook := e.opts.FlowFaultHook
 		fopts.FaultHook = func(flowName, stage, pass string) { hook(job, flowName, stage, pass) }
+	}
+	if job.VerifySemantics {
+		fopts.VerifySemantics = true
+	}
+	if e.opts.MiscompileHook != nil {
+		if inject := e.opts.MiscompileHook(job); inject != "" {
+			fopts.VerifySemantics = true
+			fopts.InjectMiscompile = inject
+		}
 	}
 	return fopts
 }

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/resilience"
+)
+
+// TestJobVerifySemantics: a verified job runs the flow under the
+// differential oracle and succeeds for a correct pipeline.
+func TestJobVerifySemantics(t *testing.T) {
+	job := kernelJob(t, "gemm", flow.Directives{Pipeline: true, II: 1})
+	job.VerifySemantics = true
+	e := New(Options{})
+	rs, err := e.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Err != nil || rs[0].Res == nil {
+		t.Fatalf("verified job failed: %+v", rs[0].Err)
+	}
+}
+
+// TestCacheKeySeparatesVerifiedResults: a verified and an unverified run
+// of the same configuration are distinct cache entries.
+func TestCacheKeySeparatesVerifiedResults(t *testing.T) {
+	plain := kernelJob(t, "gemm", flow.Directives{})
+	verified := plain
+	verified.VerifySemantics = true
+	if Key(plain) == Key(verified) {
+		t.Error("verify flag must participate in the cache key")
+	}
+}
+
+// TestMiscompileHookLocalizesAndQuarantines is the engine-level chaos
+// check: one job in a batch gets a miscompile injected into a named unit;
+// that job fails typed KindMiscompile localized to the unit, is bisected
+// into a quarantine bundle recording the injection, and counts in stats —
+// while its batchmates complete untouched.
+func TestMiscompileHookLocalizesAndQuarantines(t *testing.T) {
+	dir, err := os.MkdirTemp("", "quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const target = "llvm-opt/cse"
+	e := New(Options{
+		ContinueOnError: true,
+		Quarantine:      dir,
+		MiscompileHook: func(j Job) string {
+			if j.Label == "bicg" {
+				return target
+			}
+			return ""
+		},
+	})
+	jobs := []Job{
+		kernelJob(t, "gemm", flow.Directives{}),
+		kernelJob(t, "bicg", flow.Directives{}),
+		kernelJob(t, "mvt", flow.Directives{}),
+	}
+	rs, err := e.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Err != nil || rs[2].Err != nil {
+		t.Fatalf("clean batchmates failed: %v / %v", rs[0].Err, rs[2].Err)
+	}
+	bad := rs[1]
+	if bad.Err == nil {
+		t.Fatal("injected miscompile went undetected")
+	}
+	if bad.Failure == nil || bad.Failure.Kind != resilience.KindMiscompile {
+		t.Fatalf("failure not typed miscompile: %+v", bad.Failure)
+	}
+	if got := bad.Failure.Stage + "/" + bad.Failure.Pass; got != target {
+		t.Errorf("localized to %s, want %s", got, target)
+	}
+	if bad.BundlePath == "" {
+		t.Fatal("miscompile was not quarantined")
+	}
+	b, err := resilience.ReadBundle(bad.BundlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Reproduced {
+		t.Error("quarantine bundle did not reproduce the miscompile")
+	}
+	if b.Inject != target {
+		t.Errorf("bundle inject = %q, want %q", b.Inject, target)
+	}
+	if got := e.Stats().Miscompiles; got != 1 {
+		t.Errorf("stats miscompiles = %d, want 1", got)
+	}
+}

@@ -122,6 +122,12 @@ func Bisect(build func() *mlir.Module, kind, label, top string, d Directives,
 	ropts.Isolate = true
 	ropts.VerifyEach = true
 	ropts.Fallback = nil
+	// A miscompile only reproduces under the oracle; arm it (and any
+	// recorded deterministic corruption) for the replay.
+	if b.Failure.Kind == resilience.KindMiscompile {
+		ropts.VerifySemantics = true
+	}
+	b.Inject = ropts.InjectMiscompile
 	snaps := map[string]string{}
 	ropts.Observer = func(stage, pass, ir string) {
 		key := stage + "/" + pass

@@ -70,6 +70,33 @@ type Options struct {
 	// error. Flows mutate their input, so Fallback must build a fresh
 	// module (engine jobs reuse Job.Build).
 	Fallback func() *mlir.Module
+
+	// VerifySemantics runs the differential-execution oracle: a reference
+	// execution of the pristine kernel is captured before the first pass,
+	// and the evolving IR is re-executed and compared against it after
+	// every pipeline unit (integers bitwise, floats within a ULP
+	// tolerance). The first divergence fails the flow with a typed
+	// KindMiscompile failure naming the unit that introduced it — the
+	// -verify-semantics flag of the cmd tools.
+	VerifySemantics bool
+
+	// SemanticULP overrides the oracle's float tolerance in units in the
+	// last place at the element width; 0 uses oracle.DefaultMaxULP.
+	SemanticULP uint64
+
+	// InjectMiscompile, when set to "stage/pass", deterministically
+	// corrupts the IR immediately after the named unit completes (first
+	// float add becomes a subtract), so the unit's own oracle check — and
+	// only it — must catch the wrong answer. Recorded in repro bundles so
+	// -replay re-arms the same corruption. Requires VerifySemantics to
+	// have any observable effect beyond the corruption itself.
+	InjectMiscompile string
+
+	// sem is the constructed per-run oracle, populated by the flow entry
+	// points when VerifySemantics is set and shared across the run's
+	// stages (including the degraded C++ rerun, whose kernel has the same
+	// reference semantics).
+	sem *semOracle
 }
 
 // Directives selects the HLS optimization configuration applied before the
@@ -129,8 +156,15 @@ func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool, 
 			}
 		}
 	}
-	if opts.VerifyEach {
-		pm.AfterPass = func(_ string, mm *mlir.Module) error { return lint.MLIRInvariants(mm) }
+	if opts.VerifyEach || opts.sem != nil {
+		pm.AfterPass = func(name string, mm *mlir.Module) error {
+			if opts.VerifyEach {
+				if err := lint.MLIRInvariants(mm); err != nil {
+					return err
+				}
+			}
+			return opts.sem.afterMLIR("mlir-opt", name, mm)
+		}
 	}
 	pm.Add(passes.MarkTop(top))
 	if d.Pipeline {
@@ -218,11 +252,21 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 	}
 	if err := phase("lowering", func() error {
 		if err := unit(opts, flowName, "lowering", "affine-to-scf", mlirSnap,
-			func() error { return lower.AffineToSCF(m) }); err != nil {
+			func() error {
+				if err := lower.AffineToSCF(m); err != nil {
+					return err
+				}
+				return opts.sem.afterMLIR("lowering", "affine-to-scf", m)
+			}); err != nil {
 			return err
 		}
 		return unit(opts, flowName, "lowering", "scf-to-cf", mlirSnap,
-			func() error { return lower.SCFToCF(m) })
+			func() error {
+				if err := lower.SCFToCF(m); err != nil {
+					return err
+				}
+				return opts.sem.afterMLIR("lowering", "scf-to-cf", m)
+			})
 	}); err != nil {
 		return nil, err
 	}
@@ -234,7 +278,10 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 			if err != nil {
 				return err
 			}
-			return boundaryCheck(opts, "translate", lm)
+			if err := boundaryCheck(opts, "translate", lm); err != nil {
+				return err
+			}
+			return opts.sem.afterLLVM("translate", "translate", lm)
 		})
 	}); err != nil {
 		return nil, err
@@ -249,7 +296,10 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 			if err != nil {
 				return err
 			}
-			return boundaryCheck(opts, "adaptor", lm)
+			if err := boundaryCheck(opts, "adaptor", lm); err != nil {
+				return err
+			}
+			return opts.sem.afterLLVM("adaptor", "adaptor", lm)
 		})
 	}); err != nil {
 		return nil, err
@@ -278,8 +328,19 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 			pm.VerifyEach = true
 			pm.Invariants = lint.Invariants
 		}
+		if opts.sem != nil {
+			pm.AfterPass = func(name string, mm *llvm.Module) error {
+				return opts.sem.afterLLVM("llvm-opt", name, mm)
+			}
+		}
 		return pm.Run(lm)
 	}); err != nil {
+		return nil, err
+	}
+	// The conformance gate is the adaptor flow's final static stage: every
+	// module leaving the pipeline must sit inside the old Vitis LLVM's
+	// accepted subset, or the adaptor has a bug.
+	if err := conformanceGate(opts, lm); err != nil {
 		return nil, err
 	}
 	return lm, nil
@@ -314,6 +375,14 @@ func AdaptorFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, o
 		return err
 	}
 
+	if opts.VerifySemantics && opts.sem == nil {
+		sem, err := newSemOracle(m, top, opts)
+		if err != nil {
+			return nil, fmt.Errorf("adaptor flow: %w", err)
+		}
+		opts.sem = sem
+	}
+
 	lm, err := prepareLLVM(m, top, d, opts, phase, &res.Adaptor)
 	if err != nil {
 		return degradeOrFail(opts, top, d, tgt, err)
@@ -323,7 +392,10 @@ func AdaptorFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, o
 			func() string { return lm.Print() }, func() error {
 				rep, err := hls.Synthesize(lm, top, tgt)
 				res.Report = rep
-				return err
+				if err != nil {
+					return err
+				}
+				return opts.sem.afterLLVM("synthesis", "synthesis", lm)
 			})
 	}); err != nil {
 		return degradeOrFail(opts, top, d, tgt, err)
@@ -380,6 +452,13 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 	}
 
 	const flowName = "cxx"
+	if opts.VerifySemantics && opts.sem == nil {
+		sem, err := newSemOracle(m, top, opts)
+		if err != nil {
+			return nil, fmt.Errorf("cxx flow: %w", err)
+		}
+		opts.sem = sem
+	}
 	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, false, flowName, opts) }); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
@@ -402,7 +481,10 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 				if err != nil {
 					return err
 				}
-				return boundaryCheck(opts, "c-frontend", lm)
+				if err := boundaryCheck(opts, "c-frontend", lm); err != nil {
+					return err
+				}
+				return opts.sem.afterLLVM("c-frontend", "c-frontend", lm)
 			})
 	}); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
@@ -412,7 +494,10 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 			func() string { return lm.Print() }, func() error {
 				rep, err := hls.Synthesize(lm, top, tgt)
 				res.Report = rep
-				return err
+				if err != nil {
+					return err
+				}
+				return opts.sem.afterLLVM("synthesis", "synthesis", lm)
 			})
 	}); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
@@ -470,6 +555,6 @@ func Execute(lm *llvm.Module, top string, mems []*interp.Mem) error {
 		args[i] = interp.PtrArg(mems[i], 0)
 	}
 	machine := interp.NewMachine(lm)
-	_, _, err := machine.Run(top, args...)
+	_, _, err := machine.Run(context.Background(), top, args...)
 	return err
 }

@@ -1,0 +1,63 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/hls"
+	"repro/internal/mlir/passes"
+	"repro/internal/polybench"
+	"repro/internal/resilience"
+)
+
+// FuzzDifferentialFlows is the mutation-based differential target: it
+// perturbs the kernel choice and the directive configuration and runs both
+// full flows under the semantic oracle. Every pipeline stage of both
+// flows must compute what the pristine kernel computes — any divergence
+// the fuzzer can reach is a miscompile, reported with the offending unit's
+// name. Directive values are clamped into the valid space (the fuzzer
+// explores configurations, it does not test flag validation).
+func FuzzDifferentialFlows(f *testing.F) {
+	f.Add(uint8(0), false, uint8(1), uint8(1), false, uint8(0), uint8(1))
+	f.Add(uint8(7), true, uint8(1), uint8(2), true, uint8(1), uint8(2))
+	f.Add(uint8(13), true, uint8(2), uint8(4), false, uint8(2), uint8(4))
+	kernels := polybench.All()
+	f.Fuzz(func(t *testing.T, ki uint8, pipe bool, ii, unroll uint8, flatten bool, partKind, partFactor uint8) {
+		k := kernels[int(ki)%len(kernels)]
+		s, err := k.SizeOf("MINI")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Directives{
+			Pipeline: pipe,
+			II:       1 + int(ii)%4,
+			Unroll:   1 + int(unroll)%4,
+			Flatten:  flatten,
+		}
+		switch partKind % 3 {
+		case 1:
+			d.Partition = &passes.PartitionSpec{Kind: "cyclic", Factor: 1 + int(partFactor)%4, Dim: 0}
+		case 2:
+			d.Partition = &passes.PartitionSpec{Kind: "block", Factor: 1 + int(partFactor)%4, Dim: 0}
+		}
+		tgt := hls.DefaultTarget()
+		opts := Options{VerifySemantics: true}
+		for _, kind := range []string{"adaptor", "cxx"} {
+			var ferr error
+			if kind == "adaptor" {
+				_, ferr = AdaptorFlowWith(k.Build(s), k.Name, d, tgt, opts)
+			} else {
+				_, ferr = CxxFlowWith(k.Build(s), k.Name, d, tgt, opts)
+			}
+			if ferr == nil {
+				continue
+			}
+			// A configuration a flow legitimately rejects is not a finding;
+			// a localized miscompile is THE finding.
+			if pf, ok := resilience.AsPassFailure(ferr); ok && pf.Kind == resilience.KindMiscompile {
+				t.Fatalf("%s flow miscompiles %s under %+v at %s/%s: %v",
+					kind, k.Name, d, pf.Stage, pf.Pass, ferr)
+			}
+			t.Logf("%s flow rejected %s under %+v: %v", kind, k.Name, d, ferr)
+		}
+	})
+}

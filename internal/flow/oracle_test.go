@@ -1,0 +1,169 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/hls"
+	"repro/internal/mlir"
+	mlirparser "repro/internal/mlir/parser"
+	"repro/internal/polybench"
+	"repro/internal/resilience"
+)
+
+// TestVerifySemanticsAllKernelsBothFlows is the semantic-equivalence
+// property test: every polybench kernel through both full flows with the
+// differential oracle on must diverge nowhere — after every pipeline unit
+// the IR computes exactly what the pristine kernel computes (within the
+// ULP tolerance) — and the final adaptor module must clear the HLS
+// conformance gate with zero diagnostics.
+func TestVerifySemanticsAllKernelsBothFlows(t *testing.T) {
+	kernels := polybench.All()
+	if len(kernels) < 18 {
+		t.Fatalf("expected the full 18-kernel suite, got %d", len(kernels))
+	}
+	tgt := hls.DefaultTarget()
+	d := Directives{Pipeline: true, II: 1}
+	opts := Options{VerifySemantics: true}
+	for _, k := range kernels {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			s, err := k.SizeOf("MINI")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := AdaptorFlowWith(k.Build(s), k.Name, d, tgt, opts)
+			if err != nil {
+				t.Fatalf("adaptor flow with VerifySemantics: %v", err)
+			}
+			if ds := hls.Conformance(res.LLVM); len(ds) != 0 {
+				t.Errorf("adaptor output has %d conformance diagnostics; first: %s", len(ds), ds[0])
+			}
+			cres, err := CxxFlowWith(k.Build(s), k.Name, d, tgt, opts)
+			if err != nil {
+				t.Fatalf("cxx flow with VerifySemantics: %v", err)
+			}
+			if ds := hls.Conformance(cres.LLVM); len(ds) != 0 {
+				t.Errorf("cxx output has %d conformance diagnostics; first: %s", len(ds), ds[0])
+			}
+		})
+	}
+}
+
+// TestVerifySemanticsMatchesDefault asserts the oracle changes only
+// checking, never results.
+func TestVerifySemanticsMatchesDefault(t *testing.T) {
+	k := polybench.Get("gemm")
+	s, err := k.SizeOf("MINI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := hls.DefaultTarget()
+	d := richDirectives()
+	plain, err := AdaptorFlow(k.Build(s), k.Name, d, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := AdaptorFlowWith(k.Build(s), k.Name, d, tgt, Options{VerifySemantics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Report.String() != checked.Report.String() {
+		t.Errorf("VerifySemantics changed the synthesis report:\n--- default\n%s\n--- verified\n%s",
+			plain.Report, checked.Report)
+	}
+}
+
+// TestInjectedMiscompileSweep is the oracle's acceptance sweep: a
+// deliberately wrong rewrite inserted after each of the 18 registered
+// adaptor pipeline units must be detected by that unit's own oracle check,
+// typed KindMiscompile, and localized to the unit by name.
+func TestInjectedMiscompileSweep(t *testing.T) {
+	build := gemmBuilder(t)
+	d := richDirectives()
+	tgt := hls.DefaultTarget()
+	units := PipelineUnits("adaptor", d)
+	if len(units) != 18 {
+		t.Fatalf("adaptor pipeline has %d units under rich directives, want 18", len(units))
+	}
+	for _, u := range units {
+		u := u
+		t.Run(u.String(), func(t *testing.T) {
+			opts := Options{
+				VerifySemantics:  true,
+				Isolate:          true,
+				InjectMiscompile: u.String(),
+			}
+			_, err := AdaptorFlowWith(build(), "gemm", d, tgt, opts)
+			if err == nil {
+				t.Fatalf("injected miscompile after %s went undetected", u)
+			}
+			pf, ok := resilience.AsPassFailure(err)
+			if !ok {
+				t.Fatalf("miscompile surfaced untyped: %v", err)
+			}
+			if pf.Kind != resilience.KindMiscompile {
+				t.Fatalf("failure kind = %s, want miscompile (%v)", pf.Kind, err)
+			}
+			if pf.Stage != u.Stage || pf.Pass != u.Pass {
+				t.Fatalf("localized to %s/%s, want %s", pf.Stage, pf.Pass, u)
+			}
+		})
+	}
+}
+
+// TestMiscompileBisectAndReplay closes the quarantine loop: a miscompile
+// bisects into a bundle that records the injection, reproduces, and
+// replays to the same unit — the path hls-adaptor -replay drives.
+func TestMiscompileBisectAndReplay(t *testing.T) {
+	build := gemmBuilder(t)
+	d := richDirectives()
+	tgt := hls.DefaultTarget()
+	const target = "llvm-opt/strength-reduce"
+	opts := Options{VerifySemantics: true, Isolate: true, InjectMiscompile: target}
+	_, err := AdaptorFlowWith(build(), "gemm", d, tgt, opts)
+	if err == nil {
+		t.Fatal("injected miscompile went undetected")
+	}
+
+	b := Bisect(build, "adaptor", "gemm miscompile", "gemm", d, tgt, opts, err)
+	if !b.Reproduced {
+		t.Fatalf("bisection did not reproduce the miscompile: %+v", b.Failure)
+	}
+	if b.Failure.Kind != resilience.KindMiscompile {
+		t.Errorf("bundle failure kind = %s, want miscompile", b.Failure.Kind)
+	}
+	if got := b.Failure.Stage + "/" + b.Failure.Pass; got != target {
+		t.Errorf("bundle localized to %s, want %s", got, target)
+	}
+	if b.Inject != target {
+		t.Errorf("bundle did not record the injection: %q", b.Inject)
+	}
+	if b.SnapshotIR == "" {
+		t.Error("bundle carries no IR snapshot for the offending unit")
+	}
+
+	// Replay from the bundle alone, the way hls-adaptor -replay does: the
+	// recorded input plus the recorded injection must reproduce the same
+	// localized miscompile even from bare options.
+	if _, err := mlirparser.Parse(b.InputMLIR); err != nil {
+		t.Fatalf("bundle input does not parse: %v", err)
+	}
+	rebuild := func() *mlir.Module {
+		m, err := mlirparser.Parse(b.InputMLIR)
+		if err != nil {
+			return nil
+		}
+		return m
+	}
+	rb := Bisect(rebuild, b.Flow, b.Label, b.Top, d, tgt,
+		Options{InjectMiscompile: b.Inject}, &b.Failure)
+	if !rb.Reproduced {
+		t.Fatal("replay from bundle did not reproduce")
+	}
+	if got := rb.Failure.Stage + "/" + rb.Failure.Pass; got != target {
+		t.Errorf("replay localized to %s, want %s", got, target)
+	}
+	if rb.Failure.Kind != resilience.KindMiscompile {
+		t.Errorf("replay failure kind = %s, want miscompile", rb.Failure.Kind)
+	}
+}

@@ -4,12 +4,57 @@
 package interp
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/llvm"
 )
+
+// ErrFuel is returned when execution exhausts the machine's instruction
+// budget — the typed form the differential oracle relies on so a
+// miscompiled infinite loop surfaces as a diagnosable failure instead of a
+// hang. Detect it with errors.Is.
+var ErrFuel = errors.New("interp: out of fuel")
+
+// TrapKind classifies a typed runtime trap.
+type TrapKind string
+
+// Trap kinds. Every fault the machine can hit at runtime maps to one of
+// these, so the oracle can distinguish "the rewritten IR crashed" from "the
+// oracle itself cannot model this IR".
+const (
+	TrapOOB         TrapKind = "out-of-bounds"
+	TrapDivZero     TrapKind = "division-by-zero"
+	TrapNilPtr      TrapKind = "nil-pointer"
+	TrapUnreachable TrapKind = "unreachable"
+	TrapCallDepth   TrapKind = "call-depth"
+	TrapUndef       TrapKind = "undefined-value"
+)
+
+// Trap is a typed runtime fault: the executed IR performed an operation
+// with no defined result (out-of-bounds access, division by zero, reaching
+// unreachable). Extract it from an error chain with AsTrap.
+type Trap struct {
+	Kind   TrapKind
+	Detail string
+}
+
+// Error implements error.
+func (t *Trap) Error() string { return fmt.Sprintf("interp: %s: %s", t.Kind, t.Detail) }
+
+// AsTrap extracts a typed trap from an error chain.
+func AsTrap(err error) (*Trap, bool) {
+	var t *Trap
+	ok := errors.As(err, &t)
+	return t, ok
+}
+
+func trapf(kind TrapKind, format string, args ...any) error {
+	return &Trap{Kind: kind, Detail: fmt.Sprintf(format, args...)}
+}
 
 // Mem is one allocation.
 type Mem struct {
@@ -86,6 +131,9 @@ type Machine struct {
 	Mod *llvm.Module
 	// Fuel bounds the executed instruction count (default 500M).
 	Fuel int64
+
+	// ctx is the Run context, checked at block boundaries.
+	ctx context.Context
 }
 
 // NewMachine returns a machine for mod.
@@ -94,8 +142,11 @@ func NewMachine(mod *llvm.Module) *Machine {
 }
 
 // Run executes the named function. The returned value is meaningful only
-// for non-void functions (i or f depending on the return type).
-func (mc *Machine) Run(name string, args ...Arg) (int64, float64, error) {
+// for non-void functions (i or f depending on the return type). ctx is
+// honored cooperatively at basic-block boundaries — matching the pass
+// managers' interrupt contract — so a cancelled or timed-out caller
+// reclaims the machine at the next branch rather than after the run.
+func (mc *Machine) Run(ctx context.Context, name string, args ...Arg) (int64, float64, error) {
 	f := mc.Mod.FindFunc(name)
 	if f == nil {
 		return 0, 0, fmt.Errorf("interp: function @%s not found", name)
@@ -107,13 +158,14 @@ func (mc *Machine) Run(name string, args ...Arg) (int64, float64, error) {
 	for i, a := range args {
 		vals[i] = a.v
 	}
+	mc.ctx = ctx
 	r, err := mc.call(f, vals, 0)
 	return r.i, r.f, err
 }
 
 func (mc *Machine) call(f *llvm.Function, args []val, depth int) (val, error) {
 	if depth > 100 {
-		return val{}, fmt.Errorf("interp: call depth exceeded")
+		return val{}, trapf(TrapCallDepth, "call depth exceeded in @%s", f.Name)
 	}
 	env := map[llvm.Value]val{}
 	for i, p := range f.Params {
@@ -122,6 +174,11 @@ func (mc *Machine) call(f *llvm.Function, args []val, depth int) (val, error) {
 	blk := f.Entry()
 	var prev *llvm.Block
 	for {
+		if mc.ctx != nil {
+			if err := mc.ctx.Err(); err != nil {
+				return val{}, err
+			}
+		}
 		// Phi nodes first, evaluated simultaneously.
 		var phiVals []val
 		var phis []*llvm.Instr
@@ -154,7 +211,7 @@ func (mc *Machine) call(f *llvm.Function, args []val, depth int) (val, error) {
 		for _, in := range blk.Instrs[len(phis):] {
 			mc.Fuel--
 			if mc.Fuel < 0 {
-				return val{}, fmt.Errorf("interp: out of fuel")
+				return val{}, ErrFuel
 			}
 			switch in.Op {
 			case llvm.OpBr:
@@ -175,7 +232,7 @@ func (mc *Machine) call(f *llvm.Function, args []val, depth int) (val, error) {
 				}
 				return mc.eval(env, in.Args[0])
 			case llvm.OpUnreachable:
-				return val{}, fmt.Errorf("interp: reached unreachable")
+				return val{}, trapf(TrapUnreachable, "reached unreachable in @%s", f.Name)
 			default:
 				v, err := mc.exec(env, in, depth)
 				if err != nil {
@@ -213,7 +270,7 @@ func (mc *Machine) eval(env map[llvm.Value]val, v llvm.Value) (val, error) {
 	}
 	x, ok := env[v]
 	if !ok {
-		return val{}, fmt.Errorf("use of undefined value %s", v.Ident())
+		return val{}, trapf(TrapUndef, "use of undefined value %s", v.Ident())
 	}
 	return x, nil
 }
@@ -242,12 +299,12 @@ func (mc *Machine) exec(env map[llvm.Value]val, in *llvm.Instr, depth int) (val,
 			x = l.i * r.i
 		case llvm.OpSDiv:
 			if r.i == 0 {
-				return val{}, fmt.Errorf("division by zero")
+				return val{}, trapf(TrapDivZero, "sdiv by zero")
 			}
 			x = l.i / r.i
 		case llvm.OpSRem:
 			if r.i == 0 {
-				return val{}, fmt.Errorf("remainder by zero")
+				return val{}, trapf(TrapDivZero, "srem by zero")
 			}
 			x = l.i % r.i
 		case llvm.OpAnd:
@@ -386,7 +443,7 @@ func (mc *Machine) exec(env map[llvm.Value]val, in *llvm.Instr, depth int) (val,
 			return val{}, err
 		}
 		if base.mem == nil {
-			return val{}, fmt.Errorf("gep on non-pointer value")
+			return val{}, trapf(TrapNilPtr, "gep on non-pointer value")
 		}
 		off := base.off
 		t := in.SrcElem
@@ -469,18 +526,35 @@ func (mc *Machine) execCall(env map[llvm.Value]val, in *llvm.Instr, depth int) (
 		return val{f: args[0].f*args[1].f + args[2].f}, nil
 	case "llvm.fmuladd.f32", "fmaf":
 		return val{f: float64(float32(args[0].f*args[1].f + args[2].f))}, nil
+	case "llvm.fabs.f64", "fabs":
+		return val{f: math.Abs(args[0].f)}, nil
+	case "llvm.fabs.f32", "fabsf":
+		return val{f: float64(float32(math.Abs(args[0].f)))}, nil
 	case "malloc":
 		return val{mem: NewMem(args[0].i)}, nil
 	case "free", "llvm.lifetime.start.p0", "llvm.lifetime.end.p0":
 		return val{}, nil
 	case "llvm.memset.p0.i64", "memset":
-		m := args[0].mem
-		for i := int64(0); i < args[2].i; i++ {
-			m.Bytes[args[0].off+i] = byte(args[1].i)
+		m, off, n := args[0].mem, args[0].off, args[2].i
+		if m == nil {
+			return val{}, trapf(TrapNilPtr, "%s through nil pointer", in.Callee)
+		}
+		if off < 0 || off+n > int64(len(m.Bytes)) {
+			return val{}, trapf(TrapOOB, "%s out of bounds (off %d, n %d, alloc %d)", in.Callee, off, n, len(m.Bytes))
+		}
+		for i := int64(0); i < n; i++ {
+			m.Bytes[off+i] = byte(args[1].i)
 		}
 		return val{}, nil
 	case "llvm.memcpy.p0.p0.i64", "memcpy":
 		dst, src, n := args[0], args[1], args[2].i
+		if dst.mem == nil || src.mem == nil {
+			return val{}, trapf(TrapNilPtr, "%s through nil pointer", in.Callee)
+		}
+		if dst.off < 0 || dst.off+n > int64(len(dst.mem.Bytes)) ||
+			src.off < 0 || src.off+n > int64(len(src.mem.Bytes)) {
+			return val{}, trapf(TrapOOB, "%s out of bounds (n %d)", in.Callee, n)
+		}
 		copy(dst.mem.Bytes[dst.off:dst.off+n], src.mem.Bytes[src.off:src.off+n])
 		return val{}, nil
 	}
@@ -493,12 +567,12 @@ func (mc *Machine) execCall(env map[llvm.Value]val, in *llvm.Instr, depth int) (
 
 func loadTyped(p val, t *llvm.Type) (val, error) {
 	if p.mem == nil {
-		return val{}, fmt.Errorf("load through nil pointer")
+		return val{}, trapf(TrapNilPtr, "load through nil pointer")
 	}
 	b := p.mem.Bytes
 	o := p.off
 	if o < 0 || o+t.SizeBytes() > int64(len(b)) {
-		return val{}, fmt.Errorf("load out of bounds (off %d, size %d, alloc %d)", o, t.SizeBytes(), len(b))
+		return val{}, trapf(TrapOOB, "load out of bounds (off %d, size %d, alloc %d)", o, t.SizeBytes(), len(b))
 	}
 	switch {
 	case t.Kind == llvm.KindFloat:
@@ -522,12 +596,12 @@ func loadTyped(p val, t *llvm.Type) (val, error) {
 
 func storeTyped(p val, t *llvm.Type, v val) error {
 	if p.mem == nil {
-		return fmt.Errorf("store through nil pointer")
+		return trapf(TrapNilPtr, "store through nil pointer")
 	}
 	b := p.mem.Bytes
 	o := p.off
 	if o < 0 || o+t.SizeBytes() > int64(len(b)) {
-		return fmt.Errorf("store out of bounds (off %d, size %d, alloc %d)", o, t.SizeBytes(), len(b))
+		return trapf(TrapOOB, "store out of bounds (off %d, size %d, alloc %d)", o, t.SizeBytes(), len(b))
 	}
 	switch {
 	case t.Kind == llvm.KindFloat:

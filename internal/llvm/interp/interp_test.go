@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -66,14 +68,14 @@ func buildScalarFn() *llvm.Module {
 
 func TestScalarReturn(t *testing.T) {
 	mc := NewMachine(buildScalarFn())
-	i, _, err := mc.Run("sel", IntArg(3), IntArg(10))
+	i, _, err := mc.Run(context.Background(), "sel", IntArg(3), IntArg(10))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if i != 6 {
 		t.Errorf("sel(3,10) = %d, want 6", i)
 	}
-	i, _, err = mc.Run("sel", IntArg(10), IntArg(3))
+	i, _, err = mc.Run(context.Background(), "sel", IntArg(10), IntArg(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +87,7 @@ func TestScalarReturn(t *testing.T) {
 func TestScalarSelectQuick(t *testing.T) {
 	mc := NewMachine(buildScalarFn())
 	f := func(a, b int16) bool {
-		i, _, err := mc.Run("sel", IntArg(int64(a)), IntArg(int64(b)))
+		i, _, err := mc.Run(context.Background(), "sel", IntArg(int64(a)), IntArg(int64(b)))
 		if err != nil {
 			return false
 		}
@@ -114,7 +116,7 @@ func TestBoundsChecking(t *testing.T) {
 	b.Ret(nil)
 	mc := NewMachine(m)
 	mem := NewMem(16) // only 4 floats
-	if _, _, err := mc.Run("oob", PtrArg(mem, 0)); err == nil {
+	if _, _, err := mc.Run(context.Background(), "oob", PtrArg(mem, 0)); err == nil {
 		t.Error("out-of-bounds load must error")
 	}
 }
@@ -135,7 +137,7 @@ func TestFuelLimit(t *testing.T) {
 	b.Br(loop)
 	mc := NewMachine(m)
 	mc.Fuel = 10000
-	if _, _, err := mc.Run("spin"); err == nil {
+	if _, _, err := mc.Run(context.Background(), "spin"); err == nil {
 		t.Error("infinite loop must exhaust fuel")
 	}
 }
@@ -152,7 +154,7 @@ func TestIntrinsicCalls(t *testing.T) {
 	r := b.FAdd(s, e)
 	b.Ret(r)
 	mc := NewMachine(m)
-	_, got, err := mc.Run("mathy", FloatArg(16))
+	_, got, err := mc.Run(context.Background(), "mathy", FloatArg(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +177,7 @@ func TestMemcpyMemset(t *testing.T) {
 	b.Ret(nil)
 	dst, src := NewMem(8), NewMem(8)
 	mc := NewMachine(m)
-	if _, _, err := mc.Run("blk", PtrArg(dst, 0), PtrArg(src, 0)); err != nil {
+	if _, _, err := mc.Run(context.Background(), "blk", PtrArg(dst, 0), PtrArg(src, 0)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
@@ -206,7 +208,7 @@ func TestUserFunctionCall(t *testing.T) {
 	b2.Ret(r)
 
 	mc := NewMachine(m)
-	i, _, err := mc.Run("main")
+	i, _, err := mc.Run(context.Background(), "main")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +227,7 @@ func TestUnknownCallErrors(t *testing.T) {
 	b.Call("mystery", llvm.Void())
 	b.Ret(nil)
 	mc := NewMachine(m)
-	if _, _, err := mc.Run("bad"); err == nil {
+	if _, _, err := mc.Run(context.Background(), "bad"); err == nil {
 		t.Error("unknown callee must error")
 	}
 }
@@ -243,7 +245,7 @@ func TestF32RoundingPerOp(t *testing.T) {
 	s := b.FAdd(big, small) // 1e8 + 1 rounds to 1e8 in f32
 	b.Ret(s)
 	mc := NewMachine(m)
-	_, got, err := mc.Run("acc")
+	_, got, err := mc.Run(context.Background(), "acc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,5 +255,100 @@ func TestF32RoundingPerOp(t *testing.T) {
 	}
 	if got == 1e8+1 {
 		t.Error("interpreter is using double precision for float ops")
+	}
+}
+
+func TestTypedTraps(t *testing.T) {
+	// Division by zero.
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("div", llvm.I32(), &llvm.Param{Name: "d", Ty: llvm.I32()})
+	m.AddFunc(f)
+	e := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(e)
+	b.Ret(b.SDiv(llvm.CI(llvm.I32(), 1), f.Params[0]))
+	mc := NewMachine(m)
+	_, _, err := mc.Run(context.Background(), "div", IntArg(0))
+	tr, ok := AsTrap(err)
+	if !ok || tr.Kind != TrapDivZero {
+		t.Fatalf("div-by-zero trap = %v, want TrapDivZero", err)
+	}
+
+	// Out-of-bounds load carries TrapOOB.
+	m2 := llvm.NewModule("t")
+	f2 := llvm.NewFunction("oob", llvm.Void(), &llvm.Param{Name: "p", Ty: llvm.Ptr(llvm.ArrayOf(4, llvm.FloatT()))})
+	m2.AddFunc(f2)
+	e2 := f2.AddBlock("entry")
+	b2 := llvm.NewBuilder(f2)
+	b2.SetBlock(e2)
+	g := b2.GEP(llvm.ArrayOf(4, llvm.FloatT()), f2.Params[0], llvm.CI(llvm.I64(), 0), llvm.CI(llvm.I64(), 9))
+	b2.Load(llvm.FloatT(), g)
+	b2.Ret(nil)
+	mc2 := NewMachine(m2)
+	_, _, err = mc2.Run(context.Background(), "oob", PtrArg(NewMem(16), 0))
+	tr, ok = AsTrap(err)
+	if !ok || tr.Kind != TrapOOB {
+		t.Fatalf("oob trap = %v, want TrapOOB", err)
+	}
+}
+
+func TestFuelTyped(t *testing.T) {
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("spin", llvm.Void())
+	m.AddFunc(f)
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	loop := f.AddBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Add(llvm.CI(llvm.I64(), 1), llvm.CI(llvm.I64(), 1))
+	b.Br(loop)
+	mc := NewMachine(m)
+	mc.Fuel = 1000
+	_, _, err := mc.Run(context.Background(), "spin")
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("fuel exhaustion = %v, want ErrFuel", err)
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	// A pre-canceled context must stop execution at the first block
+	// boundary, before fuel runs out.
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("spin", llvm.Void())
+	m.AddFunc(f)
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	loop := f.AddBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Add(llvm.CI(llvm.I64(), 1), llvm.CI(llvm.I64(), 1))
+	b.Br(loop)
+	mc := NewMachine(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := mc.Run(ctx, "spin")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run = %v, want context.Canceled", err)
+	}
+}
+
+func TestFabsIntrinsic(t *testing.T) {
+	m := llvm.NewModule("t")
+	f := llvm.NewFunction("ab", llvm.DoubleT(), &llvm.Param{Name: "x", Ty: llvm.DoubleT()})
+	m.AddFunc(f)
+	e := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(e)
+	b.Ret(b.Call("llvm.fabs.f64", llvm.DoubleT(), f.Params[0]))
+	mc := NewMachine(m)
+	_, got, err := mc.Run(context.Background(), "ab", FloatArg(-2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("fabs(-2.5) = %g, want 2.5", got)
 	}
 }

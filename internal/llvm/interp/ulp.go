@@ -1,0 +1,74 @@
+package interp
+
+import "math"
+
+// This file is the oracle's float-comparison policy: distances are measured
+// in units in the last place over the ordered bit representation, never in
+// ad-hoc epsilons. ±0 compare equal, two NaNs compare equal (both runs
+// produced "no value" the same way), and a NaN never equals a number.
+
+// ULPDiff64 returns the distance between two float64s in units in the last
+// place: 0 for bitwise-equal values and for +0/-0, 1 for adjacent
+// representable values (including across the denormal range), and MaxUint64
+// when exactly one side is NaN.
+func ULPDiff64(a, b float64) uint64 {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	if an || bn {
+		if an && bn {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ai, bi := orderedBits64(a), orderedBits64(b)
+	if ai > bi {
+		ai, bi = bi, ai
+	}
+	return uint64(bi - ai)
+}
+
+// ULPDiff32 is ULPDiff64 over the float32 lattice, where the oracle
+// compares f32 kernel memory (MaxUint32-scale distance for a one-sided
+// NaN).
+func ULPDiff32(a, b float32) uint64 {
+	a64, b64 := float64(a), float64(b)
+	an, bn := math.IsNaN(a64), math.IsNaN(b64)
+	if an || bn {
+		if an && bn {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ai, bi := orderedBits32(a), orderedBits32(b)
+	if ai > bi {
+		ai, bi = bi, ai
+	}
+	return uint64(bi - ai)
+}
+
+// ULPEqual reports whether two float64s are within maxULP units in the last
+// place of each other. maxULP 0 demands bitwise equality up to the sign of
+// zero; NaN equals only NaN.
+func ULPEqual(a, b float64, maxULP uint64) bool { return ULPDiff64(a, b) <= maxULP }
+
+// ULPEqual32 is ULPEqual over float32s.
+func ULPEqual32(a, b float32, maxULP uint64) bool { return ULPDiff32(a, b) <= maxULP }
+
+// orderedBits64 maps the float64 bit pattern onto a monotone integer line:
+// negative floats (sign bit set) are reflected below zero so that integer
+// distance equals ULP distance everywhere, including across ±0 and through
+// the denormals.
+func orderedBits64(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		b = math.MinInt64 - b
+	}
+	return b
+}
+
+func orderedBits32(f float32) int32 {
+	b := int32(math.Float32bits(f))
+	if b < 0 {
+		b = math.MinInt32 - b
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package interp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestULPEqualExact(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.1, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		if !ULPEqual(v, v, 0) {
+			t.Errorf("ULPEqual(%g, %g, 0) = false", v, v)
+		}
+	}
+}
+
+func TestULPSignedZero(t *testing.T) {
+	if d := ULPDiff64(0.0, math.Copysign(0, -1)); d != 0 {
+		t.Errorf("ULPDiff64(+0, -0) = %d, want 0", d)
+	}
+	if d := ULPDiff32(0, float32(math.Copysign(0, -1))); d != 0 {
+		t.Errorf("ULPDiff32(+0, -0) = %d, want 0", d)
+	}
+}
+
+func TestULPNaN(t *testing.T) {
+	nan := math.NaN()
+	if !ULPEqual(nan, nan, 0) {
+		t.Error("NaN should ULP-equal NaN (both runs trapped to no-value identically)")
+	}
+	if ULPEqual(nan, 1.0, math.MaxUint64-1) {
+		t.Error("NaN must never equal a number")
+	}
+	if ULPEqual32(float32(math.NaN()), 1.0, math.MaxUint64-1) {
+		t.Error("NaN must never equal a number (f32)")
+	}
+}
+
+func TestULPAdjacent(t *testing.T) {
+	cases := []struct{ a, b float64 }{
+		{1.0, math.Nextafter(1.0, 2)},
+		{-1.0, math.Nextafter(-1.0, 0)},
+		// Across zero: smallest positive denormal vs +0.
+		{0, math.SmallestNonzeroFloat64},
+		// Within the denormal range.
+		{math.SmallestNonzeroFloat64, 2 * math.SmallestNonzeroFloat64},
+		// Across the denormal/normal boundary.
+		{math.Float64frombits(0x000fffffffffffff), math.Float64frombits(0x0010000000000000)},
+		// Largest finite to +Inf is one representable step.
+		{math.MaxFloat64, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if d := ULPDiff64(c.a, c.b); d != 1 {
+			t.Errorf("ULPDiff64(%g, %g) = %d, want 1", c.a, c.b, d)
+		}
+	}
+	// The straddle case: smallest negative to smallest positive denormal is
+	// two steps (through zero), where naive bit subtraction would blow up.
+	if d := ULPDiff64(-math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64); d != 2 {
+		t.Errorf("ULPDiff64(-min, +min) = %d, want 2", d)
+	}
+}
+
+func TestULPAdjacent32(t *testing.T) {
+	one := float32(1.0)
+	next := math.Float32frombits(math.Float32bits(one) + 1)
+	if d := ULPDiff32(one, next); d != 1 {
+		t.Errorf("ULPDiff32(1, next) = %d, want 1", d)
+	}
+	denorm := math.Float32frombits(1) // smallest positive f32 denormal
+	if d := ULPDiff32(0, denorm); d != 1 {
+		t.Errorf("ULPDiff32(0, denorm) = %d, want 1", d)
+	}
+	if d := ULPDiff32(-denorm, denorm); d != 2 {
+		t.Errorf("ULPDiff32(-denorm, denorm) = %d, want 2", d)
+	}
+	if !ULPEqual32(float32(math.Copysign(0, -1)), 0, 0) {
+		t.Error("ULPEqual32(-0, +0, 0) = false")
+	}
+}
+
+func TestULPExtremes(t *testing.T) {
+	// Full-range distances must not overflow into small values.
+	if d := ULPDiff64(-math.MaxFloat64, math.MaxFloat64); d < math.MaxUint64/4 {
+		t.Errorf("ULPDiff64(-max, max) suspiciously small: %d", d)
+	}
+	if ULPEqual(-math.MaxFloat64, math.MaxFloat64, 1000) {
+		t.Error("opposite extremes must not be ULP-equal")
+	}
+}

@@ -2,6 +2,10 @@ package parser
 
 import (
 	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/hls"
+	"repro/internal/polybench"
 )
 
 // fuzzSeeds covers the textual surface the parser accepts: every instruction
@@ -64,6 +68,9 @@ func FuzzParseRoundTrip(f *testing.F) {
 	for _, s := range fuzzSeeds {
 		f.Add(s)
 	}
+	for _, s := range kernelSeeds(f) {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		m, err := Parse(src)
 		if err != nil {
@@ -78,4 +85,27 @@ func FuzzParseRoundTrip(f *testing.F) {
 			t.Fatalf("print is not a fixpoint after one round trip:\n--- first\n%s\n--- second\n%s", text, text2)
 		}
 	})
+}
+
+// kernelSeeds runs every polybench kernel through the adaptor flow and
+// seeds the corpus with the post-adaptor module text — the richest real IR
+// this repository produces, so the fuzzer mutates from the shapes the
+// parser must actually survive rather than from toy snippets only.
+func kernelSeeds(f *testing.F) []string {
+	f.Helper()
+	var seeds []string
+	tgt := hls.DefaultTarget()
+	d := flow.Directives{Pipeline: true, II: 1}
+	for _, k := range polybench.All() {
+		s, err := k.SizeOf("MINI")
+		if err != nil {
+			f.Fatal(err)
+		}
+		res, err := flow.AdaptorFlow(k.Build(s), k.Name, d, tgt)
+		if err != nil {
+			f.Fatalf("%s: %v", k.Name, err)
+		}
+		seeds = append(seeds, res.LLVM.Print())
+	}
+	return seeds
 }

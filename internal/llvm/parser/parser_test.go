@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -200,7 +201,7 @@ attributes #0 = { "hls.top"="1" }
 		y.SetFloat32(i, 1)
 	}
 	machine := interp.NewMachine(m)
-	if _, _, err := machine.Run("saxpy", interp.PtrArg(x, 0), interp.PtrArg(y, 0)); err != nil {
+	if _, _, err := machine.Run(context.Background(), "saxpy", interp.PtrArg(x, 0), interp.PtrArg(y, 0)); err != nil {
 		t.Fatal(err)
 	}
 	got := y.Float32Slice()

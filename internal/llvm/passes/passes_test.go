@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/llvm"
@@ -57,7 +58,7 @@ func runCountdown(t *testing.T, m *llvm.Module) int32 {
 	t.Helper()
 	out := interp.NewMem(4)
 	mc := interp.NewMachine(m)
-	if _, _, err := mc.Run("f", interp.PtrArg(out, 0)); err != nil {
+	if _, _, err := mc.Run(context.Background(), "f", interp.PtrArg(out, 0)); err != nil {
 		t.Fatalf("execution failed: %v", err)
 	}
 	return out.Int32Slice()[0]
@@ -208,7 +209,7 @@ func TestSimplifyCFGConstantBranchAndMerge(t *testing.T) {
 	}
 	out := interp.NewMem(4)
 	mc := interp.NewMachine(m)
-	if _, _, err := mc.Run("s", interp.PtrArg(out, 0)); err != nil {
+	if _, _, err := mc.Run(context.Background(), "s", interp.PtrArg(out, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if out.Int32Slice()[0] != 7 {
@@ -298,7 +299,7 @@ func TestStrengthReduce(t *testing.T) {
 	// Semantics: x=3 → 3*8 + 16*3 + 3*10 = 24+48+30 = 102.
 	out := interp.NewMem(8)
 	mc := interp.NewMachine(m)
-	if _, _, err := mc.Run("sr", interp.PtrArg(out, 0), interp.IntArg(3)); err != nil {
+	if _, _, err := mc.Run(context.Background(), "sr", interp.PtrArg(out, 0), interp.IntArg(3)); err != nil {
 		t.Fatal(err)
 	}
 	v := int64(out.Bytes[0]) | int64(out.Bytes[1])<<8

@@ -50,6 +50,13 @@ type PassManager struct {
 	// before the pass visits any function — the flow layer's snapshot and
 	// fault-injection hook.
 	BeforePass func(passName string, m *llvm.Module)
+	// AfterPass, when non-nil, runs after each pass's verification (and
+	// regardless of VerifyEach). An error aborts the pipeline attributed to
+	// the named pass; an already-typed *resilience.PassFailure passes
+	// through unchanged so the semantic oracle can report miscompiles with
+	// its own failure kind. The flow layer hangs differential-execution
+	// checks here.
+	AfterPass func(passName string, m *llvm.Module) error
 }
 
 // NewPassManager returns an empty pass manager with VerifyEach off (the
@@ -110,6 +117,17 @@ func (pm *PassManager) Run(m *llvm.Module) error {
 					}
 					return fmt.Errorf("invariant violation after LLVM pass %s: %w", p.Name, err)
 				}
+			}
+		}
+		if pm.AfterPass != nil {
+			if err := pm.AfterPass(p.Name, m); err != nil {
+				if _, typed := resilience.AsPassFailure(err); typed {
+					return err
+				}
+				if pm.Isolate {
+					return resilience.NewFailure(pm.stage(), p.Name, resilience.KindVerify, err)
+				}
+				return fmt.Errorf("check after LLVM pass %s: %w", p.Name, err)
 			}
 		}
 	}

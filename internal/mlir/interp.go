@@ -1,9 +1,21 @@
 package mlir
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrFuel is returned when an interpretation exceeds its step budget —
+// the signal that a (possibly corrupted) module diverged into an infinite
+// loop instead of terminating. Callers distinguish it from semantic errors
+// with errors.Is.
+var ErrFuel = errors.New("mlir interp: out of fuel")
+
+// DefaultFuel bounds the number of ops a single Interpret call may
+// execute. Generous for every polybench preset, small enough that a
+// miscompiled loop nest cannot hang a differential run.
+const DefaultFuel = 200_000_000
 
 // MemBuf is a flat row-major buffer backing a memref during interpretation.
 type MemBuf struct {
@@ -51,16 +63,21 @@ type interpVal struct {
 
 // Interpret executes the named function on the given memref arguments,
 // mutating them in place. Scalar arguments and results are not supported
-// (the HLS kernels communicate exclusively through memrefs).
+// (the HLS kernels communicate exclusively through memrefs). Both
+// structured (affine/scf) and cf-lowered multi-block bodies execute;
+// execution is bounded by DefaultFuel.
 func (m *Module) Interpret(funcName string, args ...*MemBuf) error {
+	return m.InterpretWithFuel(funcName, DefaultFuel, args...)
+}
+
+// InterpretWithFuel is Interpret with an explicit step budget; exceeding
+// it returns an error satisfying errors.Is(err, ErrFuel).
+func (m *Module) InterpretWithFuel(funcName string, fuel int64, args ...*MemBuf) error {
 	f := m.FindFunc(funcName)
 	if f == nil {
 		return fmt.Errorf("interp: function %q not found", funcName)
 	}
 	body := FuncBody(f)
-	if len(f.Regions[0].Blocks) != 1 {
-		return fmt.Errorf("interp: %q is not in structured (single-block) form", funcName)
-	}
 	if len(args) != len(body.Args) {
 		return fmt.Errorf("interp: %q takes %d args, got %d", funcName, len(body.Args), len(args))
 	}
@@ -74,13 +91,83 @@ func (m *Module) Interpret(funcName string, args ...*MemBuf) error {
 		}
 		env[a] = interpVal{buf: args[i]}
 	}
-	it := &interpreter{m: m, env: env}
-	return it.runBlock(body)
+	it := &interpreter{m: m, env: env, fuel: fuel}
+	if len(f.Regions[0].Blocks) == 1 {
+		return it.runBlock(body)
+	}
+	return it.runCF(f.Regions[0].Blocks)
 }
 
 type interpreter struct {
-	m   *Module
-	env map[*Value]interpVal
+	m    *Module
+	env  map[*Value]interpVal
+	fuel int64
+}
+
+// runCF executes a cf-lowered multi-block function body: straight-line ops
+// run in order, and branch terminators transfer control, binding their
+// operands to the successor's block arguments (the SSA form of phi nodes).
+func (it *interpreter) runCF(blocks []*Block) error {
+	cur := blocks[0]
+	for {
+		n := len(cur.Ops)
+		if n == 0 {
+			return fmt.Errorf("interp: block without terminator")
+		}
+		for _, op := range cur.Ops[:n-1] {
+			if err := it.runOp(op); err != nil {
+				return err
+			}
+		}
+		term := cur.Ops[n-1]
+		if it.fuel--; it.fuel < 0 {
+			return ErrFuel
+		}
+		switch term.Name {
+		case OpReturn:
+			return nil
+		case OpBr:
+			if len(term.Succs) != 1 {
+				return fmt.Errorf("interp: cf.br with %d successors", len(term.Succs))
+			}
+			it.bindBlockArgs(term.Succs[0], term.Operands)
+			cur = term.Succs[0]
+		case OpCondBr:
+			if len(term.Succs) != 2 {
+				return fmt.Errorf("interp: cf.cond_br with %d successors", len(term.Succs))
+			}
+			tc, _ := term.IntAttr(AttrTrueCount)
+			fc, _ := term.IntAttr(AttrFalseCount)
+			if int64(len(term.Operands)) != 1+tc+fc {
+				return fmt.Errorf("interp: cf.cond_br operand segments disagree with operand count")
+			}
+			if it.intVal(term.Operands[0]) != 0 {
+				it.bindBlockArgs(term.Succs[0], term.Operands[1:1+tc])
+				cur = term.Succs[0]
+			} else {
+				it.bindBlockArgs(term.Succs[1], term.Operands[1+tc:])
+				cur = term.Succs[1]
+			}
+		default:
+			return fmt.Errorf("interp: unsupported cf terminator %s", term.Name)
+		}
+	}
+}
+
+// bindBlockArgs copies branch operand values into the successor's block
+// arguments. Values are snapshotted before any argument is overwritten so
+// a branch whose operands read the target's current arguments (a loop
+// latch) binds from the pre-branch state.
+func (it *interpreter) bindBlockArgs(dst *Block, operands []*Value) {
+	vals := make([]interpVal, len(operands))
+	for i, v := range operands {
+		vals[i] = it.val(v)
+	}
+	for i, a := range dst.Args {
+		if i < len(vals) {
+			it.env[a] = vals[i]
+		}
+	}
 }
 
 func (it *interpreter) val(v *Value) interpVal { return it.env[v] }
@@ -105,6 +192,9 @@ func (it *interpreter) evalMap(m *AffineMap, operands []*Value) []int64 {
 }
 
 func (it *interpreter) runOp(op *Op) error {
+	if it.fuel--; it.fuel < 0 {
+		return ErrFuel
+	}
 	switch op.Name {
 	case OpConstant:
 		switch a := op.Attrs[AttrValue].(type) {

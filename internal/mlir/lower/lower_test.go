@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -231,5 +232,51 @@ func TestSCFToCFRoundTripsThroughText(t *testing.T) {
 	out := m.Print()
 	if out == "" {
 		t.Fatal("empty print")
+	}
+}
+
+func TestCFInterpretationMatchesStructured(t *testing.T) {
+	// The cf-lowered form (post scf-to-cf) must execute to the same memory
+	// state as the structured form — this is the oracle's reference path
+	// for post-lowering stages.
+	ref := run(t, buildGemm(5), "gemm", 5, 2, 7)
+	m := buildGemm(5)
+	if err := AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, m, "gemm", 5, 2, 7)
+	sameAll(t, ref, got)
+
+	refS := run(t, buildStencil(16), "sten", 16, 1, 3)
+	ms := buildStencil(16)
+	if err := AffineToSCF(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := SCFToCF(ms); err != nil {
+		t.Fatal(err)
+	}
+	gotS := run(t, ms, "sten", 16, 1, 3)
+	sameAll(t, refS, gotS)
+}
+
+func TestCFInterpFuelBound(t *testing.T) {
+	// A cf loop that never advances must exhaust fuel, not hang.
+	m := buildGemm(4)
+	if err := AffineToSCF(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SCFToCF(m); err != nil {
+		t.Fatal(err)
+	}
+	var bufs []*mlir.MemBuf
+	for _, a := range mlir.FuncBody(m.FindFunc("gemm")).Args {
+		bufs = append(bufs, mlir.NewMemBuf(a.Type()))
+	}
+	err := m.InterpretWithFuel("gemm", 50, bufs...)
+	if !errors.Is(err, mlir.ErrFuel) {
+		t.Fatalf("tiny fuel budget = %v, want ErrFuel", err)
 	}
 }

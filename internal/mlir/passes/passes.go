@@ -94,6 +94,11 @@ func (pm *PassManager) Run(m *mlir.Module) error {
 		}
 		if pm.AfterPass != nil {
 			if err := pm.AfterPass(p.Name(), m); err != nil {
+				// An already-typed failure (e.g. the semantic oracle's
+				// KindMiscompile) keeps its own attribution and kind.
+				if _, typed := resilience.AsPassFailure(err); typed {
+					return err
+				}
 				if pm.Isolate {
 					return resilience.NewFailure(pm.stage(), p.Name(), resilience.KindVerify, err)
 				}

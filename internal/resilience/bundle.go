@@ -42,6 +42,10 @@ type Bundle struct {
 	// again; a false value usually means the original failure was
 	// transient (timeout) or environmental.
 	Reproduced bool `json:"reproduced"`
+	// Inject records a deterministic miscompile injection ("stage/pass")
+	// that was armed during the original run, so a replay re-arms the same
+	// corruption and the semantic oracle reproduces the divergence.
+	Inject string `json:"inject,omitempty"`
 	// Note carries free-form context (e.g. why bisection was skipped).
 	Note string `json:"note,omitempty"`
 }

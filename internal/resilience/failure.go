@@ -31,6 +31,11 @@ const (
 	KindCanceled FailureKind = "canceled"
 	// KindInjected is a deterministic test-injected fault.
 	KindInjected FailureKind = "injected"
+	// KindMiscompile is a semantic divergence caught by the differential
+	// oracle: the unit completed, the IR verifies and schedules, and it
+	// computes the wrong answer. Deterministic — never retried, always
+	// eligible for fallback and quarantine.
+	KindMiscompile FailureKind = "miscompile"
 )
 
 // PassFailure is the typed outcome of a failed pipeline unit: which stage

@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -73,7 +74,7 @@ func TestTranslateScalarOpsExecute(t *testing.T) {
 	cArgs = []interp.Arg{interp.PtrArg(mem, 0), interp.PtrArg(mem, 0),
 		interp.IntArg(0), interp.IntArg(8), interp.IntArg(1)}
 	mc := interp.NewMachine(lm)
-	if _, _, err := mc.Run("scalars", cArgs...); err != nil {
+	if _, _, err := mc.Run(context.Background(), "scalars", cArgs...); err != nil {
 		t.Fatal(err)
 	}
 	got := mem.Float64Slice()
@@ -120,7 +121,7 @@ func TestTranslateScalarParams(t *testing.T) {
 		mem.SetFloat64(i, float64(i))
 	}
 	mc := interp.NewMachine(lm)
-	if _, _, err := mc.Run("scale",
+	if _, _, err := mc.Run(context.Background(), "scale",
 		interp.PtrArg(mem, 0), interp.PtrArg(mem, 0), interp.IntArg(0),
 		interp.IntArg(4), interp.IntArg(1), interp.FloatArg(3)); err != nil {
 		t.Fatal(err)

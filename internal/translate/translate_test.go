@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -113,7 +114,7 @@ func TestTranslateGemmMatchesMLIRInterp(t *testing.T) {
 	}
 	ma, mb, mc := mkMem(a), mkMem(b), mkMem(c)
 	machine := interp.NewMachine(lm)
-	if _, _, err := machine.Run("gemm", descriptorArgs(f, []*interp.Mem{ma, mb, mc})...); err != nil {
+	if _, _, err := machine.Run(context.Background(), "gemm", descriptorArgs(f, []*interp.Mem{ma, mb, mc})...); err != nil {
 		t.Fatalf("llvm interp: %v", err)
 	}
 	got := mc.Float64Slice()
@@ -243,7 +244,7 @@ func TestTranslateMathIntrinsics(t *testing.T) {
 	}
 	f := lm.FindFunc("roots")
 	machine := interp.NewMachine(lm)
-	if _, _, err := machine.Run("roots", descriptorArgs(f, []*interp.Mem{mem})...); err != nil {
+	if _, _, err := machine.Run(context.Background(), "roots", descriptorArgs(f, []*interp.Mem{mem})...); err != nil {
 		t.Fatal(err)
 	}
 	got := mem.Float64Slice()
