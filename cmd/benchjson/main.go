@@ -1,0 +1,231 @@
+// benchjson turns benchmark evidence into machine-readable CI artifacts.
+//
+// Two independent sections, each written as its own BENCH_*.json file:
+//
+//   - -bench-in parses `go test -bench` text (ns/op, B/op, allocs/op) into
+//     BENCH_micro.json, so CI can diff micro-benchmark movement without
+//     scraping test logs.
+//   - -incr re-runs the incremental workloads — the Fig8 MINI DSE sweep and
+//     a jacobi1d exploration — cold and then warm against the same unit
+//     store, and records wall times, speedup, and unit replay hit rates in
+//     BENCH_incr.json.
+//
+// Exit status is non-zero on any parse or flow error, and -incr fails if a
+// warm sweep diverges from its cold table — a divergence guard for CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/hls"
+	"repro/internal/incr"
+	"repro/internal/mlir"
+	"repro/internal/polybench"
+)
+
+// Micro is one parsed `go test -bench` result line.
+type Micro struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Incr is one cold/warm incremental workload measurement.
+type Incr struct {
+	Workload    string  `json:"workload"`
+	Size        string  `json:"size"`
+	ColdMs      float64 `json:"cold_ms"`
+	WarmMs      float64 `json:"warm_ms"`
+	Speedup     float64 `json:"speedup"`
+	Jobs        int64   `json:"jobs"`
+	UnitHits    int64   `json:"unit_hits"`
+	UnitMisses  int64   `json:"unit_misses"`
+	UnitHitRate float64 `json:"unit_hit_rate"`
+	FullReplays int64   `json:"full_replays"`
+}
+
+func main() {
+	benchIn := flag.String("bench-in", "", "go test -bench output to convert ('-' for stdin)")
+	runIncr := flag.Bool("incr", false, "measure incremental cold/warm workloads (Fig8 + jacobi1d)")
+	size := flag.String("size", "MINI", "polybench size for -incr workloads")
+	outDir := flag.String("out-dir", ".", "directory for BENCH_*.json artifacts")
+	flag.Parse()
+
+	if *benchIn == "" && !*runIncr {
+		fmt.Fprintln(os.Stderr, "benchjson: nothing to do: pass -bench-in and/or -incr")
+		os.Exit(2)
+	}
+	if *benchIn != "" {
+		micro, err := parseBench(*benchIn)
+		if err != nil {
+			fatal(err)
+		}
+		if len(micro) == 0 {
+			fatal(fmt.Errorf("no benchmark lines found in %s", *benchIn))
+		}
+		if err := writeJSON(filepath.Join(*outDir, "BENCH_micro.json"), micro); err != nil {
+			fatal(err)
+		}
+	}
+	if *runIncr {
+		rows, err := measureIncr(*size)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSON(filepath.Join(*outDir, "BENCH_incr.json"), rows); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+// parseBench extracts result lines from `go test -bench` output. A line
+// looks like:
+//
+//	BenchmarkParseClonePrint/parse-8   200   62589 ns/op   39056 B/op   359 allocs/op
+func parseBench(path string) ([]Micro, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var out []Micro
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		m := Micro{Name: f[0], Iterations: iters, NsPerOp: ns}
+		for i := 3; i+1 < len(f); i++ {
+			switch f[i+1] {
+			case "B/op":
+				m.BytesPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+			case "allocs/op":
+				m.AllocsPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+			}
+		}
+		out = append(out, m)
+	}
+	return out, sc.Err()
+}
+
+// measureIncr runs each workload cold and then warm against the same unit
+// store, through fresh engines so the whole-flow cache never masks unit
+// replay, and errors if a warm run's rendered result diverges from cold.
+func measureIncr(size string) ([]Incr, error) {
+	workloads := []struct {
+		name string
+		run  func(eng *engine.Engine) (string, error)
+	}{
+		{"fig8-dse-sweep", func(eng *engine.Engine) (string, error) {
+			tab, err := experiments.Fig8(experiments.Config{
+				SizeName: size, Target: hls.DefaultTarget(), Engine: eng})
+			if err != nil {
+				return "", err
+			}
+			return tab.String(), nil
+		}},
+		{"jacobi1d-dse", func(eng *engine.Engine) (string, error) {
+			k := polybench.Get("jacobi1d")
+			if k == nil {
+				return "", fmt.Errorf("jacobi1d not registered")
+			}
+			s, err := k.SizeOf(size)
+			if err != nil {
+				return "", err
+			}
+			res, err := dse.ExploreWith(func() *mlir.Module { return k.Build(s) }, k.Name,
+				hls.DefaultTarget(),
+				dse.Options{Engine: eng, CacheScope: size, FailFast: true, Precheck: true})
+			if err != nil {
+				return "", err
+			}
+			var sb strings.Builder
+			for _, p := range res.Pareto {
+				fmt.Fprintf(&sb, "%s %d %.0f\n", p.Label, p.Latency(), p.Area)
+			}
+			return sb.String(), nil
+		}},
+	}
+
+	var out []Incr
+	for _, w := range workloads {
+		store := incr.NewMemStore()
+		newEng := func() *engine.Engine {
+			return engine.New(engine.Options{Workers: 1, Incremental: true, IncrStore: store})
+		}
+		coldEng := newEng()
+		start := time.Now()
+		coldOut, err := w.run(coldEng)
+		coldT := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("%s cold: %w", w.name, err)
+		}
+		warmEng := newEng()
+		start = time.Now()
+		warmOut, err := w.run(warmEng)
+		warmT := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("%s warm: %w", w.name, err)
+		}
+		if warmOut != coldOut {
+			return nil, fmt.Errorf("%s: warm replay diverges from cold run", w.name)
+		}
+		st := warmEng.Stats()
+		out = append(out, Incr{
+			Workload:    w.name,
+			Size:        size,
+			ColdMs:      float64(coldT.Microseconds()) / 1000,
+			WarmMs:      float64(warmT.Microseconds()) / 1000,
+			Speedup:     float64(coldT) / float64(warmT),
+			Jobs:        st.Jobs,
+			UnitHits:    st.UnitHits,
+			UnitMisses:  st.UnitMisses,
+			UnitHitRate: st.UnitHitRate(),
+			FullReplays: st.FullReplays,
+		})
+	}
+	return out, nil
+}

@@ -22,6 +22,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/flow"
+	"repro/internal/incr"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -35,18 +37,39 @@ func main() {
 	quarantine := flag.String("quarantine", "", "directory for repro bundles of failing evaluations (re-execute with hls-adaptor -replay)")
 	retries := flag.Int("retries", 0, "re-executions granted per evaluation for transient failures")
 	verify := flag.Bool("verify-semantics", false, "run every evaluation under the differential semantic oracle (a pass that changes results fails as a localized miscompile)")
+	incremental := flag.Bool("incremental", false, "memoize pipeline units so repeated evaluations replay unchanged prefixes instead of recompiling")
+	incrStore := flag.String("incr-store", "", "directory for the on-disk incremental store (implies -incremental); table regeneration warm-starts across processes")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowbench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := experiments.Default()
 	cfg.SizeName = strings.ToUpper(*size)
-	eng := engine.New(engine.Options{
-		Workers:    *workers,
-		Cache:      *cache,
-		Retries:    *retries,
-		Fallback:   *fallback,
-		Quarantine: *quarantine,
-		Flow:       flow.Options{VerifySemantics: *verify},
-	})
+	eopts := engine.Options{
+		Workers:     *workers,
+		Cache:       *cache,
+		Retries:     *retries,
+		Fallback:    *fallback,
+		Quarantine:  *quarantine,
+		Incremental: *incremental || *incrStore != "",
+		Flow:        flow.Options{VerifySemantics: *verify},
+	}
+	if *incrStore != "" {
+		st, err := incr.OpenDiskStore(*incrStore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowbench:", err)
+			os.Exit(1)
+		}
+		eopts.IncrStore = st
+	}
+	eng := engine.New(eopts)
 	cfg.Engine = eng
 
 	funcs := map[string]func(experiments.Config) (*experiments.Table, error){
@@ -65,6 +88,7 @@ func main() {
 	if *exp == "all" {
 		tabs, err := experiments.All(cfg)
 		if err != nil {
+			stopProf()
 			fmt.Fprintln(os.Stderr, "flowbench:", err)
 			os.Exit(1)
 		}
@@ -76,11 +100,13 @@ func main() {
 	}
 	fn, ok := funcs[strings.ToLower(*exp)]
 	if !ok {
+		stopProf()
 		fmt.Fprintf(os.Stderr, "flowbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
 	t, err := fn(cfg)
 	if err != nil {
+		stopProf()
 		fmt.Fprintln(os.Stderr, "flowbench:", err)
 		os.Exit(1)
 	}

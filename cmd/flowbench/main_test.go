@@ -1,0 +1,53 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLISmoke builds the real binary and regenerates Fig8 at MINI size
+// twice against one on-disk incremental store: the warm process must print
+// the identical table, and the profile flags must produce non-empty files.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "flowbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	store := filepath.Join(tmp, "store")
+	cpu := filepath.Join(tmp, "cpu.pprof")
+	mem := filepath.Join(tmp, "mem.pprof")
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", bin, strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	cold := run("-experiment", "fig8", "-size", "MINI", "-incr-store", store,
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if !strings.Contains(cold, "Fig 8") {
+		t.Fatalf("no Fig 8 table in output:\n%s", cold)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+
+	warm := run("-experiment", "fig8", "-size", "MINI", "-incr-store", store)
+	if warm != cold {
+		t.Fatalf("warm CLI run diverges from cold\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}

@@ -39,9 +39,11 @@ import (
 	"repro/internal/dse"
 	"repro/internal/engine"
 	"repro/internal/hls"
+	"repro/internal/incr"
 	"repro/internal/mlir"
 	"repro/internal/mlir/parser"
 	"repro/internal/polybench"
+	"repro/internal/prof"
 	"repro/internal/resilience"
 )
 
@@ -64,7 +66,19 @@ func main() {
 	injectPanic := flag.String("inject-panic", "", "chaos hook: panic inside `config:stage/pass` of the direct path, exercising isolation/fallback/quarantine end to end")
 	oracleRate := flag.Int("oracle", 0, "sample the differential semantic oracle on every Nth configuration (1 = every point, 0 = off)")
 	injectMiscompile := flag.String("inject-miscompile", "", "chaos hook: corrupt the IR inside `config:stage/pass`, exercising oracle detection/localization/quarantine end to end")
+	incremental := flag.Bool("incremental", false, "memoize pipeline units so repeated or edited sweeps replay unchanged prefixes instead of recompiling")
+	incrStore := flag.String("incr-store", "", "directory for the on-disk incremental store (implies -incremental); sweeps warm-start across processes")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	// main exits through os.Exit on every path, so the profiles are
+	// flushed explicitly rather than deferred.
+	stopProfile = stopProf
 
 	tgt := hls.DefaultTarget()
 	tgt.ClockNs = *clock
@@ -107,22 +121,32 @@ func main() {
 	}
 
 	opts := dse.Options{
-		Workers:    *workers,
-		Cache:      *cache,
-		FailFast:   *failfast,
-		Timeout:    *timeout,
-		CacheScope: scope,
-		Precheck:   *precheck,
-		Oracle:     *oracleRate,
+		Workers:     *workers,
+		Cache:       *cache,
+		FailFast:    *failfast,
+		Timeout:     *timeout,
+		CacheScope:  scope,
+		Precheck:    *precheck,
+		Oracle:      *oracleRate,
+		Incremental: *incremental || *incrStore != "",
+	}
+	if *incrStore != "" {
+		st, err := incr.OpenDiskStore(*incrStore)
+		if err != nil {
+			fatal(err)
+		}
+		opts.IncrStore = st
 	}
 	if *fallback || *quarantine != "" || *retries > 0 || *injectPanic != "" || *injectMiscompile != "" {
 		eopts := engine.Options{
-			Workers:    *workers,
-			Cache:      *cache,
-			Retries:    *retries,
-			Seed:       *seed,
-			Fallback:   *fallback,
-			Quarantine: *quarantine,
+			Workers:     *workers,
+			Cache:       *cache,
+			Retries:     *retries,
+			Seed:        *seed,
+			Fallback:    *fallback,
+			Quarantine:  *quarantine,
+			Incremental: opts.Incremental,
+			IncrStore:   opts.IncrStore,
 		}
 		if spec := *injectPanic; spec != "" {
 			label, unit, ok := strings.Cut(spec, ":")
@@ -224,6 +248,9 @@ func main() {
 			miscompiles++
 		}
 	}
+	if err := stopProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "hls-dse:", err)
+	}
 	if miscompiles > 0 {
 		fmt.Fprintf(os.Stderr, "hls-dse: MISCOMPILE: the semantic oracle caught %d configuration(s) computing wrong results\n", miscompiles)
 		os.Exit(1)
@@ -233,6 +260,10 @@ func main() {
 	}
 }
 
+// stopProfile flushes the -cpuprofile/-memprofile outputs; replaced in
+// main once profiling starts.
+var stopProfile = func() error { return nil }
+
 func effectiveWorkers(w int) int {
 	if w > 0 {
 		return w
@@ -241,6 +272,7 @@ func effectiveWorkers(w int) int {
 }
 
 func fatal(err error) {
+	stopProfile()
 	fmt.Fprintln(os.Stderr, "hls-dse:", err)
 	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flow"
 	"repro/internal/hls"
+	"repro/internal/incr"
 	"repro/internal/lint"
 	"repro/internal/mlir"
 	"repro/internal/mlir/passes"
@@ -125,8 +126,18 @@ type Options struct {
 	// CacheScope salts the cache key for inputs whose identity is not
 	// captured by the top name alone (size presets, file hashes).
 	CacheScope string
+	// Incremental threads the per-unit incremental store through the
+	// evaluation engine: repeated sweeps replay unchanged pipeline
+	// prefixes from stored unit snapshots, so a re-exploration after a
+	// directive or space change recompiles only what the change touched.
+	// The -incremental flag of hls-dse.
+	Incremental bool
+	// IncrStore is the record store used under Incremental; nil uses the
+	// process-wide default. An incr.DiskStore (-incr-store) makes sweeps
+	// warm-start across processes.
+	IncrStore incr.Store
 	// Engine, when non-nil, evaluates the jobs (sharing its cache and
-	// stats); Workers/Cache are then ignored.
+	// stats); Workers/Cache/Incremental/IncrStore are then ignored.
 	Engine *engine.Engine
 	// Journal, when non-nil, is the write-ahead log for crash-resumable
 	// sweeps: every completed point is appended (and synced) the moment its
@@ -171,7 +182,8 @@ func Explore(build func() *mlir.Module, top string, tgt hls.Target) (*Result, er
 func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Options) (*Result, error) {
 	eng := opts.Engine
 	if eng == nil {
-		eng = engine.New(engine.Options{Workers: opts.Workers, Cache: opts.Cache})
+		eng = engine.New(engine.Options{Workers: opts.Workers, Cache: opts.Cache,
+			Incremental: opts.Incremental, IncrStore: opts.IncrStore})
 	}
 	space := Space()
 	var pruned []PrunedPoint

@@ -54,10 +54,10 @@ func canonDirectives(d flow.Directives) string {
 	return sb.String()
 }
 
-// canonTarget renders the target's cost-model parameters.
+// canonTarget renders the target's cost-model parameters — the same
+// canonical form the incremental layer keys synthesis records by.
 func canonTarget(t hls.Target) string {
-	return fmt.Sprintf("clock=%g|brambits=%d|memports=%d|memlat=%d|noaddrfold=%t",
-		t.ClockNs, t.BRAMBits, t.MemPorts, t.MemReadLatency, t.DisableAddrFolding)
+	return t.Canon()
 }
 
 // cache is the concurrent result store. Entries hold completed JobResults

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/hls"
+	"repro/internal/incr"
 	"repro/internal/llvm"
 	"repro/internal/mlir"
 	"repro/internal/resilience"
@@ -133,6 +134,22 @@ type Options struct {
 	// snapshots) and written as a self-contained repro bundle that
 	// `hls-adaptor -replay` re-executes.
 	Quarantine string
+	// Incremental threads the per-unit memo store (internal/incr) through
+	// every job: repeated design points replay their unchanged pipeline
+	// prefix from stored unit snapshots instead of recompiling, and a
+	// directive edit re-runs only from the first affected unit. Unlike
+	// the whole-flow Cache, the incremental store persists across engines
+	// (and, with a DiskStore, across processes) and accelerates *changed*
+	// points, not just repeated ones. The per-job identity seed derives
+	// from Top and CacheScope — the same input-identity contract the
+	// whole-flow cache rests on, so callers whose modules are not fully
+	// determined by (Top, CacheScope) must disambiguate via CacheScope.
+	Incremental bool
+	// IncrStore is the record store used under Incremental; nil uses the
+	// process-wide incr.Default. Point it at an incr.DiskStore for
+	// cross-process warm starts.
+	IncrStore incr.Store
+
 	// Flow is the base flow options applied to every job (VerifyEach,
 	// FaultHook for pass-level fault injection). The engine overrides
 	// Ctx/Isolate/Fallback per job.
@@ -175,6 +192,10 @@ type Stats struct {
 	// Miscompiles counts jobs whose failure the semantic oracle typed
 	// KindMiscompile — passes that changed results, not passes that crashed.
 	Miscompiles int64
+	// UnitHits and UnitMisses aggregate pipeline units replayed from the
+	// incremental store vs executed live across all executed jobs;
+	// FullReplays counts jobs whose every unit replayed (zero misses).
+	UnitHits, UnitMisses, FullReplays int64
 	// CPU is the summed wall time of executed (non-cached) jobs; with
 	// Wall from the caller's clock it shows the parallel speedup.
 	CPU time.Duration
@@ -191,6 +212,15 @@ func (s Stats) HitRate() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
+// UnitHitRate returns the incremental unit replay fraction in [0, 1].
+func (s Stats) UnitHitRate() float64 {
+	total := s.UnitHits + s.UnitMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.UnitHits) / float64(total)
+}
+
 // String renders the stats as a short summary block.
 func (s Stats) String() string {
 	out := fmt.Sprintf("jobs=%d errors=%d cache hits=%d misses=%d (rate %.0f%%) cpu=%s\n",
@@ -198,6 +228,10 @@ func (s Stats) String() string {
 	if s.Retries > 0 || s.Degraded > 0 || s.Quarantined > 0 || s.Miscompiles > 0 {
 		out += fmt.Sprintf("retries=%d degraded=%d quarantined=%d miscompiles=%d\n",
 			s.Retries, s.Degraded, s.Quarantined, s.Miscompiles)
+	}
+	if s.UnitHits > 0 || s.UnitMisses > 0 {
+		out += fmt.Sprintf("incr unit hits=%d misses=%d (rate %.0f%%) full replays=%d\n",
+			s.UnitHits, s.UnitMisses, 100*s.UnitHitRate(), s.FullReplays)
 	}
 	if len(s.Phases) > 0 {
 		out += s.Phases.String()
@@ -323,6 +357,11 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([
 			e.stats.CPU += results[i].Elapsed
 			if r := results[i].Res; r != nil {
 				e.stats.Phases = e.stats.Phases.Merge(r.Phases)
+				e.stats.UnitHits += int64(r.UnitHits)
+				e.stats.UnitMisses += int64(r.UnitMisses)
+				if r.UnitHits > 0 && r.UnitMisses == 0 {
+					e.stats.FullReplays++
+				}
 			}
 		}
 		if results[i].Attempts > 1 {
@@ -458,6 +497,14 @@ func (e *Engine) attempt(job Job, timeout time.Duration, seen map[*mlir.Module]s
 func (e *Engine) flowOptions(job Job) flow.Options {
 	fopts := e.opts.Flow
 	fopts.Isolate = true
+	if e.opts.Incremental {
+		fopts.Incremental = true
+		fopts.IncrStore = e.opts.IncrStore
+		// The seed spares every job its pristine module print; it is sound
+		// exactly when (Top, CacheScope) determines the built module — the
+		// identity contract Job.CacheScope documents for the result cache.
+		fopts.IncrSeed = fmt.Sprintf("top=%s|scope=%s", job.Top, job.CacheScope)
+	}
 	if e.opts.FlowFaultHook != nil {
 		hook := e.opts.FlowFaultHook
 		fopts.FaultHook = func(flowName, stage, pass string) { hook(job, flowName, stage, pass) }

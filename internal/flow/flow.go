@@ -11,6 +11,7 @@ package flow
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/cgen"
 	"repro/internal/core"
 	"repro/internal/hls"
+	"repro/internal/incr"
 	"repro/internal/lint"
 	"repro/internal/llvm"
 	"repro/internal/llvm/interp"
@@ -92,11 +94,49 @@ type Options struct {
 	// have any observable effect beyond the corruption itself.
 	InjectMiscompile string
 
+	// Incremental enables per-unit memoization: every pipeline unit is
+	// keyed by SHA-256 of the flow configuration, the unit's name and
+	// parameters, and its exact input-IR bytes, and a hit replays the
+	// stored output bytes instead of executing the unit — so a directive
+	// change re-runs the flow only from the first affected unit, and a
+	// repeated design point replays its whole prefix. Runs with an
+	// Observer, FaultHook, or InjectMiscompile execute live regardless:
+	// those hooks observe or perturb live units. RawFlow is never
+	// memoized (its product is the violation list, not pipeline IR).
+	// The -incremental flag of the cmd tools.
+	Incremental bool
+
+	// IncrStore is the record store consulted under Incremental. Nil uses
+	// incr.Default, the process-wide in-memory store; point it at an
+	// incr.DiskStore for cross-process warm starts. Engines share one
+	// store across all jobs of a DSE run.
+	IncrStore incr.Store
+
+	// IncrSeed, when non-empty under Incremental, identifies the input
+	// module without printing it: the memo cursor starts from the seed's
+	// digest instead of the module text, saving the pristine Print on
+	// every warm run. The caller must guarantee the seed uniquely
+	// determines the module bytes — the engine derives it from the job's
+	// kernel and size, resting on the same build determinism its
+	// whole-flow cache already assumes. Seeded and unseeded runs key
+	// disjoint record chains.
+	IncrSeed string
+
+	// ParallelFuncs fans function-local passes across a module's
+	// functions concurrently in both pass managers. Off by default; the
+	// kernel suite is single-function, so this pays off only for
+	// multi-function modules.
+	ParallelFuncs bool
+
 	// sem is the constructed per-run oracle, populated by the flow entry
 	// points when VerifySemantics is set and shared across the run's
 	// stages (including the degraded C++ rerun, whose kernel has the same
 	// reference semantics).
 	sem *semOracle
+
+	// memo is the per-run incremental cursor, populated by the flow entry
+	// points when memoEnabled; nil disables memoization for the run.
+	memo *memoRun
 }
 
 // Directives selects the HLS optimization configuration applied before the
@@ -137,6 +177,11 @@ type Result struct {
 	// direct-IR flow failed; Failure carries that direct-path failure.
 	Degraded bool
 	Failure  *resilience.PassFailure
+
+	// UnitHits and UnitMisses count pipeline units replayed from the
+	// incremental store vs executed live (both zero when Incremental is
+	// off or suppressed by an observation hook).
+	UnitHits, UnitMisses int
 }
 
 // mlirPrep runs the shared MLIR-level preparation. flowName tags the
@@ -146,6 +191,16 @@ func mlirPrep(m *mlir.Module, top string, d Directives, materializeUnroll bool, 
 	pm := passes.NewPassManager()
 	pm.Ctx = opts.Ctx
 	pm.Isolate = opts.Isolate
+	pm.Parallel = opts.ParallelFuncs
+	if opts.memo != nil {
+		mat := mlirMaterializer(m)
+		pm.Wrap = func(passName, params string, run func() error) (bool, error) {
+			return opts.memo.do(step{
+				stage: "mlir-opt", pass: passName, params: params,
+				materialize: mat, print: m.Print,
+			}, run)
+		}
+	}
 	if opts.Observer != nil || opts.FaultHook != nil {
 		pm.BeforePass = func(name string, mm *mlir.Module) {
 			if opts.Observer != nil {
@@ -250,9 +305,11 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, true, flowName, opts) }); err != nil {
 		return nil, err
 	}
+	mlirMat := mlirMaterializer(m)
 	if err := phase("lowering", func() error {
-		if err := unit(opts, flowName, "lowering", "affine-to-scf", mlirSnap,
-			func() error {
+		if err := memoUnit(opts, flowName,
+			step{stage: "lowering", pass: "affine-to-scf", materialize: mlirMat, print: m.Print},
+			mlirSnap, func() error {
 				if err := lower.AffineToSCF(m); err != nil {
 					return err
 				}
@@ -260,8 +317,9 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 			}); err != nil {
 			return err
 		}
-		return unit(opts, flowName, "lowering", "scf-to-cf", mlirSnap,
-			func() error {
+		return memoUnit(opts, flowName,
+			step{stage: "lowering", pass: "scf-to-cf", materialize: mlirMat, print: m.Print},
+			mlirSnap, func() error {
 				if err := lower.SCFToCF(m); err != nil {
 					return err
 				}
@@ -271,36 +329,61 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 		return nil, err
 	}
 	var lm *llvm.Module
+	llvmSnap := func() string { return lm.Print() }
+	llvmMat := llvmMaterializer(&lm)
 	if err := phase("translate", func() error {
-		return unit(opts, flowName, "translate", "translate", mlirSnap, func() error {
-			var err error
-			lm, err = translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
-			if err != nil {
-				return err
-			}
-			if err := boundaryCheck(opts, "translate", lm); err != nil {
-				return err
-			}
-			return opts.sem.afterLLVM("translate", "translate", lm)
-		})
+		return memoUnit(opts, flowName,
+			step{stage: "translate", pass: "translate", materialize: mlirMat, print: llvmSnap},
+			mlirSnap, func() error {
+				var err error
+				lm, err = translate.Translate(m, translate.Options{EmitLifetimeMarkers: true})
+				if err != nil {
+					return err
+				}
+				if err := boundaryCheck(opts, "translate", lm); err != nil {
+					return err
+				}
+				return opts.sem.afterLLVM("translate", "translate", lm)
+			})
 	}); err != nil {
 		return nil, err
 	}
-	llvmSnap := func() string { return lm.Print() }
 	if err := phase("adaptor", func() error {
-		return unit(opts, flowName, "adaptor", "adaptor", llvmSnap, func() error {
-			rep, err := core.Adapt(lm, core.Options{TopFunc: top})
-			if adaptorRep != nil {
-				*adaptorRep = rep
-			}
-			if err != nil {
-				return err
-			}
-			if err := boundaryCheck(opts, "adaptor", lm); err != nil {
-				return err
-			}
-			return opts.sem.afterLLVM("adaptor", "adaptor", lm)
-		})
+		return memoUnit(opts, flowName,
+			step{stage: "adaptor", pass: "adaptor", materialize: llvmMat, print: llvmSnap,
+				auxOut: func() (json.RawMessage, error) {
+					if adaptorRep == nil || *adaptorRep == nil {
+						return nil, nil
+					}
+					return json.Marshal(*adaptorRep)
+				},
+				auxIn: func(rec incr.Record) error {
+					if adaptorRep == nil {
+						return nil
+					}
+					if len(rec.Aux) == 0 {
+						return fmt.Errorf("record lacks adaptor report")
+					}
+					rep := new(core.Report)
+					if err := json.Unmarshal(rec.Aux, rep); err != nil {
+						return err
+					}
+					*adaptorRep = rep
+					return nil
+				}},
+			llvmSnap, func() error {
+				rep, err := core.Adapt(lm, core.Options{TopFunc: top})
+				if adaptorRep != nil {
+					*adaptorRep = rep
+				}
+				if err != nil {
+					return err
+				}
+				if err := boundaryCheck(opts, "adaptor", lm); err != nil {
+					return err
+				}
+				return opts.sem.afterLLVM("adaptor", "adaptor", lm)
+			})
 	}); err != nil {
 		return nil, err
 	}
@@ -314,6 +397,21 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 		)
 		pm.Ctx = opts.Ctx
 		pm.Isolate = opts.Isolate
+		pm.Parallel = opts.ParallelFuncs
+		if opts.memo != nil {
+			if lm == nil {
+				// Every upstream unit replayed; give the manager a module
+				// object to point at, filled in by materialization before
+				// the first pass that actually runs.
+				lm = &llvm.Module{}
+			}
+			pm.Wrap = func(passName string, run func() error) (bool, error) {
+				return opts.memo.do(step{
+					stage: "llvm-opt", pass: passName,
+					materialize: llvmMat, print: llvmSnap,
+				}, run)
+			}
+		}
 		if opts.Observer != nil || opts.FaultHook != nil {
 			pm.BeforePass = func(name string, mm *llvm.Module) {
 				if opts.Observer != nil {
@@ -339,7 +437,16 @@ func prepareLLVM(m *mlir.Module, top string, d Directives, opts Options,
 	}
 	// The conformance gate is the adaptor flow's final static stage: every
 	// module leaving the pipeline must sit inside the old Vitis LLVM's
-	// accepted subset, or the adaptor has a bug.
+	// accepted subset, or the adaptor has a bug. The gate always runs on
+	// the real module — a replayed tail is materialized first (and
+	// verified, mirroring the pass manager's end-of-pipeline verify the
+	// replay skipped), so warm runs cannot slip past a gate failure the
+	// cold run would have reported.
+	if opts.memo != nil {
+		if err := opts.memo.finalize(&lm, true); err != nil {
+			return nil, err
+		}
+	}
 	if err := conformanceGate(opts, lm); err != nil {
 		return nil, err
 	}
@@ -375,12 +482,26 @@ func AdaptorFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, o
 		return err
 	}
 
+	if opts.memoEnabled() {
+		opts.memo = newMemoRun(opts.incrStore(), "adaptor", top, opts, m)
+	}
 	if opts.VerifySemantics && opts.sem == nil {
-		sem, err := newSemOracle(m, top, opts)
-		if err != nil {
-			return nil, fmt.Errorf("adaptor flow: %w", err)
+		if opts.memo != nil {
+			// Defer the reference execution: a fully replayed run never
+			// reaches a live check, so it never pays for one. A seeded
+			// cursor skipped the pristine print, so take the snapshot here.
+			pristine := opts.memo.bytes
+			if pristine == "" {
+				pristine = m.Print()
+			}
+			opts.sem = newLazySemOracle(pristine, top, opts)
+		} else {
+			sem, err := newSemOracle(m, top, opts)
+			if err != nil {
+				return nil, fmt.Errorf("adaptor flow: %w", err)
+			}
+			opts.sem = sem
 		}
-		opts.sem = sem
 	}
 
 	lm, err := prepareLLVM(m, top, d, opts, phase, &res.Adaptor)
@@ -388,7 +509,7 @@ func AdaptorFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, o
 		return degradeOrFail(opts, top, d, tgt, err)
 	}
 	if err := phase("synthesis", func() error {
-		return unit(opts, "adaptor", "synthesis", "synthesis",
+		return memoUnit(opts, "adaptor", synthesisStep(&lm, tgt, &res.Report),
 			func() string { return lm.Print() }, func() error {
 				rep, err := hls.Synthesize(lm, top, tgt)
 				res.Report = rep
@@ -402,6 +523,9 @@ func AdaptorFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, o
 	}
 	res.LLVM = lm
 	res.Total = time.Since(t0)
+	if opts.memo != nil {
+		res.UnitHits, res.UnitMisses = opts.memo.hits, opts.memo.misses
+	}
 	return res, nil
 }
 
@@ -425,6 +549,9 @@ func degradeOrFail(opts Options, top string, d Directives, tgt hls.Target, cause
 	}
 	fopts := opts
 	fopts.Fallback = nil
+	// The fallback rerun gets its own cursor (CxxFlowWith builds one under
+	// the cxx configuration); the adaptor run's cursor is meaningless to it.
+	fopts.memo = nil
 	res, err := CxxFlowWith(m2, top, d, tgt, fopts)
 	if err != nil {
 		return nil, fmt.Errorf("adaptor flow: %w (C++ fallback also failed: %v)", cause, err)
@@ -452,18 +579,36 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 	}
 
 	const flowName = "cxx"
+	if opts.memoEnabled() {
+		opts.memo = newMemoRun(opts.incrStore(), flowName, top, opts, m)
+	}
 	if opts.VerifySemantics && opts.sem == nil {
-		sem, err := newSemOracle(m, top, opts)
-		if err != nil {
-			return nil, fmt.Errorf("cxx flow: %w", err)
+		if opts.memo != nil {
+			pristine := opts.memo.bytes
+			if pristine == "" {
+				pristine = m.Print()
+			}
+			opts.sem = newLazySemOracle(pristine, top, opts)
+		} else {
+			sem, err := newSemOracle(m, top, opts)
+			if err != nil {
+				return nil, fmt.Errorf("cxx flow: %w", err)
+			}
+			opts.sem = sem
 		}
-		opts.sem = sem
 	}
 	if err := phase("mlir-opt", func() error { return mlirPrep(m, top, d, false, flowName, opts) }); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
 	if err := phase("emit-hlscpp", func() error {
-		return unit(opts, flowName, "emit-hlscpp", "emit-hlscpp",
+		return memoUnit(opts, flowName,
+			step{stage: "emit-hlscpp", pass: "emit-hlscpp",
+				materialize: mlirMaterializer(m),
+				print:       func() string { return res.CSource },
+				auxIn: func(rec incr.Record) error {
+					res.CSource = rec.IR
+					return nil
+				}},
 			func() string { return m.Print() }, func() error {
 				src, err := cgen.Emit(m)
 				res.CSource = src
@@ -474,7 +619,12 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 	}
 	var lm *llvm.Module
 	if err := phase("c-frontend", func() error {
-		return unit(opts, flowName, "c-frontend", "c-frontend",
+		return memoUnit(opts, flowName,
+			// The C frontend consumes the emitted source directly, which
+			// the cursor and res.CSource both hold — nothing to
+			// materialize even after a replayed prefix.
+			step{stage: "c-frontend", pass: "c-frontend",
+				print: func() string { return lm.Print() }},
 			func() string { return res.CSource }, func() error {
 				var err error
 				lm, err = cfront.Compile(res.CSource, cfront.Options{Top: top})
@@ -490,7 +640,7 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 		return nil, fmt.Errorf("cxx flow: %w", err)
 	}
 	if err := phase("synthesis", func() error {
-		return unit(opts, flowName, "synthesis", "synthesis",
+		return memoUnit(opts, flowName, synthesisStep(&lm, tgt, &res.Report),
 			func() string { return lm.Print() }, func() error {
 				rep, err := hls.Synthesize(lm, top, tgt)
 				res.Report = rep
@@ -501,6 +651,15 @@ func CxxFlowWith(m *mlir.Module, top string, d Directives, tgt hls.Target, opts 
 			})
 	}); err != nil {
 		return nil, fmt.Errorf("cxx flow: %w", err)
+	}
+	if opts.memo != nil {
+		// A replayed tail leaves the module behind the cursor; the Result
+		// must carry the real final module. No post-frontend verify to
+		// mirror here — the cold path never ran one.
+		if err := opts.memo.finalize(&lm, false); err != nil {
+			return nil, fmt.Errorf("cxx flow: %w", err)
+		}
+		res.UnitHits, res.UnitMisses = opts.memo.hits, opts.memo.misses
 	}
 	res.LLVM = lm
 	res.Total = time.Since(t0)

@@ -1,0 +1,270 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/hls"
+	"repro/internal/incr"
+	"repro/internal/llvm"
+	lparser "repro/internal/llvm/parser"
+	"repro/internal/mlir"
+	"repro/internal/mlir/parser"
+	"repro/internal/resilience"
+)
+
+// memoRun threads the incremental store through one flow run as a byte
+// cursor over the pipeline's evolving artifact. bytes always holds the
+// canonical text of the current pipeline state (MLIR through the MLIR
+// stages, then LLVM, with an HLS-C++ interlude in the baseline flow); when
+// a unit replays from the store the live IR object is deliberately left
+// behind (stale) and only re-materialized — one parse — before the first
+// unit that actually has to execute, or at the end of the flow. A fully
+// warm run therefore costs one hash per unit plus a single final parse.
+type memoRun struct {
+	store incr.Store
+	// cfg is the flow-wide key salt: flow kind, top function, and the
+	// verification options. Verification activation must participate in
+	// the key because replayed units skip their after-pass checks — a
+	// record is only valid under the exact checking regime that ran when
+	// it was stored.
+	cfg string
+
+	bytes string
+	// hash is incr.HashBytes(bytes), threaded through replays via the
+	// records' stored digests so a warm run never re-hashes a full
+	// artifact to derive the next key.
+	hash  string
+	stale bool
+
+	hits, misses int
+}
+
+// memoEnabled reports whether this run can memoize. Observation hooks and
+// chaos injection need live execution of every unit: an Observer must see
+// real per-unit IR (bisection replay depends on it), and a FaultHook or
+// InjectMiscompile must actually perturb a running unit.
+func (o Options) memoEnabled() bool {
+	return o.Incremental && o.Observer == nil && o.FaultHook == nil && o.InjectMiscompile == ""
+}
+
+// incrStore resolves the record store for this run.
+func (o Options) incrStore() incr.Store {
+	if o.IncrStore != nil {
+		return o.IncrStore
+	}
+	return incr.Default
+}
+
+// newMemoRun starts the cursor on a pristine module. With an IncrSeed the
+// module is never printed — the cursor starts from the seed's digest
+// (domain-separated from content digests) and bytes stay empty until the
+// first replay or live print fills them. Without a seed, the one Print
+// here doubles as the pristine snapshot the lazy semantic oracle captures.
+func newMemoRun(store incr.Store, flowName, top string, opts Options, m *mlir.Module) *memoRun {
+	cfg := fmt.Sprintf("flow=%s|top=%s|verify=%t|sem=%t|ulp=%d",
+		flowName, top, opts.VerifyEach, opts.VerifySemantics, opts.SemanticULP)
+	if opts.IncrSeed != "" {
+		return &memoRun{store: store, cfg: cfg, hash: incr.HashBytes("seed:" + opts.IncrSeed)}
+	}
+	bytes := m.Print()
+	return &memoRun{store: store, cfg: cfg, bytes: bytes, hash: incr.HashBytes(bytes)}
+}
+
+// step describes one memoizable pipeline unit to the cursor.
+type step struct {
+	stage, pass, params string
+	// materialize brings the live IR object up to date with the cursor
+	// bytes before a live run; nil when the unit consumes the cursor text
+	// directly (the C frontend reads the emitted source).
+	materialize func(src string) error
+	// print renders the live object after a live run; nil when the unit
+	// does not rewrite the artifact (synthesis, whose product is only the
+	// report in the record's Aux).
+	print func() string
+	// auxOut encodes the unit's non-IR product after a live run; auxIn
+	// applies a stored record's product on replay.
+	auxOut func() (json.RawMessage, error)
+	auxIn  func(rec incr.Record) error
+}
+
+// do runs one unit through the cursor: a store hit replays the record and
+// returns replayed=true without executing run; a miss materializes the
+// live IR if it lags the cursor, executes run, and stores the outcome.
+func (r *memoRun) do(s step, run func() error) (replayed bool, err error) {
+	key := incr.UnitKey(r.cfg, s.stage+"/"+s.pass, s.params, r.hash)
+	if rec, ok := r.store.Get(key); ok && r.replay(s, rec) {
+		r.hits++
+		return true, nil
+	}
+	if r.stale && s.materialize != nil {
+		if err := s.materialize(r.bytes); err != nil {
+			return false, fmt.Errorf("incr: materialize before %s/%s: %w", s.stage, s.pass, err)
+		}
+		r.stale = false
+	}
+	if err := run(); err != nil {
+		return false, err
+	}
+	rec := incr.Record{}
+	if s.print != nil {
+		r.bytes = s.print()
+		r.hash = incr.HashBytes(r.bytes)
+		r.stale = false
+		rec.IR, rec.Hash = r.bytes, r.hash
+	}
+	if s.auxOut != nil {
+		aux, err := s.auxOut()
+		if err != nil {
+			// The unit ran fine; only the record is unencodable. Skip
+			// storing rather than failing the flow.
+			r.misses++
+			return false, nil
+		}
+		rec.Aux = aux
+	}
+	r.store.Put(key, rec)
+	r.misses++
+	return false, nil
+}
+
+// replay applies one stored record. A record that cannot be applied (torn
+// Aux, empty IR where the unit rewrites it) reports false and the unit
+// runs live instead — corruption degrades to a miss, never an error.
+func (r *memoRun) replay(s step, rec incr.Record) bool {
+	if s.print != nil && (rec.IR == "" || rec.Hash == "") {
+		return false
+	}
+	if s.auxIn != nil {
+		if err := s.auxIn(rec); err != nil {
+			return false
+		}
+	}
+	if s.print != nil {
+		r.bytes, r.hash = rec.IR, rec.Hash
+		r.stale = true
+	}
+	return true
+}
+
+// finalModules caches parsed (and, where requested, verified) final
+// modules by content digest, so repeated warm runs of the same design
+// point skip the one parse a replayed tail otherwise costs. Entries are
+// shared across Results: under Incremental, a Result's LLVM module must be
+// treated as read-only — the same sharing contract the engine's whole-flow
+// cache already imposes on its hits.
+var finalModules sync.Map // digest|verify -> *llvm.Module
+
+// finalize re-materializes the live LLVM module after a replayed tail so
+// the flow's Result carries a real module. verify mirrors the LLVM pass
+// manager's unconditional end-of-pipeline verification, which a replayed
+// tail skipped (the adaptor flow sets it; the baseline flow never had a
+// post-frontend verify to mirror). The pointer is replaced, never filled
+// in place: a cache hit aliases a shared module that must stay pristine.
+func (r *memoRun) finalize(lmp **llvm.Module, verify bool) error {
+	if !r.stale && *lmp != nil {
+		return nil
+	}
+	ck := fmt.Sprintf("%s|v=%t", r.hash, verify)
+	if m, ok := finalModules.Load(ck); ok {
+		*lmp = m.(*llvm.Module)
+		r.stale = false
+		return nil
+	}
+	p, err := lparser.Parse(r.bytes)
+	if err != nil {
+		return fmt.Errorf("incr: materialize final module: %w", err)
+	}
+	if verify {
+		if err := p.Verify(); err != nil {
+			return resilience.NewFailure("llvm-opt", "verify", resilience.KindVerify, err)
+		}
+	}
+	m, _ := finalModules.LoadOrStore(ck, p)
+	*lmp = m.(*llvm.Module)
+	r.stale = false
+	return nil
+}
+
+// mlirMaterializer parses cursor bytes back into the existing module
+// object in place, so every closure holding the module sees the new state.
+func mlirMaterializer(m *mlir.Module) func(src string) error {
+	return func(src string) error {
+		p, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		m.Op = p.Op
+		return nil
+	}
+}
+
+// llvmMaterializer is mlirMaterializer for the LLVM cursor phase. The
+// double pointer lets it both create the module the first time (a fully
+// replayed translate left it nil) and refill it in place afterwards.
+func llvmMaterializer(lmp **llvm.Module) func(src string) error {
+	return func(src string) error {
+		p, err := lparser.Parse(src)
+		if err != nil {
+			return err
+		}
+		if *lmp == nil {
+			*lmp = p
+		} else {
+			**lmp = *p
+		}
+		return nil
+	}
+}
+
+// synthesisStep describes the synthesis unit to the cursor: it rewrites
+// nothing (the cursor bytes stand), and its whole product is the HLS
+// report carried in the record's Aux. The target's cost-model parameters
+// are the unit's key parameters — two DSE sweeps over different targets
+// never share a schedule.
+func synthesisStep(lmp **llvm.Module, tgt hls.Target, rep **hls.Report) step {
+	return step{
+		stage: "synthesis", pass: "synthesis",
+		params:      tgt.Canon(),
+		materialize: llvmMaterializer(lmp),
+		auxOut: func() (json.RawMessage, error) {
+			if *rep == nil {
+				return nil, fmt.Errorf("no synthesis report")
+			}
+			return json.Marshal(*rep)
+		},
+		auxIn: func(rec incr.Record) error {
+			if len(rec.Aux) == 0 {
+				return fmt.Errorf("record lacks synthesis report")
+			}
+			r := new(hls.Report)
+			if err := json.Unmarshal(rec.Aux, r); err != nil {
+				return err
+			}
+			*rep = r
+			return nil
+		},
+	}
+}
+
+// memoUnit is unit() under memoization: the unit is keyed on the cursor
+// and may replay instead of executing. With no memo cursor it falls back
+// to the plain resilience wrapper. snap feeds the Observer, which is
+// mutually exclusive with memoization (memoEnabled).
+func memoUnit(opts Options, flowName string, s step, snap func() string, fn func() error) error {
+	if opts.memo == nil {
+		return unit(opts, flowName, s.stage, s.pass, snap, fn)
+	}
+	if err := resilience.Interrupted(opts.Ctx, s.stage, s.pass); err != nil {
+		return err
+	}
+	body := func() error {
+		_, err := opts.memo.do(s, fn)
+		return err
+	}
+	if opts.Isolate {
+		return resilience.Guard(s.stage, s.pass, body)
+	}
+	return body()
+}

@@ -2,10 +2,12 @@ package flow
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/hls"
 	"repro/internal/llvm"
 	"repro/internal/mlir"
+	"repro/internal/mlir/parser"
 	"repro/internal/oracle"
 	"repro/internal/resilience"
 )
@@ -23,6 +25,16 @@ type semOracle struct {
 	// immediately after that unit completes and before its oracle check —
 	// the fixture that proves detection, localization, and replay.
 	inject string
+
+	// Lazy capture state (incremental runs): pristine holds the module
+	// text the reference execution derives from, parsed and executed only
+	// when a live unit actually asks for a check — a fully replayed run
+	// never pays for the reference execution.
+	pristine string
+	top      string
+	ulp      uint64
+	once     sync.Once
+	initErr  error
 }
 
 // newSemOracle captures the reference execution. The module must still be
@@ -36,6 +48,48 @@ func newSemOracle(m *mlir.Module, top string, opts Options) (*semOracle, error) 
 		h.MaxULP = opts.SemanticULP
 	}
 	return &semOracle{h: h, inject: opts.InjectMiscompile}, nil
+}
+
+// newLazySemOracle defers the reference execution until the first live
+// unit check. pristine is the module text before any pass ran — the same
+// snapshot the incremental cursor starts from.
+func newLazySemOracle(pristine, top string, opts Options) *semOracle {
+	return &semOracle{
+		inject:   opts.InjectMiscompile,
+		pristine: pristine,
+		top:      top,
+		ulp:      opts.SemanticULP,
+	}
+}
+
+// harness returns the reference harness, capturing it on first use for a
+// lazily constructed oracle. Failures keep the eager path's attribution
+// (oracle/reference, KindError): an uncapturable reference is an oracle
+// limitation, never a miscompile.
+func (s *semOracle) harness() (*oracle.Harness, error) {
+	s.once.Do(func() {
+		if s.h != nil { // eagerly constructed
+			return
+		}
+		m, err := parser.Parse(s.pristine)
+		if err != nil {
+			s.initErr = err
+			return
+		}
+		h, err := oracle.New(m, s.top)
+		if err != nil {
+			s.initErr = err
+			return
+		}
+		if s.ulp > 0 {
+			h.MaxULP = s.ulp
+		}
+		s.h = h
+	})
+	if s.initErr != nil {
+		return nil, resilience.NewFailure("oracle", "reference", resilience.KindError, s.initErr)
+	}
+	return s.h, nil
 }
 
 // failure types an oracle check error: wrong answers (divergence, trap,
@@ -59,7 +113,11 @@ func (s *semOracle) afterMLIR(stage, pass string, m *mlir.Module) error {
 	if s.inject == stage+"/"+pass {
 		corruptMLIR(m)
 	}
-	if err := s.h.CheckMLIR(m); err != nil {
+	h, err := s.harness()
+	if err != nil {
+		return err
+	}
+	if err := h.CheckMLIR(m); err != nil {
 		return s.failure(stage, pass, err)
 	}
 	return nil
@@ -73,7 +131,11 @@ func (s *semOracle) afterLLVM(stage, pass string, lm *llvm.Module) error {
 	if s.inject == stage+"/"+pass {
 		corruptLLVM(lm)
 	}
-	if err := s.h.CheckLLVM(lm); err != nil {
+	h, err := s.harness()
+	if err != nil {
+		return err
+	}
+	if err := h.CheckLLVM(lm); err != nil {
 		return s.failure(stage, pass, err)
 	}
 	return nil

@@ -1,0 +1,54 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/hls"
+	lparser "repro/internal/llvm/parser"
+	"repro/internal/mlir/parser"
+	"repro/internal/polybench"
+)
+
+// TestPrintParseRoundTripAtEveryUnit pins the property the incremental
+// layer's byte-replay rests on: at every pipeline-unit boundary, printing
+// the IR, parsing it back, and printing again yields identical bytes, for
+// both flows over every kernel.
+func TestPrintParseRoundTripAtEveryUnit(t *testing.T) {
+	d := Directives{Pipeline: true, II: 1, Unroll: 2}
+	for _, k := range polybench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			size, err := k.SizeOf("MINI")
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(stage, pass, ir string) {
+				switch stage {
+				case "mlir-opt", "lowering", "translate", "emit-hlscpp":
+					m2, err := parser.Parse(ir)
+					if err != nil {
+						t.Fatalf("%s/%s: mlir reparse: %v", stage, pass, err)
+					}
+					if got := m2.Print(); got != ir {
+						t.Fatalf("%s/%s: mlir round-trip diverges", stage, pass)
+					}
+				case "adaptor", "llvm-opt", "synthesis":
+					lm2, err := lparser.Parse(ir)
+					if err != nil {
+						t.Fatalf("%s/%s: llvm reparse: %v", stage, pass, err)
+					}
+					if got := lm2.Print(); got != ir {
+						t.Fatalf("%s/%s: llvm round-trip diverges", stage, pass)
+					}
+				}
+			}
+			opts := Options{Observer: check}
+			if _, err := AdaptorFlowWith(k.Build(size), k.Name, d, hls.DefaultTarget(), opts); err != nil {
+				t.Fatalf("adaptor flow: %v", err)
+			}
+			if _, err := CxxFlowWith(k.Build(size), k.Name, d, hls.DefaultTarget(), opts); err != nil {
+				t.Fatalf("cxx flow: %v", err)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package hls
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/llvm"
@@ -42,6 +43,14 @@ type Target struct {
 	// computations; the address generation units absorb them (set by the
 	// synthesizer, nil outside a synthesis run).
 	addrOnly map[*llvm.Instr]bool
+}
+
+// Canon renders the target's cost-model parameters in a canonical form,
+// the shared currency of the engine's whole-flow cache key and the
+// incremental layer's synthesis-unit key.
+func (t Target) Canon() string {
+	return fmt.Sprintf("clock=%g|brambits=%d|memports=%d|memlat=%d|noaddrfold=%t",
+		t.ClockNs, t.BRAMBits, t.MemPorts, t.MemReadLatency, t.DisableAddrFolding)
 }
 
 // DefaultTarget returns the default 100 MHz dual-port-BRAM target.

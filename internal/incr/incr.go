@@ -1,0 +1,243 @@
+// Package incr is the per-unit incremental-compilation store behind
+// flow.Options.Incremental: a content-addressed memo of pipeline-unit
+// outputs keyed by SHA-256 of (flow configuration, unit name and
+// parameters, canonical input-IR bytes). A flow run consults it before
+// every unit; a hit replays the stored output bytes instead of executing
+// the unit, so a directive change re-runs the pipeline only from the
+// first affected unit, and a repeated design point replays its whole
+// prefix from stored snapshots without recomputing anything.
+//
+// Soundness rests on two properties the flow layer maintains:
+//
+//   - every pipeline unit is a deterministic function of its input IR
+//     bytes and its parameters (pass options, top name, target fields),
+//     all of which participate in the key; and
+//   - the printers and parsers round-trip byte-identically, so replaying
+//     a stored snapshot leaves the pipeline in exactly the state a live
+//     run would have produced (proven by the incremental-vs-cold
+//     equivalence property test over every kernel and both flows).
+//
+// Two stores are provided: MemStore (per-process, used by default) and
+// DiskStore (content-addressed files, shared across processes and
+// restarts — the warm-start path for CLIs and services).
+package incr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Record is one memoized unit outcome.
+type Record struct {
+	// IR holds the unit's output artifact bytes — MLIR text through the
+	// MLIR stages, LLVM text from translation on, HLS-C++ source for the
+	// C++ flow's emit stage. Empty for units that do not rewrite the IR
+	// (synthesis, whose product is only the report in Aux).
+	IR string `json:"ir,omitempty"`
+	// Hash is HashBytes(IR), stored so a replaying run can derive the
+	// next unit's key without re-hashing the full artifact — the digest
+	// chain that makes a fully warm run cost a few dozen bytes of hashing
+	// per unit instead of the whole IR.
+	Hash string `json:"hash,omitempty"`
+	// Aux carries the unit's non-IR product as JSON: the adaptor's fix
+	// report, synthesis's HLS report.
+	Aux json.RawMessage `json:"aux,omitempty"`
+}
+
+// HashBytes returns the hex SHA-256 of s — the digest stored in Record.Hash
+// and fed to UnitKey as the input field.
+func HashBytes(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is a content-addressed record store. Implementations must be safe
+// for concurrent use: engine workers share one store across jobs.
+type Store interface {
+	Get(key string) (Record, bool)
+	Put(key string, rec Record)
+	// Len returns the number of distinct records stored.
+	Len() int
+}
+
+// Default is the process-wide in-memory store used when a flow is run
+// Incremental without an explicit store — the zero-configuration path for
+// CLIs and tests. Content-addressed keys make sharing across unrelated
+// runs sound by construction.
+var Default Store = NewMemStore()
+
+// keyVersion invalidates every stored record when the key derivation or
+// record layout changes incompatibly.
+const keyVersion = "incr-v1"
+
+// UnitKey derives the content-addressed key for one pipeline unit
+// execution. cfg is the flow-wide configuration salt (flow kind, top
+// function, verification options — see flow's memo construction), unit is
+// "stage/pass", params carries the unit's own parameters (pass options,
+// target fields for synthesis), and input identifies the canonical
+// input-IR bytes entering the unit — the bytes themselves or, as the flow
+// layer does, their HashBytes digest (equivalent addressing, cheaper to
+// rekey on replay). Every field is length-prefixed so no two distinct
+// tuples collide by concatenation.
+func UnitKey(cfg, unit, params, input string) string {
+	h := sha256.New()
+	for _, s := range [...]string{keyVersion, cfg, unit, params} {
+		writeField(h, s)
+	}
+	writeField(h, input)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeField(h interface{ Write([]byte) (int, error) }, s string) {
+	var lenBuf [20]byte
+	h.Write(strconv.AppendInt(lenBuf[:0], int64(len(s)), 10))
+	h.Write([]byte{'|'})
+	h.Write([]byte(s))
+}
+
+// MemStore is the in-memory store: a concurrent map from key to record.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string]Record
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string]Record)}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.m[key]
+	return r, ok
+}
+
+// Put implements Store. The first write for a key wins, so records served
+// to concurrent readers never change underneath them.
+func (s *MemStore) Put(key string, rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[key]; !dup {
+		s.m[key] = rec
+	}
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// DiskStore is the on-disk content-addressed store: one JSON file per
+// record under dir, sharded by key prefix, written atomically
+// (temp + rename) so a killed writer never leaves a torn record. A fresh
+// process pointed at the same directory replays everything a previous
+// process compiled — the cross-restart warm path.
+type DiskStore struct {
+	dir string
+	// mem front-caches records this process has read or written, so a hot
+	// sweep does not re-read files for every unit of every point.
+	mem *MemStore
+}
+
+// OpenDiskStore opens (creating if needed) the store rooted at dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incr: open store: %w", err)
+	}
+	return &DiskStore{dir: dir, mem: NewMemStore()}, nil
+}
+
+// path shards records by the first byte of the key to keep directories
+// from growing unboundedly flat.
+func (s *DiskStore) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".json")
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(key string) (Record, bool) {
+	if r, ok := s.mem.Get(key); ok {
+		return r, ok
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		// A torn or foreign file is a miss, never an error: the unit
+		// re-runs and the record is rewritten.
+		return Record{}, false
+	}
+	s.mem.Put(key, rec)
+	return rec, true
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(key string, rec Record) {
+	s.mem.Put(key, rec)
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	// Rename is atomic within the directory; a concurrent writer of the
+	// same key writes identical content, so either rename winning is fine.
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Len implements Store. It counts records on disk, not the front cache.
+func (s *DiskStore) Len() int {
+	n := 0
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if filepath.Ext(f.Name()) == ".json" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }

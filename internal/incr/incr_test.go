@@ -1,0 +1,123 @@
+package incr
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestUnitKeyDistinguishesEveryField(t *testing.T) {
+	base := UnitKey("cfg", "stage/pass", "params", "input")
+	variants := []string{
+		UnitKey("cfg2", "stage/pass", "params", "input"),
+		UnitKey("cfg", "stage/pass2", "params", "input"),
+		UnitKey("cfg", "stage/pass", "params2", "input"),
+		UnitKey("cfg", "stage/pass", "params", "input2"),
+		// Concatenation ambiguity: shifting a byte between adjacent
+		// fields must change the key.
+		UnitKey("cfgs", "tage/pass", "params", "input"),
+		UnitKey("cfg", "stage/passp", "arams", "input"),
+	}
+	seen := map[string]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Fatalf("variant %d collides: %s", i, v)
+		}
+		seen[v] = true
+	}
+	if again := UnitKey("cfg", "stage/pass", "params", "input"); again != base {
+		t.Fatalf("key not deterministic: %s vs %s", again, base)
+	}
+}
+
+func TestMemStoreFirstWriteWins(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.Put("k", Record{IR: "first"})
+	s.Put("k", Record{IR: "second"})
+	r, ok := s.Get("k")
+	if !ok || r.IR != "first" {
+		t.Fatalf("got %+v ok=%v, want first record", r, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestDiskStoreRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux, _ := json.Marshal(map[string]int{"latency": 42})
+	key := UnitKey("cfg", "synthesis/synthesis", "tgt", "ir-bytes")
+	s.Put(key, Record{IR: "module {}\n", Aux: aux})
+
+	// A fresh handle on the same directory sees the record (cross-process
+	// warm path).
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s2.Get(key)
+	if !ok || r.IR != "module {}\n" || string(r.Aux) != string(aux) {
+		t.Fatalf("reopened store: got %+v ok=%v", r, ok)
+	}
+	if n := s2.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestDiskStoreTornRecordIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := UnitKey("cfg", "u", "p", "in")
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"ir": "trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("torn record served as a hit")
+	}
+	// The unit re-runs and overwrites the torn file.
+	s.Put(key, Record{IR: "fixed"})
+	if r, ok := s.Get(key); !ok || r.IR != "fixed" {
+		t.Fatalf("rewrite after torn record: got %+v ok=%v", r, ok)
+	}
+}
+
+func TestStoresAreConcurrencySafe(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Store{NewMemStore(), ds} {
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					key := UnitKey("cfg", "u", "p", string(rune('a'+i%7)))
+					s.Put(key, Record{IR: "payload"})
+					if r, ok := s.Get(key); ok && r.IR != "payload" {
+						t.Errorf("worker %d: wrong payload %q", w, r.IR)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,58 @@
+package parser_test
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/hls"
+	"repro/internal/llvm/parser"
+	"repro/internal/polybench"
+)
+
+// benchText synthesizes the gemm MINI kernel through the adaptor flow and
+// returns its final LLVM text — the artifact the incremental layer parses
+// back on cursor materialization and prints at every unit boundary.
+func benchText(b *testing.B) string {
+	b.Helper()
+	k := polybench.Get("gemm")
+	if k == nil {
+		b.Fatal("gemm not registered")
+	}
+	s, err := k.SizeOf("MINI")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := flow.AdaptorFlow(k.Build(s), k.Name, flow.Directives{Pipeline: true, II: 1}, hls.DefaultTarget())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.LLVM.Print()
+}
+
+// BenchmarkParseClonePrint measures the LLVM-side halves of the
+// parse→print hot path (the LLVM IR has no clone; the flow copies modules
+// by reparsing, which is exactly the parse case).
+func BenchmarkParseClonePrint(b *testing.B) {
+	text := benchText(b)
+	m, err := parser.Parse(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := parser.Parse(text); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("print", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m.Print() == "" {
+				b.Fatal("empty print")
+			}
+		}
+	})
+}

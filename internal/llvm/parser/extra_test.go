@@ -1,10 +1,11 @@
-package parser
+package parser_test
 
 import (
 	"strings"
 	"testing"
 
 	"repro/internal/llvm"
+	"repro/internal/llvm/parser"
 )
 
 func TestParseDeclaration(t *testing.T) {
@@ -19,7 +20,7 @@ entry:
   ret void
 }
 `
-	m, err := Parse(src)
+	m, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ entry:
   ret void
 }
 `
-	m, err := Parse(src)
+	m, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ entry:
   ret void
 }
 `
-	m, err := Parse(src)
+	m, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ dead:
   unreachable
 }
 `
-	m, err := Parse(src)
+	m, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ entry:
   ret void
 }
 `
-	m, err := Parse(src)
+	m, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ e:
 
 !0 = distinct !{!0, !"llvm.loop.unroll.count", i32 4, !"llvm.loop.flatten.enable", i1 true}
 `
-	m, err := Parse(src)
+	m, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}

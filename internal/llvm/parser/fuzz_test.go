@@ -1,10 +1,11 @@
-package parser
+package parser_test
 
 import (
 	"testing"
 
 	"repro/internal/flow"
 	"repro/internal/hls"
+	"repro/internal/llvm/parser"
 	"repro/internal/polybench"
 )
 
@@ -72,12 +73,12 @@ func FuzzParseRoundTrip(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		m, err := Parse(src)
+		m, err := parser.Parse(src)
 		if err != nil {
 			return // rejection is fine; panics are the bug class under test
 		}
 		text := m.Print()
-		m2, err := Parse(text)
+		m2, err := parser.Parse(text)
 		if err != nil {
 			t.Fatalf("printed module does not re-parse: %v\n--- printed\n%s\n--- input\n%q", err, text, src)
 		}

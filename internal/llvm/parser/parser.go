@@ -67,6 +67,22 @@ type llParser struct {
 	funcAttrs  map[*llvm.Function]string
 	loopMDs    map[string]*llvm.LoopMD
 	mdUses     []mdUse
+
+	// slab batch-allocates instruction nodes: a module's instructions share
+	// lifetime, so carving them from fixed arrays trades per-instr heap
+	// traffic for a few larger allocations on the parse hot path.
+	slab []llvm.Instr
+}
+
+// instr copies proto into the next slab slot and returns its address.
+func (p *llParser) instr(proto llvm.Instr) *llvm.Instr {
+	if len(p.slab) == 0 {
+		p.slab = make([]llvm.Instr, 64)
+	}
+	in := &p.slab[0]
+	p.slab = p.slab[1:]
+	*in = proto
+	return in
 }
 
 type fixup struct {

@@ -64,7 +64,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if err != nil {
 			return err
 		}
-		in := &llvm.Instr{Op: opc, Ty: ty}
+		in := p.instr(llvm.Instr{Op: opc, Ty: ty})
 		if err := operand(in, ty); err != nil {
 			return err
 		}
@@ -79,7 +79,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 	}
 
 	if opc, ok := castOps[mnemonic]; ok {
-		in := &llvm.Instr{Op: opc}
+		in := p.instr(llvm.Instr{Op: opc})
 		if _, err := p.typedOperand(in); err != nil {
 			return err
 		}
@@ -102,7 +102,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if err != nil {
 			return err
 		}
-		in := &llvm.Instr{Op: llvm.OpFNeg, Ty: ty}
+		in := p.instr(llvm.Instr{Op: llvm.OpFNeg, Ty: ty})
 		if err := operand(in, ty); err != nil {
 			return err
 		}
@@ -123,7 +123,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if mnemonic == "fcmp" {
 			opc = llvm.OpFCmp
 		}
-		in := &llvm.Instr{Op: opc, Ty: llvm.I1(), Pred: pred.text}
+		in := p.instr(llvm.Instr{Op: opc, Ty: llvm.I1(), Pred: pred.text})
 		if err := operand(in, ty); err != nil {
 			return err
 		}
@@ -137,7 +137,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		return nil
 
 	case "select":
-		in := &llvm.Instr{Op: llvm.OpSelect}
+		in := p.instr(llvm.Instr{Op: llvm.OpSelect})
 		if _, err := p.typedOperand(in); err != nil {
 			return err
 		}
@@ -166,7 +166,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if err := p.expect(","); err != nil {
 			return err
 		}
-		in := &llvm.Instr{Op: llvm.OpLoad, Ty: elem, SrcElem: elem}
+		in := p.instr(llvm.Instr{Op: llvm.OpLoad, Ty: elem, SrcElem: elem})
 		if _, err := p.typedOperand(in); err != nil {
 			return err
 		}
@@ -175,7 +175,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		return nil
 
 	case "store":
-		in := &llvm.Instr{Op: llvm.OpStore}
+		in := p.instr(llvm.Instr{Op: llvm.OpStore})
 		ty, err := p.typedOperand(in)
 		if err != nil {
 			return err
@@ -202,7 +202,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if err := p.expect(","); err != nil {
 			return err
 		}
-		in := &llvm.Instr{Op: llvm.OpGEP, SrcElem: src}
+		in := p.instr(llvm.Instr{Op: llvm.OpGEP, SrcElem: src})
 		if _, err := p.typedOperand(in); err != nil {
 			return err
 		}
@@ -221,7 +221,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if err != nil {
 			return err
 		}
-		in := &llvm.Instr{Op: llvm.OpAlloca, Ty: llvm.Ptr(ty), SrcElem: ty}
+		in := p.instr(llvm.Instr{Op: llvm.OpAlloca, Ty: llvm.Ptr(ty), SrcElem: ty})
 		if p.isPunct(",") {
 			p.next()
 			p.maybeAlignBare(in)
@@ -234,7 +234,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if err != nil {
 			return err
 		}
-		in := &llvm.Instr{Op: llvm.OpPhi, Ty: ty}
+		in := p.instr(llvm.Instr{Op: llvm.OpPhi, Ty: ty})
 		for {
 			if err := p.expect("["); err != nil {
 				return err
@@ -270,12 +270,12 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 				return p.errf("expected branch target")
 			}
 			p.next()
-			in := &llvm.Instr{Op: llvm.OpBr, Blocks: []*llvm.Block{p.getOrCreateBlock(f, dest.text)}}
+			in := p.instr(llvm.Instr{Op: llvm.OpBr, Blocks: []*llvm.Block{p.getOrCreateBlock(f, dest.text)}})
 			p.maybeLoopMD(in)
 			register(in)
 			return nil
 		}
-		in := &llvm.Instr{Op: llvm.OpCondBr}
+		in := p.instr(llvm.Instr{Op: llvm.OpCondBr})
 		if _, err := p.typedOperand(in); err != nil {
 			return err
 		}
@@ -299,7 +299,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		return nil
 
 	case "ret":
-		in := &llvm.Instr{Op: llvm.OpRet}
+		in := p.instr(llvm.Instr{Op: llvm.OpRet})
 		if p.isIdent("void") {
 			p.next()
 			register(in)
@@ -324,7 +324,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if err := p.expect("("); err != nil {
 			return err
 		}
-		in := &llvm.Instr{Op: llvm.OpCall, Ty: ret, Callee: callee.text}
+		in := p.instr(llvm.Instr{Op: llvm.OpCall, Ty: ret, Callee: callee.text})
 		for !p.isPunct(")") {
 			if _, err := p.typedOperand(in); err != nil {
 				return err
@@ -342,7 +342,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		if mnemonic == "insertvalue" {
 			opc = llvm.OpInsertValue
 		}
-		in := &llvm.Instr{Op: opc}
+		in := p.instr(llvm.Instr{Op: opc})
 		aggTy, err := p.typedOperand(in)
 		if err != nil {
 			return err
@@ -374,7 +374,7 @@ func (p *llParser) parseInstr(f *llvm.Function, blk *llvm.Block) error {
 		return nil
 
 	case "unreachable":
-		register(&llvm.Instr{Op: llvm.OpUnreachable})
+		register(p.instr(llvm.Instr{Op: llvm.OpUnreachable}))
 		return nil
 	}
 	return p.errf("unknown instruction %q", mnemonic)

@@ -1,4 +1,4 @@
-package parser
+package parser_test
 
 import (
 	"context"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/hls"
 	"repro/internal/llvm"
 	"repro/internal/llvm/interp"
+	"repro/internal/llvm/parser"
 	"repro/internal/polybench"
 )
 
@@ -17,7 +18,7 @@ import (
 func roundTrip(t *testing.T, m *llvm.Module) *llvm.Module {
 	t.Helper()
 	first := m.Print()
-	m2, err := Parse(first)
+	m2, err := parser.Parse(first)
 	if err != nil {
 		t.Fatalf("parse failed: %v\ninput:\n%s", err, first)
 	}
@@ -142,7 +143,7 @@ func TestParseErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if _, err := Parse(c.src); err == nil {
+			if _, err := parser.Parse(c.src); err == nil {
 				t.Errorf("expected error for %s", c.name)
 			}
 		})
@@ -176,7 +177,7 @@ exit:
 attributes #0 = { "hls.top"="1" }
 !0 = distinct !{!0, !"llvm.loop.pipeline.enable", i1 true, !"llvm.loop.pipeline.ii", i32 1}
 `
-	m, err := Parse(src)
+	m, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package passes
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/llvm"
 	"repro/internal/resilience"
@@ -57,6 +58,19 @@ type PassManager struct {
 	// its own failure kind. The flow layer hangs differential-execution
 	// checks here.
 	AfterPass func(passName string, m *llvm.Module) error
+	// Wrap, when non-nil, intercepts every pass: run executes the pass
+	// body over all defined functions. Returning replayed=true means the
+	// pass's effect was applied without executing run (the incremental
+	// layer's memoized replay), and the manager then skips after-pass
+	// verification, invariants, and the AfterPass hook, whose module
+	// argument would not reflect the unmaterialized replayed state. LLVM
+	// passes carry no constructor parameters, so no params string is
+	// threaded here.
+	Wrap func(passName string, run func() error) (replayed bool, err error)
+	// Parallel runs each pass across the module's defined functions
+	// concurrently. Every LLVM pass is function-local by construction
+	// (Pass.Run takes one function), so this applies to all of them.
+	Parallel bool
 }
 
 // NewPassManager returns an empty pass manager with VerifyEach off (the
@@ -80,21 +94,24 @@ func (pm *PassManager) stage() string {
 // Run executes the pipeline over every defined function of m, then runs a
 // final module verification.
 func (pm *PassManager) Run(m *llvm.Module) error {
+	lastReplayed := false
 	for _, p := range pm.passes {
+		p := p
 		if err := resilience.Interrupted(pm.Ctx, pm.stage(), p.Name); err != nil {
 			return err
 		}
+		replayed := false
 		body := func() error {
 			if pm.BeforePass != nil {
 				pm.BeforePass(p.Name, m)
 			}
-			for _, f := range m.Funcs {
-				if f.IsDecl {
-					continue
-				}
-				p.Run(f)
+			run := func() error { return pm.runPass(p, m) }
+			if pm.Wrap != nil {
+				var err error
+				replayed, err = pm.Wrap(p.Name, run)
+				return err
 			}
-			return nil
+			return run()
 		}
 		if pm.Isolate {
 			if err := resilience.Guard(pm.stage(), p.Name, body); err != nil {
@@ -102,6 +119,14 @@ func (pm *PassManager) Run(m *llvm.Module) error {
 			}
 		} else if err := body(); err != nil {
 			return err
+		}
+		lastReplayed = replayed
+		if replayed {
+			// The module deliberately does not reflect a replayed pass (the
+			// incremental layer carries the state as bytes); the after-pass
+			// checks ran when the record was stored, and their activation
+			// participates in the memo key.
+			continue
 		}
 		if pm.VerifyEach {
 			if err := m.Verify(); err != nil {
@@ -131,5 +156,57 @@ func (pm *PassManager) Run(m *llvm.Module) error {
 			}
 		}
 	}
+	if lastReplayed {
+		// The module does not reflect the replayed tail; the incremental
+		// layer verifies the true final state when it materializes the
+		// stored bytes.
+		return nil
+	}
 	return m.Verify()
+}
+
+// runPass applies one pass to every defined function, fanning across
+// functions when Parallel is set and there is more than one to visit.
+func (pm *PassManager) runPass(p Pass, m *llvm.Module) error {
+	var funcs []*llvm.Function
+	for _, f := range m.Funcs {
+		if !f.IsDecl {
+			funcs = append(funcs, f)
+		}
+	}
+	if !pm.Parallel || len(funcs) < 2 {
+		for _, f := range funcs {
+			p.Run(f)
+		}
+		return nil
+	}
+	errs := make([]error, len(funcs))
+	var wg sync.WaitGroup
+	for i, f := range funcs {
+		i, f := i, f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Recover per goroutine: a recovery boundary on the caller's
+			// stack cannot catch a panic raised here.
+			errs[i] = func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = resilience.NewFailure(pm.stage(), p.Name, resilience.KindPanic,
+							fmt.Errorf("%v", r))
+					}
+				}()
+				p.Run(f)
+				return nil
+			}()
+		}()
+	}
+	wg.Wait()
+	// First failure by function order, matching a serial visit.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ package llvm
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // TypeKind discriminates LLVM types.
@@ -65,6 +66,11 @@ func I32() *Type { return i32Type }
 // I64 returns i64.
 func I64() *Type { return i64Type }
 
+// intTypes interns the off-mainline integer widths (the common ones are
+// package singletons). Types are immutable after construction, so sharing
+// one node per width is sound and keeps parse-heavy paths allocation-free.
+var intTypes sync.Map // bits -> *Type
+
 // IntT returns the iN type.
 func IntT(bits int) *Type {
 	switch bits {
@@ -77,7 +83,11 @@ func IntT(bits int) *Type {
 	case 64:
 		return i64Type
 	}
-	return &Type{Kind: KindInt, Bits: bits}
+	if t, ok := intTypes.Load(bits); ok {
+		return t.(*Type)
+	}
+	t, _ := intTypes.LoadOrStore(bits, &Type{Kind: KindInt, Bits: bits})
+	return t.(*Type)
 }
 
 // FloatT returns float.
@@ -86,11 +96,41 @@ func FloatT() *Type { return floatType }
 // DoubleT returns double.
 func DoubleT() *Type { return doubleType }
 
-// Ptr returns a pointer to elem (elem may be nil for a fully opaque pointer).
-func Ptr(elem *Type) *Type { return &Type{Kind: KindPtr, Elem: elem} }
+var (
+	opaquePtrType = &Type{Kind: KindPtr}
+	ptrTypes      sync.Map // *Type (elem) -> *Type
+	arrayTypes    sync.Map // arrayKey -> *Type
+)
 
-// ArrayOf returns [n x elem].
-func ArrayOf(n int64, elem *Type) *Type { return &Type{Kind: KindArray, N: n, Elem: elem} }
+type arrayKey struct {
+	n    int64
+	elem *Type
+}
+
+// Ptr returns a pointer to elem (elem may be nil for a fully opaque pointer).
+// Interning keys on the pointee node: Equal treats all pointers alike, but
+// typed-pointer printing reads Elem, so distinct pointees stay distinct.
+func Ptr(elem *Type) *Type {
+	if elem == nil {
+		return opaquePtrType
+	}
+	if t, ok := ptrTypes.Load(elem); ok {
+		return t.(*Type)
+	}
+	t, _ := ptrTypes.LoadOrStore(elem, &Type{Kind: KindPtr, Elem: elem})
+	return t.(*Type)
+}
+
+// ArrayOf returns [n x elem]. Interning by (n, elem node) shares the handful
+// of buffer shapes a kernel's loads and GEPs re-derive thousands of times.
+func ArrayOf(n int64, elem *Type) *Type {
+	key := arrayKey{n: n, elem: elem}
+	if t, ok := arrayTypes.Load(key); ok {
+		return t.(*Type)
+	}
+	t, _ := arrayTypes.LoadOrStore(key, &Type{Kind: KindArray, N: n, Elem: elem})
+	return t.(*Type)
+}
 
 // StructOf returns an anonymous struct type.
 func StructOf(fields ...*Type) *Type { return &Type{Kind: KindStruct, Fields: fields} }

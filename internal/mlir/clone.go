@@ -22,7 +22,7 @@ func CloneOp(op *Op, vmap map[*Value]*Value, bmap map[*Block]*Block) *Op {
 	}
 	clone := NewOp(op.Name, operands, resultTypes)
 	for k, v := range op.Attrs {
-		clone.Attrs[k] = v
+		clone.SetAttr(k, v)
 	}
 	for i, r := range op.Results {
 		vmap[r] = clone.Results[i]

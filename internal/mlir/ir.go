@@ -36,11 +36,34 @@ type Op struct {
 	parent *Block
 }
 
-// NewOp constructs a detached op with results of the given types.
+// opNode fuses an op, its single result value, and the one-element result
+// slice into one allocation — the dominant op shape (arithmetic, loads,
+// casts) on the parse/clone hot path.
+type opNode struct {
+	op      Op
+	val     Value
+	results [1]*Value
+}
+
+// NewOp constructs a detached op with results of the given types. The
+// attribute map is allocated lazily by SetAttr: most ops carry none.
 func NewOp(name string, operands []*Value, resultTypes []*Type) *Op {
-	op := &Op{Name: name, Operands: operands, Attrs: map[string]Attr{}}
-	for i, t := range resultTypes {
-		op.Results = append(op.Results, &Value{Ty: t, Def: op, ResNo: i})
+	if len(resultTypes) == 1 {
+		n := &opNode{}
+		n.op = Op{Name: name, Operands: operands}
+		n.val = Value{Ty: resultTypes[0], Def: &n.op}
+		n.results[0] = &n.val
+		n.op.Results = n.results[:]
+		return &n.op
+	}
+	op := &Op{Name: name, Operands: operands}
+	if len(resultTypes) > 0 {
+		vals := make([]Value, len(resultTypes))
+		op.Results = make([]*Value, len(resultTypes))
+		for i, t := range resultTypes {
+			vals[i] = Value{Ty: t, Def: op, ResNo: i}
+			op.Results[i] = &vals[i]
+		}
 	}
 	return op
 }

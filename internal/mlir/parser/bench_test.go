@@ -1,0 +1,57 @@
+package parser_test
+
+import (
+	"testing"
+
+	"repro/internal/mlir"
+	"repro/internal/mlir/parser"
+	"repro/internal/polybench"
+)
+
+// benchModule builds the gemm MINI kernel — a representative module for
+// the parse→clone→print hot path the flow pipeline exercises at every
+// unit boundary.
+func benchModule(b *testing.B) *mlir.Module {
+	b.Helper()
+	k := polybench.Get("gemm")
+	if k == nil {
+		b.Fatal("gemm not registered")
+	}
+	s, err := k.SizeOf("MINI")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k.Build(s)
+}
+
+// BenchmarkParseClonePrint measures the three MLIR-side operations the
+// incremental layer and the flow pipeline lean on: text parsing (cursor
+// materialization), op cloning (fallback builders, bisection replay), and
+// printing (unit snapshots and memo keys).
+func BenchmarkParseClonePrint(b *testing.B) {
+	m := benchModule(b)
+	text := m.Print()
+
+	b.Run("parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := parser.Parse(text); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mlir.CloneOp(m.Op, make(map[*mlir.Value]*mlir.Value), make(map[*mlir.Block]*mlir.Block))
+		}
+	})
+	b.Run("print", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m.Print() == "" {
+				b.Fatal("empty print")
+			}
+		}
+	})
+}

@@ -9,7 +9,7 @@ import (
 // PipelineInnermost returns a pass that marks every innermost affine.for
 // with the HLS pipeline directive and target initiation interval ii.
 func PipelineInnermost(ii int) Pass {
-	return funcPass{name: "hls-pipeline-innermost", fn: func(f *mlir.Op) error {
+	return funcPass{name: "hls-pipeline-innermost", params: fmt.Sprintf("ii=%d", ii), fn: func(f *mlir.Op) error {
 		mlir.Walk(f, func(op *mlir.Op) bool {
 			if op.Name == mlir.OpAffineFor && isInnermostLoop(op) {
 				op.SetAttr(mlir.AttrPipeline, mlir.UnitAttr{})
@@ -25,7 +25,7 @@ func PipelineInnermost(ii int) Pass {
 // given factor to every innermost loop (to be materialized later by
 // LoopUnroll(0, true) or carried to the backend as metadata).
 func MarkUnroll(factor int) Pass {
-	return funcPass{name: "hls-mark-unroll", fn: func(f *mlir.Op) error {
+	return funcPass{name: "hls-mark-unroll", params: fmt.Sprintf("factor=%d", factor), fn: func(f *mlir.Op) error {
 		mlir.Walk(f, func(op *mlir.Op) bool {
 			if op.Name == mlir.OpAffineFor && isInnermostLoop(op) {
 				op.SetAttr(mlir.AttrUnroll, mlir.I(int64(factor)))
@@ -96,7 +96,8 @@ func PartitionArgAttrKey(i int) string {
 // PartitionArg returns a pass that attaches an array-partition directive to
 // argument argIdx of the named function.
 func PartitionArg(funcName string, argIdx int, spec PartitionSpec) Pass {
-	return funcPass{name: "hls-array-partition", fn: func(f *mlir.Op) error {
+	params := fmt.Sprintf("%s/%d/%s/%d/%d", funcName, argIdx, spec.Kind, spec.Factor, spec.Dim)
+	return funcPass{name: "hls-array-partition", params: params, fn: func(f *mlir.Op) error {
 		if mlir.FuncName(f) != funcName {
 			return nil
 		}
@@ -112,7 +113,8 @@ func PartitionArg(funcName string, argIdx int, spec PartitionSpec) Pass {
 // every function with the same spec (the common "partition everything
 // cyclically" configuration in HLS DSE).
 func PartitionAllArgs(spec PartitionSpec) Pass {
-	return funcPass{name: "hls-array-partition-all", fn: func(f *mlir.Op) error {
+	params := fmt.Sprintf("%s/%d/%d", spec.Kind, spec.Factor, spec.Dim)
+	return funcPass{name: "hls-array-partition-all", params: params, fn: func(f *mlir.Op) error {
 		for i, a := range mlir.FuncBody(f).Args {
 			if a.Type().IsMemRef() {
 				f.SetAttr(PartitionArgAttrKey(i), spec.Attr())
@@ -128,7 +130,7 @@ func PartitionAllArgs(spec PartitionSpec) Pass {
 // written arrays between tasks) and ignores the directive otherwise, as
 // Vitis does for unprovable cases.
 func MarkDataflow(funcName string) Pass {
-	return funcPass{name: "hls-mark-dataflow", fn: func(f *mlir.Op) error {
+	return funcPass{name: "hls-mark-dataflow", params: funcName, fn: func(f *mlir.Op) error {
 		if mlir.FuncName(f) == funcName {
 			f.SetAttr(mlir.AttrDataflow, mlir.UnitAttr{})
 		}
@@ -139,7 +141,7 @@ func MarkDataflow(funcName string) Pass {
 // MarkTop returns a pass that marks the named function as the HLS top-level
 // (the synthesis entry point whose ports become the accelerator interface).
 func MarkTop(funcName string) Pass {
-	return funcPass{name: "hls-mark-top", fn: func(f *mlir.Op) error {
+	return funcPass{name: "hls-mark-top", params: funcName, fn: func(f *mlir.Op) error {
 		if mlir.FuncName(f) == funcName {
 			f.SetAttr(mlir.AttrTopFunc, mlir.UnitAttr{})
 		}

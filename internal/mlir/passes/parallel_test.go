@@ -1,0 +1,135 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mlir"
+	"repro/internal/resilience"
+)
+
+// buildMultiFunc builds a module with n independent matmul-like functions,
+// the shape the Parallel option exists for (the kernel suite itself is
+// single-function).
+func buildMultiFunc(n int) *mlir.Module {
+	m := mlir.NewModule()
+	ty := mlir.MemRef([]int64{8, 8}, mlir.F64())
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("worker%d", i)
+		_, args := m.AddFunc(name, []*mlir.Type{ty, ty}, nil)
+		b := mlir.NewBuilder(mlir.FuncBody(m.FindFunc(name)))
+		b.AffineForConst(0, 8, 1, func(b *mlir.Builder, i *mlir.Value) {
+			b.AffineForConst(0, 8, 1, func(b *mlir.Builder, j *mlir.Value) {
+				x := b.AffineLoad(args[0], i, j)
+				y := b.AffineLoad(args[1], i, j)
+				s := b.AddF(x, y)
+				// A dead duplicate for CSE and a foldable add for
+				// canonicalize, so the passes have real work per function.
+				_ = b.AddF(x, y)
+				b.AffineStore(s, args[1], i, j)
+			})
+		})
+		b.Return()
+	}
+	return m
+}
+
+// TestParallelFuncLocalMatchesSerial pins the Parallel contract: fanning
+// function-local passes across functions must print byte-identically to
+// the serial visit.
+func TestParallelFuncLocalMatchesSerial(t *testing.T) {
+	serial := buildMultiFunc(5)
+	pmS := NewPassManager().Add(Canonicalize(), CSE())
+	if err := pmS.Run(serial); err != nil {
+		t.Fatal(err)
+	}
+
+	par := buildMultiFunc(5)
+	pmP := NewPassManager().Add(Canonicalize(), CSE())
+	pmP.Parallel = true
+	if err := pmP.Run(par); err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.Print() != par.Print() {
+		t.Fatal("parallel function-local run diverges from serial")
+	}
+}
+
+// errOnFunc fails on the named functions, proving error selection.
+type errOnFunc struct{ bad map[string]bool }
+
+func (p errOnFunc) Name() string { return "err-on-func" }
+func (p errOnFunc) Run(m *mlir.Module) error {
+	for _, f := range m.Funcs() {
+		if err := p.RunOnFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (p errOnFunc) RunOnFunc(f *mlir.Op) error {
+	name := mlir.FuncName(f)
+	if p.bad[name] {
+		return fmt.Errorf("boom in %s", name)
+	}
+	return nil
+}
+
+// TestParallelErrorOrderDeterministic: when several functions fail, the
+// reported error is the first by function order — exactly the serial
+// outcome — and plain errors stay untyped.
+func TestParallelErrorOrderDeterministic(t *testing.T) {
+	m := buildMultiFunc(6)
+	pm := NewPassManager()
+	pm.Parallel = true
+	pm.Add(errOnFunc{bad: map[string]bool{"worker4": true, "worker1": true}})
+	err := pm.Run(m)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if want := "boom in worker1"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("got %q, want first-by-order %q", err, want)
+	}
+	if _, typed := resilience.AsPassFailure(err); typed {
+		t.Fatalf("plain error got typed in the parallel path: %v", err)
+	}
+}
+
+// panicOnFunc panics on one function.
+type panicOnFunc struct{ bad string }
+
+func (p panicOnFunc) Name() string { return "panic-on-func" }
+func (p panicOnFunc) Run(m *mlir.Module) error {
+	for _, f := range m.Funcs() {
+		if err := p.RunOnFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (p panicOnFunc) RunOnFunc(f *mlir.Op) error {
+	if mlir.FuncName(f) == p.bad {
+		panic("kaboom")
+	}
+	return nil
+}
+
+// TestParallelPanicIsolated: a panic in one function's goroutine becomes a
+// typed KindPanic failure instead of killing the process, even without
+// Isolate (a caller-stack recovery boundary cannot catch it).
+func TestParallelPanicIsolated(t *testing.T) {
+	m := buildMultiFunc(4)
+	pm := NewPassManager()
+	pm.Parallel = true
+	pm.Add(panicOnFunc{bad: "worker2"})
+	err := pm.Run(m)
+	pf, ok := resilience.AsPassFailure(err)
+	if !ok {
+		t.Fatalf("panic not typed: %v", err)
+	}
+	if pf.Kind != resilience.KindPanic || pf.Pass != "panic-on-func" {
+		t.Fatalf("wrong attribution: %+v", pf)
+	}
+}

@@ -7,6 +7,7 @@ package passes
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/mlir"
 	"repro/internal/resilience"
@@ -16,6 +17,23 @@ import (
 type Pass interface {
 	Name() string
 	Run(m *mlir.Module) error
+}
+
+// Parameterized is implemented by passes whose behavior depends on
+// constructor arguments (a pipeline II, an unroll factor, a partition
+// spec). Params returns a canonical rendering of those arguments; the
+// incremental-compilation layer folds it into the unit's memo key so two
+// pipelines differing only in a pass parameter never share a record.
+type Parameterized interface {
+	Params() string
+}
+
+// FuncLocal is implemented by passes whose Run visits each function
+// independently, touching no cross-function state. The pass manager may
+// run such passes across functions in parallel (Parallel option), and the
+// flow's unit registry marks them function-local.
+type FuncLocal interface {
+	RunOnFunc(f *mlir.Op) error
 }
 
 // PassManager runs a pipeline of passes, verifying after each.
@@ -46,6 +64,18 @@ type PassManager struct {
 	// snapshotting (bisection replay) and deterministic fault injection
 	// (tests) here; a panic in the hook is attributed to the pass.
 	BeforePass func(passName string, m *mlir.Module)
+	// Wrap, when non-nil, intercepts every pass: run executes the pass
+	// body, and params is the pass's canonical parameter string (empty
+	// for parameterless passes). Returning replayed=true means the pass's
+	// effect was applied without executing run — the incremental layer's
+	// memoized replay — and the manager then skips after-pass
+	// verification and the AfterPass hook, whose module argument would
+	// not reflect the (deliberately unmaterialized) replayed state.
+	Wrap func(passName, params string, run func() error) (replayed bool, err error)
+	// Parallel runs FuncLocal passes across the module's functions
+	// concurrently. Passes that do not implement FuncLocal still run
+	// serially.
+	Parallel bool
 }
 
 // NewPassManager returns a pass manager that verifies after each pass.
@@ -68,14 +98,22 @@ func (pm *PassManager) stage() string {
 // Run executes the pipeline.
 func (pm *PassManager) Run(m *mlir.Module) error {
 	for _, p := range pm.passes {
+		p := p
 		if err := resilience.Interrupted(pm.Ctx, pm.stage(), p.Name()); err != nil {
 			return err
 		}
+		replayed := false
 		body := func() error {
 			if pm.BeforePass != nil {
 				pm.BeforePass(p.Name(), m)
 			}
-			return p.Run(m)
+			run := func() error { return pm.runPass(p, m) }
+			if pm.Wrap != nil {
+				var err error
+				replayed, err = pm.Wrap(p.Name(), PassParams(p), run)
+				return err
+			}
+			return run()
 		}
 		if pm.Isolate {
 			if err := resilience.Guard(pm.stage(), p.Name(), body); err != nil {
@@ -83,6 +121,13 @@ func (pm *PassManager) Run(m *mlir.Module) error {
 			}
 		} else if err := body(); err != nil {
 			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+		if replayed {
+			// The module deliberately does not reflect a replayed pass
+			// (the incremental layer carries the state as bytes); the
+			// after-pass checks ran when the record was stored and their
+			// activation participates in the memo key.
+			continue
 		}
 		if pm.VerifyEach {
 			if err := m.Verify(); err != nil {
@@ -109,14 +154,78 @@ func (pm *PassManager) Run(m *mlir.Module) error {
 	return nil
 }
 
-// funcPass adapts a per-function transformation.
+// runPass executes one pass body, fanning FuncLocal passes across the
+// module's functions when Parallel is set and there is more than one
+// function to visit.
+func (pm *PassManager) runPass(p Pass, m *mlir.Module) error {
+	fl, ok := p.(FuncLocal)
+	if !pm.Parallel || !ok {
+		return p.Run(m)
+	}
+	funcs := m.Funcs()
+	if len(funcs) < 2 {
+		return p.Run(m)
+	}
+	errs := make([]error, len(funcs))
+	var wg sync.WaitGroup
+	for i, f := range funcs {
+		i, f := i, f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Recover per goroutine: a recovery boundary on the caller's
+			// stack cannot catch a panic raised here. Plain errors pass
+			// through untyped so the Parallel path reports exactly what a
+			// serial visit would.
+			errs[i] = func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = resilience.NewFailure(pm.stage(), p.Name(), resilience.KindPanic,
+							fmt.Errorf("%v", r))
+					}
+				}()
+				return fl.RunOnFunc(f)
+			}()
+		}()
+	}
+	wg.Wait()
+	// First failure by function order, matching what a serial visit would
+	// have reported.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PassParams returns the pass's canonical parameter string ("" for
+// parameterless passes) — the component of the incremental memo key that
+// distinguishes two instances of the same pass constructed with different
+// arguments.
+func PassParams(p Pass) string {
+	if pp, ok := p.(Parameterized); ok {
+		return pp.Params()
+	}
+	return ""
+}
+
+// funcPass adapts a per-function transformation. params is the canonical
+// rendering of the pass's constructor arguments for Parameterized.
 type funcPass struct {
-	name string
-	fn   func(f *mlir.Op) error
+	name   string
+	params string
+	fn     func(f *mlir.Op) error
 }
 
 // Name implements Pass.
 func (p funcPass) Name() string { return p.name }
+
+// Params implements Parameterized.
+func (p funcPass) Params() string { return p.params }
+
+// RunOnFunc implements FuncLocal.
+func (p funcPass) RunOnFunc(f *mlir.Op) error { return p.fn(f) }
 
 // Run implements Pass.
 func (p funcPass) Run(m *mlir.Module) error {

@@ -13,7 +13,8 @@ import (
 // constant trip count is unrolled by factor (factor <= 1 disables; a factor
 // equal to or exceeding the trip count fully unrolls).
 func LoopUnroll(factor int, markedOnly bool) Pass {
-	return funcPass{name: "affine-loop-unroll", fn: func(f *mlir.Op) error {
+	params := fmt.Sprintf("factor=%d|marked=%t", factor, markedOnly)
+	return funcPass{name: "affine-loop-unroll", params: params, fn: func(f *mlir.Op) error {
 		return unrollFunc(f, factor, markedOnly)
 	}}
 }

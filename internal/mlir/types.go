@@ -7,7 +7,9 @@ package mlir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // TypeKind discriminates the supported type constructors.
@@ -57,6 +59,10 @@ func I32() *Type { return i32Type }
 // I64 returns the 64-bit integer type.
 func I64() *Type { return i64Type }
 
+// intTypes interns the off-mainline integer widths (the common ones are
+// package singletons). Types are immutable, so sharing is sound.
+var intTypes sync.Map // width -> *Type
+
 // IntType returns the signless integer type of the given bit width.
 func IntType(width int) *Type {
 	switch width {
@@ -67,7 +73,11 @@ func IntType(width int) *Type {
 	case 64:
 		return i64Type
 	}
-	return &Type{Kind: KindInt, Width: width}
+	if t, ok := intTypes.Load(width); ok {
+		return t.(*Type)
+	}
+	t, _ := intTypes.LoadOrStore(width, &Type{Kind: KindInt, Width: width})
+	return t.(*Type)
 }
 
 // F32 returns the 32-bit float type.
@@ -90,11 +100,32 @@ func Index() *Type { return indexType }
 // None returns the unit type.
 func None() *Type { return noneType }
 
+// memrefTypes interns memref types by element identity and shape. Scalars
+// are singletons, so structurally equal memrefs built through this
+// package's constructors share one node — a kernel's parse touches the
+// same handful of buffer types thousands of times.
+var memrefTypes sync.Map // memrefKey -> *Type
+
+type memrefKey struct {
+	elem  *Type
+	shape string
+}
+
 // MemRef returns the memref type with the given shape and element type.
 func MemRef(shape []int64, elem *Type) *Type {
+	var sb strings.Builder
+	for _, d := range shape {
+		sb.WriteString(strconv.FormatInt(d, 10))
+		sb.WriteByte('x')
+	}
+	key := memrefKey{elem: elem, shape: sb.String()}
+	if t, ok := memrefTypes.Load(key); ok {
+		return t.(*Type)
+	}
 	s := make([]int64, len(shape))
 	copy(s, shape)
-	return &Type{Kind: KindMemRef, Elem: elem, Shape: s}
+	t, _ := memrefTypes.LoadOrStore(key, &Type{Kind: KindMemRef, Elem: elem, Shape: s})
+	return t.(*Type)
 }
 
 // IsInt reports whether t is an integer type.

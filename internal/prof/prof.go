@@ -1,0 +1,61 @@
+// Package prof wires the standard pprof profilers behind the CLI tools'
+// -cpuprofile/-memprofile flags, mirroring go test's flags of the same
+// names so the profiles feed straight into `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the two paths (either may be
+// empty) and returns a stop function to run at exit: it stops the CPU
+// profile and writes the allocation profile. Start itself fails fast on
+// unwritable paths so a typo is caught before hours of sweep.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	var memFile *os.File
+	if memPath != "" {
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if memFile != nil {
+			// An up-to-date allocation profile wants a GC first, same as
+			// go test -memprofile.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(memFile, 0); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := memFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag reports whether the race detector instruments this
+// build. Timing assertions skip under the detector: instrumentation slows
+// hot paths by unrelated, uneven factors, so a speedup bound that holds on
+// a plain build is meaningless there.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false
