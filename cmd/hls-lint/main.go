@@ -15,6 +15,8 @@
 //	hls-lint -severity warning -      # read stdin, hide infos
 //	hls-lint -mlir kernel.mlir        # directive lints on MLIR
 //	hls-lint -explain 1a2b3c4d in.ll  # show one finding's abstract state
+//	hls-lint -deps input.ll           # affine dependence summary per loop nest
+//	hls-lint -deps -format json in.ll # the same, machine-readable
 //	hls-lint -list                    # list registered checks
 //
 // Exit status: 0 when no error-severity diagnostics were produced (warnings
@@ -23,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +52,7 @@ func main() {
 	clock := flag.Float64("clock", 10.0, "target clock period in ns (sets the dependence/latency model)")
 	mlirIn := flag.Bool("mlir", false, "parse the input as MLIR instead of LLVM IR")
 	explain := flag.String("explain", "", "print one finding (by its [id]) with the analysis state behind it")
+	deps := flag.Bool("deps", false, "dump the affine dependence summary per loop nest instead of diagnostics")
 	flag.Parse()
 
 	if *list {
@@ -96,6 +100,11 @@ func main() {
 	inputs, err := collectInputs(flag.Args())
 	if err != nil {
 		usage(err)
+	}
+
+	if *deps {
+		runDeps(inputs, *format, *mlirIn)
+		return
 	}
 
 	var all diag.Diagnostics
@@ -149,11 +158,7 @@ func main() {
 		}
 		fmt.Printf("%s\n", b)
 	case "sarif":
-		descs := map[string]string{}
-		for _, c := range lint.Checks() {
-			descs[c.Name] = c.Desc
-		}
-		b, err := all.SARIF("hls-lint", descs)
+		b, err := all.SARIFWithMeta("hls-lint", lint.RuleMetadata())
 		if err != nil {
 			usage(err)
 		}
@@ -163,6 +168,42 @@ func main() {
 	}
 	if all.HasErrors() {
 		os.Exit(1)
+	}
+}
+
+// runDeps prints the affine dependence summary (`-deps`): per loop nest, the
+// load/store pairs the points-to analysis cannot separate, the tests applied,
+// and the resulting distance/direction vectors.
+func runDeps(inputs []string, format string, mlirIn bool) {
+	if mlirIn {
+		usage(fmt.Errorf("-deps needs LLVM IR input (loop recovery runs on the lowered form)"))
+	}
+	var all []lint.FuncDeps
+	for _, path := range inputs {
+		src, err := readInput(path)
+		if err != nil {
+			usage(err)
+		}
+		if strings.HasSuffix(path, ".mlir") {
+			usage(fmt.Errorf("%s: -deps needs LLVM IR input", inputName(path)))
+		}
+		m, err := llparser.Parse(src)
+		if err != nil {
+			usage(fmt.Errorf("%s: parsing LLVM IR: %w", inputName(path), err))
+		}
+		all = append(all, lint.DependenceSummary(m)...)
+	}
+	switch format {
+	case "json":
+		b, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			usage(err)
+		}
+		fmt.Printf("%s\n", b)
+	case "text":
+		lint.WriteDependenceText(os.Stdout, all)
+	default:
+		usage(fmt.Errorf("-deps supports text and json formats, not %q", format))
 	}
 }
 

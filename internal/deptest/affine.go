@@ -1,0 +1,295 @@
+package deptest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/llvm"
+	"repro/internal/llvm/analysis"
+)
+
+// affineExpr is an affine function of normalized loop iteration numbers:
+// c + Σ coeff[l]·n_l, where n_l ∈ [0, trip(l)-1] is the iteration number of
+// loop l (the recognized induction variable's value is Start + Step·n_l, so
+// an IV reference contributes constant Start and coefficient Step). Working
+// over iteration numbers instead of IV values makes distances directly
+// comparable across loops with different starts and strides.
+type affineExpr struct {
+	c     int64
+	coeff map[*analysis.Loop]int64
+}
+
+func (a affineExpr) coefOf(l *analysis.Loop) int64 { return a.coeff[l] }
+
+// loops returns the loops with nonzero coefficients, outermost first.
+func (a affineExpr) loops() []*analysis.Loop {
+	out := make([]*analysis.Loop, 0, len(a.coeff))
+	for l, c := range a.coeff {
+		if c != 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if d1, d2 := out[i].Depth(), out[j].Depth(); d1 != d2 {
+			return d1 < d2
+		}
+		return out[i].Header.Name < out[j].Header.Name
+	})
+	return out
+}
+
+func addAffine(a, b affineExpr, sign int64) affineExpr {
+	out := affineExpr{c: a.c + sign*b.c, coeff: map[*analysis.Loop]int64{}}
+	for l, v := range a.coeff {
+		out.coeff[l] += v
+	}
+	for l, v := range b.coeff {
+		out.coeff[l] += sign * v
+	}
+	return out
+}
+
+func scaleAffine(a affineExpr, k int64) affineExpr {
+	out := affineExpr{c: a.c * k, coeff: map[*analysis.Loop]int64{}}
+	for l, v := range a.coeff {
+		out.coeff[l] = v * k
+	}
+	return out
+}
+
+// affineOf extracts the affine form of an integer value over recognized
+// induction variables. ok=false for anything the engine cannot prove affine
+// (unrecognized phis, products of two variables, truncations, calls, ...):
+// the caller must then fall back to the conservative alias-only model.
+func (e *Engine) affineOf(v llvm.Value, depth int) (affineExpr, bool) {
+	if depth <= 0 {
+		return affineExpr{}, false
+	}
+	switch x := v.(type) {
+	case *llvm.ConstInt:
+		return affineExpr{c: x.Val, coeff: map[*analysis.Loop]int64{}}, true
+	case *llvm.Instr:
+		switch x.Op {
+		case llvm.OpPhi:
+			ivl, ok := e.ivLoops[x]
+			if !ok {
+				return affineExpr{}, false
+			}
+			return affineExpr{
+				c:     ivl.iv.Start,
+				coeff: map[*analysis.Loop]int64{ivl.loop: ivl.iv.Step},
+			}, true
+		case llvm.OpAdd, llvm.OpSub:
+			a, ok1 := e.affineOf(x.Args[0], depth-1)
+			b, ok2 := e.affineOf(x.Args[1], depth-1)
+			if !ok1 || !ok2 {
+				return affineExpr{}, false
+			}
+			sign := int64(1)
+			if x.Op == llvm.OpSub {
+				sign = -1
+			}
+			return addAffine(a, b, sign), true
+		case llvm.OpMul:
+			a, ok1 := e.affineOf(x.Args[0], depth-1)
+			b, ok2 := e.affineOf(x.Args[1], depth-1)
+			if !ok1 || !ok2 {
+				return affineExpr{}, false
+			}
+			// One side must be constant for the product to stay affine.
+			if len(a.loops()) == 0 {
+				return scaleAffine(b, a.c), true
+			}
+			if len(b.loops()) == 0 {
+				return scaleAffine(a, b.c), true
+			}
+			return affineExpr{}, false
+		case llvm.OpShl:
+			a, ok1 := e.affineOf(x.Args[0], depth-1)
+			sh, isC := x.Args[1].(*llvm.ConstInt)
+			if !ok1 || !isC || sh.Val < 0 || sh.Val > 32 {
+				return affineExpr{}, false
+			}
+			return scaleAffine(a, int64(1)<<uint(sh.Val)), true
+		case llvm.OpSExt, llvm.OpZExt:
+			// Width changes preserve the value for the in-range indices both
+			// flows emit (inbounds GEPs over static shapes).
+			return e.affineOf(x.Args[0], depth-1)
+		}
+	}
+	return affineExpr{}, false
+}
+
+// accessInfo is one memory access decomposed into a base allocation plus a
+// vector of affine subscripts (one per GEP index beyond the pointer operand;
+// empty for a direct pointer access). dims holds the static extent of each
+// subscript's dimension, -1 when unknown (the leading object-level index).
+type accessInfo struct {
+	base llvm.Value
+	subs []affineExpr
+	dims []int64
+	ok   bool
+}
+
+// stripCasts walks through pointer casts to the underlying value.
+func stripCasts(v llvm.Value) llvm.Value {
+	for {
+		in, ok := v.(*llvm.Instr)
+		if !ok {
+			return v
+		}
+		switch in.Op {
+		case llvm.OpBitcast, llvm.OpIntToPtr, llvm.OpPtrToInt:
+			v = in.Args[0]
+		default:
+			return v
+		}
+	}
+}
+
+// accessOf decomposes a load/store pointer operand. Handles both IR shapes
+// the two flows produce: the adaptor's flattened one-dimensional GEPs over a
+// linearized index (8·i + j built from shl/mul/add over i64 phis) and the
+// C++ flow's multi-dimensional GEPs with sign-extended i32 indices.
+func (e *Engine) accessOf(ptr llvm.Value) accessInfo {
+	if cached, ok := e.acc[ptr]; ok {
+		return cached
+	}
+	info := e.accessOfUncached(ptr)
+	e.acc[ptr] = info
+	return info
+}
+
+func (e *Engine) accessOfUncached(ptr llvm.Value) accessInfo {
+	v := stripCasts(ptr)
+	gep, isInstr := v.(*llvm.Instr)
+	if !isInstr || gep.Op != llvm.OpGEP {
+		// Direct pointer access: a scalar cell, no subscripts.
+		return accessInfo{base: v, ok: true}
+	}
+	base := stripCasts(gep.Args[0])
+	if b, ok := base.(*llvm.Instr); ok && b.Op == llvm.OpGEP {
+		return accessInfo{ok: false} // chained GEPs: unsupported shape
+	}
+	info := accessInfo{base: base, ok: true}
+	ty := gep.SrcElem
+	for i := 1; i < len(gep.Args); i++ {
+		sub, ok := e.affineOf(gep.Args[i], maxAffineDepth)
+		if !ok {
+			return accessInfo{ok: false}
+		}
+		info.subs = append(info.subs, sub)
+		if i == 1 {
+			info.dims = append(info.dims, -1) // object-level index
+			continue
+		}
+		if ty != nil && ty.IsArray() {
+			info.dims = append(info.dims, ty.N)
+			ty = ty.Elem
+		} else {
+			info.dims = append(info.dims, -1)
+		}
+	}
+	return info
+}
+
+const maxAffineDepth = 32
+
+// IndexRange returns the exact value range of an affine integer index over
+// all executions: the affine form evaluated over every referenced loop's
+// full iteration space. ok=false when the value is not affine or a
+// referenced loop's trip count is unknown — the interval analysis is the
+// fallback then.
+func (e *Engine) IndexRange(v llvm.Value) (lo, hi int64, ok bool) {
+	aff, affOK := e.affineOf(v, maxAffineDepth)
+	if !affOK {
+		return 0, 0, false
+	}
+	lo, hi = aff.c, aff.c
+	for _, l := range aff.loops() {
+		trip := e.trips[l]
+		if trip < 0 {
+			return 0, 0, false
+		}
+		if trip == 0 {
+			// The enclosing loop never runs; the index is never evaluated.
+			return 0, 0, false
+		}
+		a := aff.coeff[l] * (trip - 1)
+		if a < 0 {
+			lo += a
+		} else {
+			hi += a
+		}
+	}
+	return lo, hi, true
+}
+
+// IndexForm renders an affine index as a human-readable expression over loop
+// iteration numbers named by their headers, e.g. "8*h3 + h5 - 9".
+func (e *Engine) IndexForm(v llvm.Value) (string, bool) {
+	aff, ok := e.affineOf(v, maxAffineDepth)
+	if !ok {
+		return "", false
+	}
+	return renderAffine(aff), true
+}
+
+func renderAffine(aff affineExpr) string {
+	var sb strings.Builder
+	for _, l := range aff.loops() {
+		co := aff.coeff[l]
+		name := l.Header.Name
+		switch {
+		case sb.Len() == 0:
+			if co == 1 {
+				sb.WriteString(name)
+			} else if co == -1 {
+				sb.WriteString("-" + name)
+			} else {
+				fmt.Fprintf(&sb, "%d*%s", co, name)
+			}
+		case co > 0:
+			if co == 1 {
+				fmt.Fprintf(&sb, " + %s", name)
+			} else {
+				fmt.Fprintf(&sb, " + %d*%s", co, name)
+			}
+		default:
+			if co == -1 {
+				fmt.Fprintf(&sb, " - %s", name)
+			} else {
+				fmt.Fprintf(&sb, " - %d*%s", -co, name)
+			}
+		}
+	}
+	switch {
+	case sb.Len() == 0:
+		fmt.Fprintf(&sb, "%d", aff.c)
+	case aff.c > 0:
+		fmt.Fprintf(&sb, " + %d", aff.c)
+	case aff.c < 0:
+		fmt.Fprintf(&sb, " - %d", -aff.c)
+	}
+	return sb.String()
+}
+
+// AccessForm renders a load/store pointer operand as base[sub][sub]...,
+// e.g. "arg0[8*h3 + h5 - 9]". ok=false for non-affine accesses.
+func (e *Engine) AccessForm(ptr llvm.Value) (string, bool) {
+	info := e.accessOf(ptr)
+	if !info.ok {
+		return "", false
+	}
+	var sb strings.Builder
+	sb.WriteString(info.base.Ident())
+	for i, sub := range info.subs {
+		// Suppress the constant-zero object-level index for readability.
+		if i == 0 && len(info.subs) > 1 && sub.c == 0 && len(sub.loops()) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "[%s]", renderAffine(sub))
+	}
+	return sb.String(), true
+}

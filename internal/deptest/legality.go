@@ -1,0 +1,145 @@
+package deptest
+
+import (
+	"fmt"
+
+	"repro/internal/llvm/analysis"
+)
+
+// Legality answers loop-transform legality questions from the dependence
+// vectors of a nest. The rules are the classic ones: a transform is legal
+// when every dependence vector stays lexicographically non-negative after
+// the corresponding permutation of its levels, and a band of loops is
+// tilable when it is fully permutable (every dependence direction within the
+// band is '=' or '<'). Any Unknown edge makes the answer conservatively
+// illegal.
+type Legality struct {
+	edges []Edge
+}
+
+// LegalityOf collects the dependence edges of the nest rooted at root.
+func (e *Engine) LegalityOf(root *analysis.Loop) *Legality {
+	return &Legality{edges: e.Edges(root)}
+}
+
+// Verdict is a legality answer with the blocking reason when illegal.
+type Verdict struct {
+	Legal  bool
+	Reason string
+}
+
+func illegal(format string, args ...interface{}) Verdict {
+	return Verdict{Reason: fmt.Sprintf(format, args...)}
+}
+
+// levelOf returns the index of l in a vector, -1 if the vector's common nest
+// does not include it.
+func levelOf(v Vector, l *analysis.Loop) int {
+	for i, lv := range v {
+		if lv.Loop == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// Interchange reports whether swapping the two (not necessarily adjacent)
+// loops preserves every dependence: each vector with both levels present
+// must remain lexicographically non-negative after the swap.
+func (lg *Legality) Interchange(a, b *analysis.Loop) Verdict {
+	for _, ed := range lg.edges {
+		if ed.Res == Unknown {
+			return illegal("unresolved dependence (%s): %v",
+				ed.Kind, ed.Tests)
+		}
+		for _, v := range ed.Vectors {
+			ia, ib := levelOf(v, a), levelOf(v, b)
+			if ia < 0 && ib < 0 {
+				continue // dependence does not involve either loop
+			}
+			if ia < 0 || ib < 0 {
+				// The dependence sees only one of the two loops (the other
+				// does not enclose both endpoints): swapping would move an
+				// access across that loop, which the vectors do not model.
+				return illegal("%s dependence %s spans only one of the loops",
+					ed.Kind, v)
+			}
+			sw := make(Vector, len(v))
+			copy(sw, v)
+			sw[ia], sw[ib] = sw[ib], sw[ia]
+			if !vecNonNegative(sw) {
+				return illegal("%s dependence %s becomes lexicographically negative",
+					ed.Kind, v)
+			}
+		}
+	}
+	return Verdict{Legal: true}
+}
+
+// PermutableBand reports whether the given loops form a fully permutable
+// band — every dependence direction at every band level is '=' or '<'
+// (distance >= 0) — the precondition for rectangular tiling and arbitrary
+// permutation within the band.
+func (lg *Legality) PermutableBand(band []*analysis.Loop) Verdict {
+	inBand := map[*analysis.Loop]bool{}
+	for _, l := range band {
+		inBand[l] = true
+	}
+	for _, ed := range lg.edges {
+		if ed.Res == Unknown {
+			return illegal("unresolved dependence (%s): %v",
+				ed.Kind, ed.Tests)
+		}
+		for _, v := range ed.Vectors {
+			for _, lv := range v {
+				if !inBand[lv.Loop] {
+					continue
+				}
+				if lv.Known && lv.Dist >= 0 {
+					continue
+				}
+				if !lv.Known && lv.Dir == DirLt {
+					continue
+				}
+				if lv.Dir == DirEq {
+					continue
+				}
+				return illegal("%s dependence %s has direction '%c' at loop %%%s",
+					ed.Kind, v, lv.Dir, lv.Loop.Header.Name)
+			}
+		}
+	}
+	return Verdict{Legal: true}
+}
+
+// Tilable is PermutableBand for the band rooted at the nest's loops: tiling
+// a band is legal exactly when the band is fully permutable.
+func (lg *Legality) Tilable(band []*analysis.Loop) Verdict {
+	return lg.PermutableBand(band)
+}
+
+// vecNonNegative reports lexicographic non-negativity of a (possibly
+// permuted) vector: the first non-'=' level must be '<' (or a known positive
+// distance); a '*' level is conservatively assumed able to be negative.
+func vecNonNegative(v Vector) bool {
+	for _, lv := range v {
+		if lv.Known {
+			if lv.Dist > 0 {
+				return true
+			}
+			if lv.Dist < 0 {
+				return false
+			}
+			continue // exact zero: look deeper
+		}
+		switch lv.Dir {
+		case DirEq:
+			continue
+		case DirLt:
+			return true
+		default: // '>' or '*'
+			return false
+		}
+	}
+	return true // all-zero vector: same iteration, program order decides
+}

@@ -1,0 +1,303 @@
+package deptest
+
+import (
+	"repro/internal/llvm/analysis"
+)
+
+// This file holds the per-subscript dependence tests: classification
+// (ZIV / strong-SIV / weak-SIV / MIV), the exact strong-SIV distance
+// solution, the GCD integer-solvability test, and the Banerjee bounds test
+// evaluated over trip-count-derived iteration ranges under per-level
+// direction constraints.
+
+// subResult is the verdict of one subscript pair under one direction
+// configuration.
+type subResult struct {
+	// feasible: the subscript equation admits an integer solution under the
+	// configuration (conservatively true when a test is inconclusive).
+	feasible bool
+	// pinned: the equation forces a unique distance at the queried level.
+	pinned bool
+	dist   int64
+	// anyDist: the equation is satisfied at EVERY distance of the queried
+	// level (the loop-invariant subscript, coefficient zero both sides).
+	anyDist bool
+	tests   []string
+}
+
+// wideBound saturates Banerjee sums when a referenced loop's trip count is
+// unknown; it never excludes zero, keeping the test conservative.
+const wideBound = int64(1) << 40
+
+// classify names the subscript pair for diagnostics.
+func classify(sS, sL affineExpr, pc pairCtx) string {
+	seen := map[*analysis.Loop]bool{}
+	for _, l := range sS.loops() {
+		seen[l] = true
+	}
+	for _, l := range sL.loops() {
+		seen[l] = true
+	}
+	switch len(seen) {
+	case 0:
+		return "ziv"
+	case 1:
+		for l := range seen {
+			for _, cl := range pc.common {
+				if cl == l && sS.coefOf(l) == sL.coefOf(l) {
+					return "strong-siv"
+				}
+			}
+		}
+		return "weak-siv"
+	default:
+		return "miv"
+	}
+}
+
+// testSubscript runs the dependence tests for one subscript pair under a
+// direction configuration over the pair's common nest. pin >= 0 asks for an
+// exact distance at that common-nest level (the Carried query); pin < 0 is
+// pure feasibility (direction-vector enumeration).
+func (e *Engine) testSubscript(sS, sL affineExpr, pc pairCtx, cfg []Dir, pin int) subResult {
+	res := subResult{tests: []string{classify(sS, sL, pc)}}
+	c := sS.c - sL.c
+
+	// Exact path: when every term other than the queried level's vanishes
+	// identically, the equation pins the distance (or rules the level out).
+	if pin >= 0 && e.termsVanishExcept(sS, sL, pc, cfg, pin) {
+		l := pc.common[pin]
+		a := sS.coefOf(l)
+		switch {
+		case a == 0:
+			if c == 0 {
+				res.feasible, res.anyDist = true, true
+			}
+			return res
+		case c%a != 0:
+			return res // no integer iteration distance solves it
+		default:
+			d := c / a
+			u := e.upperOf(l)
+			if d >= 1 && (u < 0 || d <= u) {
+				res.feasible, res.pinned, res.dist = true, true, d
+			}
+			return res
+		}
+	}
+
+	// GCD test: integer solvability of the linear equation, with the
+	// direction constraints substituted in.
+	res.tests = append(res.tests, "gcd")
+	var g int64
+	addCoef := func(v int64) {
+		if v < 0 {
+			v = -v
+		}
+		if v != 0 {
+			g = gcd64(g, v)
+		}
+	}
+	for i, l := range pc.common {
+		aS, aL := sS.coefOf(l), sL.coefOf(l)
+		switch cfg[i] {
+		case DirEq:
+			addCoef(aS - aL)
+		case DirLt:
+			addCoef(aS - aL)
+			addCoef(aL)
+		case DirGt:
+			addCoef(aS - aL)
+			addCoef(aS)
+		default: // DirStar
+			addCoef(aS)
+			addCoef(aL)
+		}
+	}
+	for _, l := range pc.freeS {
+		addCoef(sS.coefOf(l))
+	}
+	for _, l := range pc.freeL {
+		addCoef(sL.coefOf(l))
+	}
+	if g == 0 {
+		res.feasible = c == 0
+		return res
+	}
+	if c%g != 0 {
+		return res
+	}
+
+	// Banerjee bounds test: the equation's value range over the constrained
+	// iteration space must contain zero.
+	res.tests = append(res.tests, "banerjee")
+	lo, hi := c, c
+	add := func(tlo, thi int64) {
+		lo += tlo
+		hi += thi
+	}
+	for i, l := range pc.common {
+		aS, aL := sS.coefOf(l), sL.coefOf(l)
+		tlo, thi, ok := e.dirTermBounds(aS, aL, cfg[i], l)
+		if !ok {
+			return res // a '<'/'>' level with trip < 2: no such iteration pair
+		}
+		add(tlo, thi)
+	}
+	for _, l := range pc.freeS {
+		add(e.freeTermBounds(sS.coefOf(l), l))
+	}
+	for _, l := range pc.freeL {
+		tlo, thi := e.freeTermBounds(sL.coefOf(l), l)
+		add(-thi, -tlo)
+	}
+	res.feasible = lo <= 0 && 0 <= hi
+	return res
+}
+
+// termsVanishExcept reports whether the equation's terms vanish identically
+// at every level and free variable other than common-nest level pin: equal
+// coefficients on '=' levels, zero coefficients everywhere else.
+func (e *Engine) termsVanishExcept(sS, sL affineExpr, pc pairCtx, cfg []Dir, pin int) bool {
+	for i, l := range pc.common {
+		if i == pin {
+			continue
+		}
+		aS, aL := sS.coefOf(l), sL.coefOf(l)
+		if cfg[i] == DirEq {
+			if aS != aL {
+				return false
+			}
+		} else if aS != 0 || aL != 0 {
+			return false
+		}
+	}
+	for _, l := range pc.freeS {
+		if sS.coefOf(l) != 0 {
+			return false
+		}
+	}
+	for _, l := range pc.freeL {
+		if sL.coefOf(l) != 0 {
+			return false
+		}
+	}
+	return sS.coefOf(pc.common[pin]) == sL.coefOf(pc.common[pin])
+}
+
+// pinAt attempts to pin the exact distance of one subscript at common-nest
+// level i under a full direction configuration. Dist follows the sink-minus-
+// source convention: positive for '<' levels, negative for '>' levels.
+func (e *Engine) pinAt(sS, sL affineExpr, pc pairCtx, cfg []Dir, i int) (int64, bool) {
+	if cfg[i] != DirLt && cfg[i] != DirGt {
+		return 0, false
+	}
+	if !e.termsVanishExcept(sS, sL, pc, cfg, i) {
+		return 0, false
+	}
+	l := pc.common[i]
+	a := sS.coefOf(l)
+	if a == 0 || (sS.c-sL.c)%a != 0 {
+		return 0, false
+	}
+	d := (sS.c - sL.c) / a
+	u := e.upperOf(l)
+	switch cfg[i] {
+	case DirLt:
+		if d >= 1 && (u < 0 || d <= u) {
+			return d, true
+		}
+	case DirGt:
+		if d <= -1 && (u < 0 || -d <= u) {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// upperOf returns the largest normalized iteration number of l (trip-1), or
+// -1 when the trip count is unknown.
+func (e *Engine) upperOf(l *analysis.Loop) int64 {
+	t, ok := e.trips[l]
+	if !ok || t < 0 {
+		return -1
+	}
+	return t - 1
+}
+
+// dirTermBounds bounds the term aS·x − aL·y for one common-nest level under
+// its direction constraint, with x, y ranging over [0, trip-1]. ok=false
+// when the direction requires an iteration pair the trip count excludes.
+func (e *Engine) dirTermBounds(aS, aL int64, dir Dir, l *analysis.Loop) (lo, hi int64, ok bool) {
+	if aS == 0 && aL == 0 {
+		// The level does not appear; any direction over a non-zero-trip loop
+		// is fine except '<'/'>' over a single-iteration loop.
+		if dir == DirLt || dir == DirGt {
+			if u := e.upperOf(l); u == 0 {
+				return 0, 0, false
+			}
+		}
+		return 0, 0, true
+	}
+	u := e.upperOf(l)
+	if u < 0 {
+		// Referenced loop with unknown trip (cannot happen for recognized
+		// IVs, kept for safety): no exclusion possible.
+		return -wideBound, wideBound, true
+	}
+	var pts [][2]int64
+	switch dir {
+	case DirEq:
+		pts = [][2]int64{{0, 0}, {u, u}}
+	case DirLt:
+		if u < 1 {
+			return 0, 0, false
+		}
+		pts = [][2]int64{{0, 1}, {0, u}, {u - 1, u}}
+	case DirGt:
+		if u < 1 {
+			return 0, 0, false
+		}
+		pts = [][2]int64{{1, 0}, {u, 0}, {u, u - 1}}
+	default: // DirStar
+		pts = [][2]int64{{0, 0}, {0, u}, {u, 0}, {u, u}}
+	}
+	first := true
+	for _, p := range pts {
+		v := aS*p[0] - aL*p[1]
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	return lo, hi, true
+}
+
+// freeTermBounds bounds b·y for a one-sided loop variable y ∈ [0, trip-1].
+func (e *Engine) freeTermBounds(b int64, l *analysis.Loop) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	u := e.upperOf(l)
+	if u < 0 {
+		return -wideBound, wideBound
+	}
+	v := b * u
+	if v < 0 {
+		return v, 0
+	}
+	return 0, v
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

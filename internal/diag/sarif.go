@@ -32,8 +32,10 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string         `json:"id"`
-	ShortDescription sarifMultiText `json:"shortDescription"`
+	ID               string          `json:"id"`
+	ShortDescription sarifMultiText  `json:"shortDescription"`
+	FullDescription  *sarifMultiText `json:"fullDescription,omitempty"`
+	Help             *sarifMultiText `json:"help,omitempty"`
 }
 
 type sarifMultiText struct {
@@ -78,18 +80,41 @@ func sarifLevel(s Severity) string {
 	return "note"
 }
 
+// RuleMeta describes one rule for the SARIF driver table: the one-line
+// short description list views show, an optional full description of what
+// the analysis proves, and optional help text with remediation guidance.
+type RuleMeta struct {
+	Short string
+	Full  string
+	Help  string
+}
+
 // SARIF renders the collection as an indented SARIF 2.1.0 log. RuleDescs
 // (check name -> description) fills the driver's rule table; checks seen in
 // the diagnostics but absent from the map still get a rule entry.
 func (ds Diagnostics) SARIF(toolName string, ruleDescs map[string]string) ([]byte, error) {
-	ds.Sort()
-	ruleSet := map[string]string{}
+	meta := make(map[string]RuleMeta, len(ruleDescs))
 	for name, desc := range ruleDescs {
-		ruleSet[name] = desc
+		meta[name] = RuleMeta{Short: desc}
+	}
+	return ds.SARIFWithMeta(toolName, meta)
+}
+
+// SARIFWithMeta is SARIF with schema-complete rule entries: each rule carries
+// its full description and help text when the metadata provides them, so
+// code-scanning UIs can show documentation next to a finding.
+func (ds Diagnostics) SARIFWithMeta(toolName string, ruleMeta map[string]RuleMeta) ([]byte, error) {
+	ds.Sort()
+	ruleSet := map[string]RuleMeta{}
+	for name, m := range ruleMeta {
+		if m.Short == "" {
+			m.Short = name
+		}
+		ruleSet[name] = m
 	}
 	for _, d := range ds {
 		if _, ok := ruleSet[d.Check]; !ok {
-			ruleSet[d.Check] = d.Check
+			ruleSet[d.Check] = RuleMeta{Short: d.Check}
 		}
 	}
 	ruleNames := make([]string, 0, len(ruleSet))
@@ -99,7 +124,14 @@ func (ds Diagnostics) SARIF(toolName string, ruleDescs map[string]string) ([]byt
 	sort.Strings(ruleNames)
 	rules := make([]sarifRule, len(ruleNames))
 	for i, name := range ruleNames {
-		rules[i] = sarifRule{ID: name, ShortDescription: sarifMultiText{Text: ruleSet[name]}}
+		m := ruleSet[name]
+		rules[i] = sarifRule{ID: name, ShortDescription: sarifMultiText{Text: m.Short}}
+		if m.Full != "" {
+			rules[i].FullDescription = &sarifMultiText{Text: m.Full}
+		}
+		if m.Help != "" {
+			rules[i].Help = &sarifMultiText{Text: m.Help}
+		}
 	}
 
 	results := make([]sarifResult, 0, len(ds))

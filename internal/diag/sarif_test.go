@@ -27,8 +27,12 @@ func TestSARIFGolden(t *testing.T) {
 	}
 	ds.Sort()
 	ds.AssignIDs()
-	got, err := ds.SARIF("hls-lint", map[string]string{
-		"gep-bounds": "statically out-of-range array indexing",
+	got, err := ds.SARIFWithMeta("hls-lint", map[string]RuleMeta{
+		"gep-bounds": {
+			Short: "statically out-of-range array indexing",
+			Full:  "every GEP index is checked against the static array shape",
+			Help:  "tighten the loop bound or guard the access",
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -47,6 +51,12 @@ func TestSARIFGolden(t *testing.T) {
               "id": "gep-bounds",
               "shortDescription": {
                 "text": "statically out-of-range array indexing"
+              },
+              "fullDescription": {
+                "text": "every GEP index is checked against the static array shape"
+              },
+              "help": {
+                "text": "tighten the loop bound or guard the access"
               }
             },
             {
@@ -172,5 +182,9 @@ func TestSARIFEmpty(t *testing.T) {
 	}
 	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 || len(log.Runs[0].Tool.Driver.Rules) != 1 {
 		t.Errorf("unexpected empty-log shape:\n%s", got)
+	}
+	// The description-only entry point must not invent optional rule fields.
+	if strings.Contains(string(got), "fullDescription") || strings.Contains(string(got), "help") {
+		t.Errorf("SARIF without metadata should omit optional rule fields:\n%s", got)
 	}
 }

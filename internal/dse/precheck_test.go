@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/absint"
 	"repro/internal/flow"
 	"repro/internal/hls"
 	"repro/internal/lint"
@@ -167,11 +168,15 @@ func TestPrecheckFrontierAllKernels(t *testing.T) {
 	}
 }
 
-// TestAliasFloorNeverLooser: on every kernel's prepared module, the
-// alias-filtered recurrence floor that lint.PipelineFloors reports must be
-// at most the unfiltered floor computed over the same loops — the may-alias
-// filter can only discard false dependence pairs, never invent one.
-func TestAliasFloorNeverLooser(t *testing.T) {
+// TestDistanceFloorNeverLooser: on every kernel's prepared module, the
+// distance-aware recurrence floor that lint.PipelineFloors reports (the
+// affine dependence engine powering the pre-check) must be at least the
+// structural alias-filtered floor the pre-check used before: exact distances
+// can only discover recurrences the same-address heuristic missed or agree
+// with it (a structural distance-1 recurrence is a ZIV pair the engine pins
+// at d=1), never relax one. A looser floor would let the pre-check keep
+// points the scheduler then prices above the frontier's representative.
+func TestDistanceFloorNeverLooser(t *testing.T) {
 	tgt := hls.DefaultTarget()
 	for _, k := range polybench.All() {
 		k := k
@@ -191,7 +196,8 @@ func TestAliasFloorNeverLooser(t *testing.T) {
 			f := lm.FindFunc(k.Name)
 			cfg := analysis.NewCFG(f)
 			loops := analysis.FindLoops(cfg, analysis.NewDomTree(cfg))
-			unfiltered := map[string]int{}
+			pts := absint.PointsTo(f)
+			structural := map[string]int{}
 			for _, l := range loops.Loops {
 				if !l.IsInnermost() {
 					continue
@@ -203,20 +209,46 @@ func TestAliasFloorNeverLooser(t *testing.T) {
 					}
 				}
 				header := l.Header
-				unfiltered[header.Name] = tgt.RecMII(instrs, func(v llvm.Value) bool {
+				structural[header.Name] = tgt.RecMII(instrs, func(v llvm.Value) bool {
 					return hls.DependsOnLoopPhi(v, header)
-				}, nil)
+				}, pts.MayAlias)
 			}
 			for _, lf := range floors {
-				old, found := unfiltered[lf.Header]
+				old, found := structural[lf.Header]
 				if !found {
-					t.Fatalf("loop %%%s missing from the unfiltered recomputation", lf.Header)
+					t.Fatalf("loop %%%s missing from the structural recomputation", lf.Header)
 				}
-				if lf.RecMII > old {
-					t.Errorf("loop %%%s: alias-filtered RecMII=%d exceeds unfiltered RecMII=%d",
+				if lf.RecMII < old {
+					t.Errorf("loop %%%s: distance-aware RecMII=%d is looser than structural RecMII=%d",
 						lf.Header, lf.RecMII, old)
 				}
 			}
 		})
+	}
+}
+
+// TestSeidel2dGainsExactDistance pins the precision win the affine engine
+// delivers on the corpus: seidel2d's innermost loop reads A[i][j-1] — the
+// value stored to A[i][j] one iteration earlier — a real distance-1
+// recurrence the structural same-address model cannot see (the addresses are
+// IV-dependent and textually different). The distance-aware floor must rise
+// above the structural floor of 1 on that loop.
+func TestSeidel2dGainsExactDistance(t *testing.T) {
+	k := polybench.Get("seidel2d")
+	s, err := k.SizeOf("MINI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := flow.PrepareLLVM(k.Build(s), k.Name, flow.Directives{Pipeline: true, II: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, ok := lint.MinPipelineFloor(lm, k.Name, hls.DefaultTarget())
+	if !ok {
+		t.Fatal("no pipelined loop found in seidel2d")
+	}
+	if floor <= 1 {
+		t.Errorf("seidel2d distance-aware recurrence floor = %d, want > 1 "+
+			"(the A[i][j-1] flow dependence must constrain the II)", floor)
 	}
 }

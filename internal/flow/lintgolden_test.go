@@ -1,0 +1,94 @@
+package flow
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/hls"
+	"repro/internal/lint"
+	"repro/internal/polybench"
+)
+
+// lintGoldenReport renders the full-check diagnostic set of every kernel's
+// prepared module as stable text: kernel order is the corpus order, findings
+// are in diag sort order, and IDs are omitted so the golden tracks analysis
+// behavior rather than fingerprint hashes.
+func lintGoldenReport(t *testing.T) string {
+	t.Helper()
+	tgt := hls.DefaultTarget()
+	var sb strings.Builder
+	for _, k := range polybench.All() {
+		s, err := k.SizeOf("MINI")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lm, err := PrepareLLVM(k.Build(s), k.Name, Directives{Pipeline: true, II: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		ds := lint.Module(lm, lint.Options{Target: tgt})
+		fmt.Fprintf(&sb, "== %s (%d finding(s))\n", k.Name, len(ds))
+		for _, d := range ds {
+			sb.WriteString(lintGoldenLine(d))
+		}
+	}
+	return sb.String()
+}
+
+func lintGoldenLine(d diag.Diagnostic) string {
+	line := fmt.Sprintf("%s[%s] @%s", d.Severity, d.Check, d.Func)
+	if d.Block != "" {
+		line += " %" + d.Block
+	}
+	if d.Instr != "" {
+		line += " %" + d.Instr
+	}
+	return line + ": " + d.Message + "\n"
+}
+
+// TestLintGoldenAllKernels locks the complete 18-kernel diagnostic set to a
+// checked-in golden. Any change to an analysis — a new dependence verdict, a
+// reworded message, a lost or gained finding — shows up as a diff here and
+// must be a deliberate regeneration (UPDATE_LINT_GOLDEN=1), never an
+// accident: the DSE pre-check and the directive lints consume these same
+// verdicts, so silent drift is a soundness hazard.
+func TestLintGoldenAllKernels(t *testing.T) {
+	got := lintGoldenReport(t)
+	golden := filepath.Join("testdata", "lint_golden.txt")
+	if os.Getenv("UPDATE_LINT_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with UPDATE_LINT_GOLDEN=1 go test -run TestLintGoldenAllKernels ./internal/flow/): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("lint diagnostics drifted from the golden at line %d:\n  got:  %s\n  want: %s\n(regenerate deliberately with UPDATE_LINT_GOLDEN=1)", i+1, g, w)
+		}
+	}
+	t.Fatal("lint diagnostics drifted from the golden (line lengths differ)")
+}

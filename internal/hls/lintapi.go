@@ -5,7 +5,9 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/deptest"
 	"repro/internal/llvm"
+	"repro/internal/llvm/analysis"
 )
 
 // This file exports the scheduler's dependence/address reasoning for the
@@ -21,7 +23,19 @@ import (
 // discard load/store pairs that provably address disjoint memory.
 func (t Target) RecMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool,
 	mayAlias func(a, b llvm.Value) bool) int {
-	return t.recMII(instrs, ivDependent, mayAlias)
+	return t.recMII(nil, nil, instrs, ivDependent, mayAlias)
+}
+
+// RecMIIWith is RecMII with an affine dependence engine: eng's exact
+// distance/direction verdicts for loop l replace the structural
+// same-address heuristic wherever both accesses are affine — a distance-d
+// recurrence bounds the II at ceil(latency/d), and provably independent
+// pairs constrain nothing. Pairs the engine cannot decide fall back to the
+// structural model, so the result is never looser than RecMII.
+func (t Target) RecMIIWith(eng *deptest.Engine, l *analysis.Loop,
+	instrs []*llvm.Instr, ivDependent func(llvm.Value) bool,
+	mayAlias func(a, b llvm.Value) bool) int {
+	return t.recMII(eng, l, instrs, ivDependent, mayAlias)
 }
 
 // MemAccessCounts returns the per-base load/store counts of one iteration's

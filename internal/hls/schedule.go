@@ -3,7 +3,9 @@ package hls
 import (
 	"math"
 
+	"repro/internal/deptest"
 	"repro/internal/llvm"
+	"repro/internal/llvm/analysis"
 )
 
 // baseOf resolves a pointer operand to its root allocation (parameter or
@@ -157,17 +159,22 @@ func (t Target) scheduleInstrsPorts(instrs []*llvm.Instr, portsOf func(llvm.Valu
 }
 
 // recMII computes the recurrence-constrained minimum initiation interval of
-// a loop iteration: the longest latency cycle through a load that reads a
-// location stored by the same iteration's store at a loop-INVARIANT address
-// (the classic accumulation recurrence C[i][j] += ... in a k-loop). When
-// the address varies with the induction variable, consecutive iterations
-// touch different locations and no recurrence constrains the II.
+// a loop iteration. With a dependence engine (eng and l non-nil) it is
+// distance-aware: a loop-carried flow dependence of exact distance d bounds
+// the II at ceil(latency/d) — the cycle closes every d iterations, so its
+// latency amortizes over d initiations — and pairs the engine proves
+// independent constrain nothing. Without the engine (or when a pair's
+// accesses are non-affine) it falls back to the structural model: a load
+// that reads a location stored at a loop-INVARIANT address (the classic
+// accumulation recurrence C[i][j] += ... in a k-loop) is a distance-1
+// recurrence; addresses varying with the induction variable are assumed
+// recurrence-free.
 // ivDependent reports whether a value depends on the loop's induction phi.
 // mayAlias (may be nil) is a points-to oracle: pairs it disproves carry no
-// dependence and are skipped before the structural address comparison.
-func (t Target) recMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool,
+// dependence and are skipped before any dependence test.
+func (t Target) recMII(eng *deptest.Engine, l *analysis.Loop,
+	instrs []*llvm.Instr, ivDependent func(llvm.Value) bool,
 	mayAlias func(a, b llvm.Value) bool) int {
-	// Find load/store pairs on the same base with identical address values.
 	rec := 1
 	for _, ld := range instrs {
 		if ld.Op != llvm.OpLoad {
@@ -180,18 +187,34 @@ func (t Target) recMII(instrs []*llvm.Instr, ivDependent func(llvm.Value) bool,
 			if mayAlias != nil && !mayAlias(ld.Args[0], st.Args[1]) {
 				continue
 			}
-			if !sameAddress(ld.Args[0], st.Args[1]) {
-				continue
+			dist := int64(0) // 0: undecided, fall back to the structural model
+			if eng != nil && l != nil {
+				switch cd := eng.Carried(l, st, ld); cd.Res {
+				case deptest.Independent:
+					continue
+				case deptest.Dependent:
+					dist = 1
+					if cd.Exact {
+						dist = cd.Dist
+					}
+				}
 			}
-			if ivDependent != nil && ivDependent(ld.Args[0]) {
-				continue
+			if dist == 0 {
+				if !sameAddress(ld.Args[0], st.Args[1]) {
+					continue
+				}
+				if ivDependent != nil && ivDependent(ld.Args[0]) {
+					continue
+				}
+				dist = 1
 			}
 			// Path from the load to the stored value through def-use edges.
 			if depth, ok := t.pathLatency(ld, st.Args[0], instrs); ok {
-				// The recurrence is load -> compute -> store -> (next load).
-				total := depth + 1 // +1 for the store write
-				if total > rec {
-					rec = total
+				// The recurrence is load -> compute -> store -> (next load),
+				// closed every dist iterations.
+				total := (int64(depth) + 1 + dist - 1) / dist // +1 for the store write
+				if int(total) > rec {
+					rec = int(total)
 				}
 			}
 		}

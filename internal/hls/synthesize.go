@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/absint"
+	"repro/internal/deptest"
 	"repro/internal/llvm"
 	"repro/internal/llvm/analysis"
 )
@@ -122,6 +123,9 @@ type synth struct {
 	// pts disproves load/store dependences at provably disjoint addresses
 	// before the recurrence-II search considers them.
 	pts *absint.PointsToResult
+	// dep refines the recurrence-II search with exact affine
+	// distance/direction verdicts wherever both accesses are affine.
+	dep *deptest.Engine
 
 	loopLat map[*analysis.Loop]int64
 	repOf   map[*analysis.Loop]*LoopReport
@@ -155,6 +159,7 @@ func (s *synth) run() (*Report, error) {
 
 	s.portsOf = s.tgt.PartitionPorts(s.f)
 	s.pts = absint.PointsTo(s.f)
+	s.dep = deptest.New(s.f, s.li, s.pts.MayAlias)
 
 	// Synthesize loops innermost-first.
 	ordered := append([]*analysis.Loop(nil), s.li.Loops...)
@@ -329,7 +334,7 @@ func (s *synth) synthLoop(l *analysis.Loop) {
 		iterLat = sched.Cycles
 
 		resMII := s.tgt.ResMII(sched.MemAccesses, s.portsOf)
-		rec := s.tgt.recMII(instrs, func(v llvm.Value) bool {
+		rec := s.tgt.recMII(s.dep, l, instrs, func(v llvm.Value) bool {
 			return dependsOnHeaderPhi(v, l.Header, map[llvm.Value]bool{})
 		}, s.pts.MayAlias)
 		target := 1

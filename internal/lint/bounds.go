@@ -64,12 +64,24 @@ func boundsForIndex(ctx *FuncContext, b *llvm.Block, gep *llvm.Instr, idx llvm.V
 		return nil
 	}
 	if r.Lo < 0 || r.Hi >= n {
+		// The affine dependence engine evaluates the index exactly over its
+		// loops' iteration spaces; a proven in-bounds range suppresses an
+		// interval false positive (intervals widen through multiplications the
+		// adaptor's linearized addressing uses). It only ever suppresses —
+		// guarded accesses are refined by branch conditions the affine form
+		// does not see, so firing from the affine range alone would be wrong.
+		if lo, hi, ok := ctx.DepEngine().IndexRange(idx); ok && lo >= 0 && hi < n {
+			return nil
+		}
 		d := ctx.diag(diag.SevWarning, check, b, gep,
 			fmt.Sprintf("index spans [%d, %d], outside dimension %d of size %d",
 				r.Lo, r.Hi, dim, n),
 			"shrink the loop bound or the index expression to fit the array, or guard the access")
 		d.Explanation = fmt.Sprintf("value range of %s at block %%%s: %s; dimension %d requires [0, %d]",
 			idx.Ident(), b.Name, r, dim, n-1)
+		if form, ok := ctx.DepEngine().IndexForm(idx); ok {
+			d.Explanation += fmt.Sprintf("; affine form: %s", form)
+		}
 		return diag.Diagnostics{d}
 	}
 	return nil

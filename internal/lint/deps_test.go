@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/llvm"
+)
+
+// nestFunc builds a canonical two-deep nest over a pointer-to-[16 x float]
+// parameter:
+//
+//	for i in [0, tripI) { for j in [0, tripJ) { body(b, i, j, arr) } }
+func nestFunc(t *testing.T, tripI, tripJ int64, body func(b *llvm.Builder, i, j, arr llvm.Value)) *llvm.Function {
+	t.Helper()
+	arr := &llvm.Param{Name: "arr", Ty: llvm.Ptr(llvm.ArrayOf(16, llvm.FloatT()))}
+	f := llvm.NewFunction("nest", llvm.Void(), arr)
+	entry := f.AddBlock("entry")
+	hi := f.AddBlock("hi")
+	hj := f.AddBlock("hj")
+	bb := f.AddBlock("body")
+	latchI := f.AddBlock("latch.i")
+	exit := f.AddBlock("exit")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	b.Br(hi)
+	b.SetBlock(hi)
+	i := b.Phi(llvm.I64())
+	b.CondBr(b.ICmp("slt", i, llvm.CI(llvm.I64(), tripI)), hj, exit)
+	b.SetBlock(hj)
+	j := b.Phi(llvm.I64())
+	b.CondBr(b.ICmp("slt", j, llvm.CI(llvm.I64(), tripJ)), bb, latchI)
+	b.SetBlock(bb)
+	body(b, i, j, arr)
+	nextJ := b.Add(j, llvm.CI(llvm.I64(), 1))
+	b.Br(hj)
+	b.SetBlock(latchI)
+	nextI := b.Add(i, llvm.CI(llvm.I64(), 1))
+	b.Br(hi)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	i.AddIncoming(llvm.CI(llvm.I64(), 0), entry)
+	i.AddIncoming(nextI, latchI)
+	j.AddIncoming(llvm.CI(llvm.I64(), 0), hi)
+	j.AddIncoming(nextJ, bb)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return f
+}
+
+// TestLoopCarriedDepOuterLoopFiring: for i { for j { A[j] = A[j] + 1 } }.
+// The j loop rewrites each cell within one iteration (dependence distance 0
+// at j — the engine proves independence), but every i iteration reads the
+// values the previous one stored: a recurrence carried by the OUTER loop
+// that the old innermost-only check never saw. Exactly one finding, at %hi.
+func TestLoopCarriedDepOuterLoopFiring(t *testing.T) {
+	f := nestFunc(t, 4, 16, func(b *llvm.Builder, i, j, arr llvm.Value) {
+		p := b.GEP(arrTy(), arr, llvm.CI(llvm.I64(), 0), j)
+		b.Store(b.FAdd(b.Load(llvm.FloatT(), p), llvm.CF(llvm.FloatT(), 1)), p)
+	})
+	ds := runCheck(modOf(f), "loop-carried-dep")
+	if len(ds) != 1 || ds[0].Severity != diag.SevInfo {
+		t.Fatalf("want exactly 1 info (the outer-loop recurrence), got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "loop %hi") {
+		t.Errorf("finding should blame the outer loop: %s", ds[0].Message)
+	}
+	if !strings.Contains(ds[0].Message, "direction <") {
+		t.Errorf("the i coefficient is zero, so only the direction is provable: %s", ds[0].Message)
+	}
+	if strings.Contains(ds[0].Message, "RecMII") {
+		t.Errorf("outer loops have no pipeline II of their own: %s", ds[0].Message)
+	}
+}
+
+// TestLoopCarriedDepExactDistance: A[i] = A[i-1] + 1 is a strong-SIV
+// recurrence the engine pins at exactly distance 1; the finding must quote
+// it alongside the RecMII floor.
+func TestLoopCarriedDepExactDistance(t *testing.T) {
+	f := loopFunc(t, 16, nil, func(b *llvm.Builder, iv, arr llvm.Value) {
+		lp := b.GEP(arrTy(), arr, llvm.CI(llvm.I64(), 0), b.Sub(iv, llvm.CI(llvm.I64(), 1)))
+		sp := b.GEP(arrTy(), arr, llvm.CI(llvm.I64(), 0), iv)
+		b.Store(b.FAdd(b.Load(llvm.FloatT(), lp), llvm.CF(llvm.FloatT(), 1)), sp)
+	})
+	ds := runCheck(modOf(f), "loop-carried-dep")
+	if len(ds) != 1 || ds[0].Severity != diag.SevInfo {
+		t.Fatalf("want 1 info, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "distance=1") {
+		t.Errorf("strong-SIV pair should report its exact distance: %s", ds[0].Message)
+	}
+	if !strings.Contains(ds[0].Message, "RecMII") {
+		t.Errorf("innermost finding should quote the RecMII: %s", ds[0].Message)
+	}
+	if !strings.Contains(ds[0].Explanation, "tests:") {
+		t.Errorf("explanation should list the deciding tests: %s", ds[0].Explanation)
+	}
+}
+
+// TestLoopCarriedDepExonerated: A[i] = A[i+1] (reading ahead) carries
+// nothing forward — the dependence distance would be negative. The alias
+// model alone cannot tell; the affine engine must stay silent.
+func TestLoopCarriedDepExonerated(t *testing.T) {
+	f := loopFunc(t, 16, nil, func(b *llvm.Builder, iv, arr llvm.Value) {
+		lp := b.GEP(arrTy(), arr, llvm.CI(llvm.I64(), 0), b.Add(iv, llvm.CI(llvm.I64(), 1)))
+		sp := b.GEP(arrTy(), arr, llvm.CI(llvm.I64(), 0), iv)
+		b.Store(b.FAdd(b.Load(llvm.FloatT(), lp), llvm.CF(llvm.FloatT(), 1)), sp)
+	})
+	if ds := runCheck(modOf(f), "loop-carried-dep"); len(ds) != 0 {
+		t.Errorf("reading ahead carries nothing across iterations: %v", ds)
+	}
+}

@@ -14,6 +14,7 @@ package lint
 
 import (
 	"repro/internal/absint"
+	"repro/internal/deptest"
 	"repro/internal/diag"
 	"repro/internal/hls"
 	"repro/internal/llvm"
@@ -24,6 +25,11 @@ import (
 type Check struct {
 	Name string
 	Desc string
+	// Full is the long-form rule documentation: what the analysis proves and
+	// what evidence a finding rests on. Rendered into SARIF rule metadata.
+	Full string
+	// Help is remediation guidance shown next to the rule.
+	Help string
 	// Invariant marks checks that must hold after every pass; the pass
 	// managers' verify-each mode runs exactly this subset.
 	Invariant bool
@@ -35,57 +41,87 @@ var registry = []Check{
 	{
 		Name:      "ssa-dominance",
 		Desc:      "every operand's definition dominates its use (stricter than Verify)",
+		Full:      "Walks the dominator tree and rejects any instruction operand whose definition does not dominate the use. The structural verifier accepts such modules; this check is the stricter layer that passes must preserve.",
+		Help:      "A pass reordered or moved an instruction above its operand's definition; re-run with verify-each to name the offending pass.",
 		Invariant: true,
 		Run:       checkSSADominance,
 	},
 	{
 		Name:      "uninit-load",
 		Desc:      "loads from local allocas that no path has initialized",
+		Full:      "Forward dataflow over the CFG tracking which allocas every path has stored to; a load reached by any path with no prior store reads undefined memory, which synthesis turns into an uninitialized register.",
+		Help:      "Initialize the alloca on every path before the first load, or hoist a defining store into the entry block.",
 		Invariant: true,
 		Run:       checkUninitLoad,
 	},
 	{
 		Name: "dead-store",
 		Desc: "stores overwritten before any read",
+		Full: "Flags a store whose stored value is overwritten by a later store to the same address with no intervening load: wasted work and usually a sign of a dropped accumulator update.",
+		Help: "Delete the dead store or move the intended read between the two stores.",
 		Run:  checkDeadStore,
 	},
 	{
 		Name: "dead-alloca",
 		Desc: "local allocations never read",
+		Full: "Flags allocas that are written but never loaded: the buffer occupies BRAM in synthesis yet no result depends on it.",
+		Help: "Remove the allocation or wire its contents to the consumer that was meant to read it.",
 		Run:  checkDeadAlloca,
 	},
 	{
 		Name:      "gep-bounds",
 		Desc:      "constant and induction-ranged GEP indices within static array bounds",
+		Full:      "Checks every GEP index against the static array shape, using constant folding, interval analysis with branch refinement, and the affine access functions the dependence engine recovers; an index whose loop-exact range stays inside the dimension is proven safe even when its interval alone is not.",
+		Help:      "Tighten the loop bound or guard the access; the finding's -explain output shows the index range and affine form the analysis derived.",
 		Invariant: true,
 		Run:       checkGEPBounds,
 	},
 	{
 		Name: "loop-carried-dep",
 		Desc: "memory recurrences that will constrain pipeline II",
+		Full: "Runs the affine dependence-test engine (ZIV/SIV/MIV classification, GCD and Banerjee tests over recovered loop nests) on every may-aliasing store/load pair at every loop level, reporting the exact dependence distance where the accesses are affine and falling back to the structural same-address model elsewhere. A carried flow dependence bounds any pipeline of that loop at RecMII = ceil(latency / distance).",
+		Help: "The code is correct; the finding explains why an aggressive II cannot be met. Restructure the recurrence (e.g. accumulate in a register) or accept the reported RecMII as the II floor.",
 		Run:  checkLoopCarriedDep,
 	},
 	{
 		Name: "hls-directives",
 		Desc: "infeasible, conflicting, or ignored HLS directives",
+		Full: "Validates pipeline, unroll, and array-partition directives against the dependence-implied RecMII floor, trip counts, and array shapes, so requests the scheduler will silently degrade are surfaced at lint time.",
+		Help: "Raise the requested II to at least the reported floor, pick an unroll factor dividing the trip count, or shrink the partition factor to the dimension size.",
 		Run:  checkDirectives,
 	},
 	{
 		Name:      "div-by-zero",
 		Desc:      "integer divisions whose divisor range includes zero",
+		Full:      "Interval analysis over every sdiv/udiv/srem/urem divisor; a range containing zero is undefined behavior in the source and a hang or X-propagation in hardware.",
+		Help:      "Guard the division or refine the divisor's range with a branch the analysis can see.",
 		Invariant: true,
 		Run:       checkDivByZero,
 	},
 	{
 		Name: "shift-width",
 		Desc: "shift amounts that can reach or exceed the operand width",
+		Full: "Interval analysis over shift amounts: shifting an i-N value by N or more is undefined in the source IR and synthesizes to a mux tree with an undriven branch.",
+		Help: "Mask the shift amount to the operand width or tighten the range that feeds it.",
 		Run:  checkShiftWidth,
 	},
 	{
 		Name: "unreachable-code",
 		Desc: "blocks no execution can reach (constant branch conditions)",
+		Full: "Sparse conditional constant propagation marks blocks no execution reaches; they cost area and usually indicate a condition folded further than intended.",
+		Help: "Delete the unreachable region or fix the branch condition that constant-folds.",
 		Run:  checkUnreachableCode,
 	},
+}
+
+// RuleMetadata returns the SARIF rule table for every registered check:
+// short and full descriptions plus remediation help, keyed by check name.
+func RuleMetadata() map[string]diag.RuleMeta {
+	meta := make(map[string]diag.RuleMeta, len(registry))
+	for _, c := range registry {
+		meta[c.Name] = diag.RuleMeta{Short: c.Desc, Full: c.Full, Help: c.Help}
+	}
+	return meta
 }
 
 // Checks returns the registered checks in reporting order.
@@ -131,6 +167,18 @@ type FuncContext struct {
 	intervals *absint.IntervalResult
 	pts       *absint.PointsToResult
 	sccp      *absint.SCCPResult
+	dep       *deptest.Engine
+}
+
+// DepEngine returns the function's affine dependence-test engine (lazily
+// computed). It is constructed exactly as the synthesis estimator builds its
+// own — same loop info, same points-to oracle — so lint verdicts and
+// scheduler RecMII agree.
+func (ctx *FuncContext) DepEngine() *deptest.Engine {
+	if ctx.dep == nil {
+		ctx.dep = deptest.New(ctx.F, ctx.Loops, ctx.PointsTo().MayAlias)
+	}
+	return ctx.dep
 }
 
 // Intervals returns the function's value-range analysis (lazily computed).

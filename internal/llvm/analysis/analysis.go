@@ -264,6 +264,31 @@ func FindLoops(c *CFG, d *DomTree) *LoopInfo {
 	return li
 }
 
+// NestOf returns the loops enclosing b, outermost first (empty when b is not
+// inside any loop).
+func (li *LoopInfo) NestOf(b *llvm.Block) []*Loop {
+	var innermost *Loop
+	for _, l := range li.Loops {
+		if !l.Blocks[b] {
+			continue
+		}
+		if innermost == nil || len(l.Blocks) < len(innermost.Blocks) {
+			innermost = l
+		}
+	}
+	if innermost == nil {
+		return nil
+	}
+	var nest []*Loop
+	for l := innermost; l != nil; l = l.Parent {
+		nest = append(nest, l)
+	}
+	for i, j := 0, len(nest)-1; i < j; i, j = i+1, j-1 {
+		nest[i], nest[j] = nest[j], nest[i]
+	}
+	return nest
+}
+
 // IndVar describes a loop's canonical induction variable: an integer phi in
 // the header starting at Start, stepping by Step each iteration, and guarded
 // by `icmp Pred iv, Bound` on the header's conditional branch.

@@ -403,3 +403,34 @@ func TestTripCountZero(t *testing.T) {
 	}
 	_ = f
 }
+
+func TestNestOf(t *testing.T) {
+	f, blocks := buildNestedLoops(t)
+	cfg := NewCFG(f)
+	li := FindLoops(cfg, NewDomTree(cfg))
+	outer := li.ByHeader[blocks["oh"]]
+	inner := li.ByHeader[blocks["ih"]]
+	cases := []struct {
+		block string
+		want  []*Loop
+	}{
+		{"entry", nil},
+		{"exit", nil},
+		{"oh", []*Loop{outer}},
+		{"oe", []*Loop{outer}},
+		{"ih", []*Loop{outer, inner}},
+		{"ib", []*Loop{outer, inner}},
+	}
+	for _, c := range cases {
+		got := li.NestOf(blocks[c.block])
+		if len(got) != len(c.want) {
+			t.Errorf("NestOf(%s): got %d levels, want %d", c.block, len(got), len(c.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("NestOf(%s)[%d]: wrong loop (want outermost-first)", c.block, i)
+			}
+		}
+	}
+}
