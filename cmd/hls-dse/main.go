@@ -52,6 +52,7 @@ func main() {
 	size := flag.String("size", "SMALL", "problem size preset")
 	top := flag.String("top", "", "top function for MLIR-file input")
 	clock := flag.Float64("clock", 10.0, "target clock period in ns")
+	costModel := flag.String("cost-model", "declared", "operator width source: declared (type widths) or inferred (bitwidth analysis)")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", false, "reuse results for identical configurations")
 	timeout := flag.Duration("timeout", 0, "per-configuration timeout (0 = none)")
@@ -82,6 +83,14 @@ func main() {
 
 	tgt := hls.DefaultTarget()
 	tgt.ClockNs = *clock
+	switch *costModel {
+	case "declared":
+		tgt.CostModel = hls.CostDeclared
+	case "inferred":
+		tgt.CostModel = hls.CostInferred
+	default:
+		fatal(fmt.Errorf("unknown -cost-model %q (want declared or inferred)", *costModel))
+	}
 
 	var build func() *mlir.Module
 	var name, scope string

@@ -17,6 +17,7 @@
 //	hls-lint -explain 1a2b3c4d in.ll  # show one finding's abstract state
 //	hls-lint -deps input.ll           # affine dependence summary per loop nest
 //	hls-lint -deps -format json in.ll # the same, machine-readable
+//	hls-lint -widths input.ll         # inferred bit widths + area delta per function
 //	hls-lint -list                    # list registered checks
 //
 // Exit status: 0 when no error-severity diagnostics were produced (warnings
@@ -53,6 +54,7 @@ func main() {
 	mlirIn := flag.Bool("mlir", false, "parse the input as MLIR instead of LLVM IR")
 	explain := flag.String("explain", "", "print one finding (by its [id]) with the analysis state behind it")
 	deps := flag.Bool("deps", false, "dump the affine dependence summary per loop nest instead of diagnostics")
+	widths := flag.Bool("widths", false, "dump the inferred per-value bit widths and the declared-vs-inferred area delta")
 	flag.Parse()
 
 	if *list {
@@ -104,6 +106,10 @@ func main() {
 
 	if *deps {
 		runDeps(inputs, *format, *mlirIn)
+		return
+	}
+	if *widths {
+		runWidths(inputs, *format, *mlirIn, opts.Target)
 		return
 	}
 
@@ -204,6 +210,43 @@ func runDeps(inputs []string, format string, mlirIn bool) {
 		lint.WriteDependenceText(os.Stdout, all)
 	default:
 		usage(fmt.Errorf("-deps supports text and json formats, not %q", format))
+	}
+}
+
+// runWidths prints the bitwidth-inference summary (`-widths`): per function,
+// every named integer value's known bits, fused range, minimal sound width,
+// and demanded-narrowed hardware width, plus the LUT/FF/DSP delta between
+// the declared and inferred cost models.
+func runWidths(inputs []string, format string, mlirIn bool, tgt hls.Target) {
+	if mlirIn {
+		usage(fmt.Errorf("-widths needs LLVM IR input (the analysis runs on the lowered form)"))
+	}
+	var all []lint.FuncWidths
+	for _, path := range inputs {
+		src, err := readInput(path)
+		if err != nil {
+			usage(err)
+		}
+		if strings.HasSuffix(path, ".mlir") {
+			usage(fmt.Errorf("%s: -widths needs LLVM IR input", inputName(path)))
+		}
+		m, err := llparser.Parse(src)
+		if err != nil {
+			usage(fmt.Errorf("%s: parsing LLVM IR: %w", inputName(path), err))
+		}
+		all = append(all, lint.WidthSummary(m, tgt)...)
+	}
+	switch format {
+	case "json":
+		b, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			usage(err)
+		}
+		fmt.Printf("%s\n", b)
+	case "text":
+		lint.WriteWidthsText(os.Stdout, all)
+	default:
+		usage(fmt.Errorf("-widths supports text and json formats, not %q", format))
 	}
 }
 

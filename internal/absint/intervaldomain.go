@@ -126,10 +126,14 @@ func evalInstr(env *ienv, in *llvm.Instr) Interval {
 		return clampTy(arg(0).Rem(arg(1)), in.Ty)
 	case llvm.OpAnd:
 		return clampTy(andInterval(arg(0), arg(1)), in.Ty)
-	case llvm.OpOr, llvm.OpXor:
-		return clampTy(orXorInterval(arg(0), arg(1)), in.Ty)
+	case llvm.OpOr:
+		return clampTy(orInterval(arg(0), arg(1)), in.Ty)
+	case llvm.OpXor:
+		return clampTy(xorInterval(arg(0), arg(1)), in.Ty)
 	case llvm.OpShl:
 		return clampTy(shlInterval(arg(0), arg(1)), in.Ty)
+	case llvm.OpLShr:
+		return clampTy(lshrInterval(arg(0), arg(1), in.Ty), in.Ty)
 	case llvm.OpAShr:
 		return clampTy(ashrInterval(arg(0), arg(1)), in.Ty)
 	case llvm.OpSExt:
@@ -172,6 +176,19 @@ func andInterval(a, b Interval) Interval {
 	if a.Empty || b.Empty {
 		return Bottom()
 	}
+	// x & (-2^k) clears the low k bits: exactly floor(x / 2^k) * 2^k, a
+	// monotone map, so the range maps endpoint-to-endpoint. This is the
+	// alignment-mask idiom (x & -8) that previously went to top.
+	if c, ok := b.ConstVal(); ok {
+		if k, isAlign := negPow2Exp(c); isAlign && a.Bounded() {
+			return Range(alignDown(a.Lo, k), alignDown(a.Hi, k))
+		}
+	}
+	if c, ok := a.ConstVal(); ok {
+		if k, isAlign := negPow2Exp(c); isAlign && b.Bounded() {
+			return Range(alignDown(b.Lo, k), alignDown(b.Hi, k))
+		}
+	}
 	// x & y with either operand in [0, m] yields [0, m] when the other is
 	// also nonnegative; with a nonnegative constant-ish mask it is [0, mask].
 	if a.Lo >= 0 && b.Lo >= 0 {
@@ -183,18 +200,114 @@ func andInterval(a, b Interval) Interval {
 	if b.Lo >= 0 {
 		return Range(0, b.Hi)
 	}
+	// Both sides may be negative. Pointwise, x & y >= min(x,0) + min(y,0)
+	// (equality of x&y + x|y = x+y with x|y <= -1 for two negatives) and
+	// x & y <= max(x, y), which bounds the hull by the operand corners.
+	return Range(satAdd(minI64(a.Lo, 0), minI64(b.Lo, 0)), maxI64(a.Hi, b.Hi))
+}
+
+// negPow2Exp reports whether c == -2^k for some 0 <= k < 63 (a low-bit
+// clearing mask in two's complement) and returns k.
+func negPow2Exp(c int64) (int, bool) {
+	if c >= 0 || c == negInf {
+		return 0, false
+	}
+	u := uint64(-c)
+	if u&(u-1) != 0 {
+		return 0, false
+	}
+	k := 0
+	for u > 1 {
+		u >>= 1
+		k++
+	}
+	return k, true
+}
+
+// alignDown rounds x down to a multiple of 2^k (the exact effect of
+// x & -2^k in two's complement).
+func alignDown(x int64, k int) int64 {
+	return x &^ (int64(1)<<uint(k) - 1)
+}
+
+func orInterval(a, b Interval) Interval {
+	if a.Empty || b.Empty {
+		return Bottom()
+	}
+	if a.Lo >= 0 && b.Lo >= 0 && a.Hi != posInf && b.Hi != posInf {
+		// Or only sets bits: the result is at least either operand, and
+		// cannot exceed the power-of-two envelope of both.
+		return Range(maxI64(a.Lo, b.Lo), pow2Envelope(maxI64(a.Hi, b.Hi)))
+	}
+	// A negative constant mask forces the sign bit: x | c ∈ [c, -1].
+	if c, ok := b.ConstVal(); ok && c < 0 {
+		return Range(c, -1)
+	}
+	if c, ok := a.ConstVal(); ok && c < 0 {
+		return Range(c, -1)
+	}
 	return Top()
 }
 
-func orXorInterval(a, b Interval) Interval {
+func xorInterval(a, b Interval) Interval {
 	if a.Empty || b.Empty {
 		return Bottom()
+	}
+	// x ^ -1 is bitwise not: exactly -x - 1, an order-reversing bijection.
+	if c, ok := b.ConstVal(); ok && c == -1 {
+		return Interval{Lo: satSub(satNeg(a.Hi), 1), Hi: satSub(satNeg(a.Lo), 1)}
+	}
+	if c, ok := a.ConstVal(); ok && c == -1 {
+		return Interval{Lo: satSub(satNeg(b.Hi), 1), Hi: satSub(satNeg(b.Lo), 1)}
 	}
 	if a.Lo >= 0 && b.Lo >= 0 && a.Hi != posInf && b.Hi != posInf {
 		// Result cannot exceed the next power-of-two envelope of both.
 		return Range(0, pow2Envelope(maxI64(a.Hi, b.Hi)))
 	}
 	return Top()
+}
+
+// lshrInterval models the logical right shift of the type-width unsigned
+// value. ty is the result type (operands share it).
+func lshrInterval(a, s Interval, ty *llvm.Type) Interval {
+	if a.Empty || s.Empty {
+		return Bottom()
+	}
+	if !s.Bounded() || s.Lo < 0 || s.Hi > 63 {
+		return Top()
+	}
+	if a.Lo >= 0 {
+		// Nonnegative operand: logical and arithmetic shifts agree, and the
+		// result is monotone decreasing in the shift amount.
+		shr := func(x int64, k int64) int64 {
+			if x == posInf {
+				if k == 0 {
+					return posInf
+				}
+				return posInf >> uint(k)
+			}
+			return x >> uint(k)
+		}
+		return Range(shr(a.Lo, s.Hi), shr(a.Hi, s.Lo))
+	}
+	// Possibly-negative operand: the masked unsigned value spans the whole
+	// type width, so only the shift amount bounds the result. With a shift
+	// of zero the sign bit can survive (the sign-extended representation
+	// stays negative), so only the type bounds the result then.
+	bits := 64
+	if ty != nil && ty.IsInt() && ty.Bits > 0 && ty.Bits <= 64 {
+		bits = ty.Bits
+	}
+	if s.Lo == 0 {
+		return typeTop(ty)
+	}
+	var umax uint64
+	if bits == 64 {
+		umax = ^uint64(0) >> uint(s.Lo)
+	} else {
+		umax = (uint64(1)<<uint(bits) - 1) >> uint(s.Lo)
+	}
+	return Range(0, int64(umax))
 }
 
 // pow2Envelope returns 2^ceil(log2(m+1)) - 1: the largest value expressible

@@ -143,6 +143,26 @@ func foldInstr(env *cenv, in *llvm.Instr) constVal {
 			}
 			return a << uint(b), true
 		})
+	case llvm.OpLShr:
+		return bin(func(a, b int64) (int64, bool) {
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			// Logical shift of the type-width unsigned value, matching the
+			// interpreter: drop the sign-extended high bits before shifting.
+			u := uint64(a)
+			if t := in.Ty; t != nil && t.IsInt() && t.Bits < 64 {
+				u &= (uint64(1) << uint(t.Bits)) - 1
+			}
+			v := int64(u >> uint(b))
+			// Re-enter the sign-extended representation (lshr by 0 of a
+			// negative value keeps the sign bit set in the type's width).
+			if t := in.Ty; t != nil && t.IsInt() && t.Bits < 64 && t.Bits > 0 {
+				sh := uint(64 - t.Bits)
+				v = v << sh >> sh
+			}
+			return v, true
+		})
 	case llvm.OpAShr:
 		return bin(func(a, b int64) (int64, bool) {
 			if b < 0 || b > 63 {

@@ -1,0 +1,346 @@
+// Package bitwidth infers the minimal sound hardware width of every integer
+// SSA value: a forward known-bits domain (per-bit zero/one/unknown lattice on
+// the generic absint solver) fused with the interval analysis into a
+// signedness-aware value range, plus a backward demanded-bits pass over the
+// SSA graph that finds the bits downstream consumers can actually observe.
+// The HLS resource model's inferred cost mode, the width lints, and the
+// `hls-lint -widths` report all consume this package.
+//
+// Values are modeled at the interpreter's working representation: 64-bit
+// two's complement, with every iN value sign-extended to 64 bits (the
+// invariant truncInt maintains). A KnownBits fact therefore speaks about the
+// representation bit-for-bit, and type truncation re-establishes the
+// sign-extension invariant explicitly.
+package bitwidth
+
+import (
+	"math/bits"
+
+	"repro/internal/llvm"
+)
+
+// KnownBits is the per-bit three-valued abstraction of one 64-bit value:
+// bit i is known to be zero when Zero has bit i set, known to be one when
+// One has it set, and unknown otherwise. Zero & One == 0 always; Top is the
+// all-unknown fact {0, 0}.
+type KnownBits struct {
+	Zero, One uint64
+}
+
+// TopKB returns the all-unknown fact.
+func TopKB() KnownBits { return KnownBits{} }
+
+// ConstKB returns the exact fact for a constant.
+func ConstKB(c int64) KnownBits { return KnownBits{Zero: ^uint64(c), One: uint64(c)} }
+
+// IsConst reports whether every bit is known, returning the value.
+func (k KnownBits) IsConst() (int64, bool) {
+	if k.Zero|k.One == ^uint64(0) {
+		return int64(k.One), true
+	}
+	return 0, false
+}
+
+// Join is the lattice join: a bit stays known only when both facts agree.
+func (k KnownBits) Join(o KnownBits) KnownBits {
+	return KnownBits{Zero: k.Zero & o.Zero, One: k.One & o.One}
+}
+
+// Meet intersects two facts about the same value. A conflict (a bit known
+// both zero and one) means the program point is unreachable; the caller
+// detects it via ok=false.
+func (k KnownBits) Meet(o KnownBits) (KnownBits, bool) {
+	m := KnownBits{Zero: k.Zero | o.Zero, One: k.One | o.One}
+	return m, m.Zero&m.One == 0
+}
+
+// Equal reports fact equality.
+func (k KnownBits) Equal(o KnownBits) bool { return k == o }
+
+// String renders the fact MSB-first with '?' for unknown bits, compressing
+// the leading run (the 64-bit representation's replicated top) to one
+// character followed by '*': ConstKB(5) prints "0b0*101", top is "0b?*".
+func (k KnownBits) String() string {
+	ch := func(i int) byte {
+		m := uint64(1) << uint(i)
+		switch {
+		case k.Zero&m != 0:
+			return '0'
+		case k.One&m != 0:
+			return '1'
+		}
+		return '?'
+	}
+	top := ch(63)
+	i := 62
+	for i >= 0 && ch(i) == top {
+		i--
+	}
+	out := []byte{'0', 'b', top, '*'}
+	for j := i; j >= 0; j-- {
+		out = append(out, ch(j))
+	}
+	return string(out)
+}
+
+// SignKnownZero reports whether the representation is known nonnegative.
+func (k KnownBits) SignKnownZero() bool { return k.Zero&(1<<63) != 0 }
+
+// SignKnownOne reports whether the representation is known negative.
+func (k KnownBits) SignKnownOne() bool { return k.One&(1<<63) != 0 }
+
+// Range returns the tightest signed interval consistent with the fact: the
+// minimum sets every unknown bit to match "as negative as possible" (sign
+// bit one when allowed, other unknown bits zero), the maximum the reverse.
+func (k KnownBits) Range() (lo, hi int64) {
+	const sign = uint64(1) << 63
+	lo64 := k.One
+	if k.Zero&sign == 0 {
+		lo64 |= sign
+	}
+	hi64 := ^k.Zero
+	if k.One&sign == 0 {
+		hi64 &^= sign
+	}
+	return int64(lo64), int64(hi64)
+}
+
+// TruncTy re-establishes the sign-extended representation after an operation
+// whose result has type ty: bits at and above the type width become copies
+// of the (possibly unknown) sign bit, bit ty.Bits-1.
+func (k KnownBits) TruncTy(ty *llvm.Type) KnownBits {
+	if ty == nil || !ty.IsInt() || ty.Bits <= 0 || ty.Bits >= 64 {
+		return k
+	}
+	n := uint(ty.Bits)
+	low := uint64(1)<<n - 1
+	high := ^low
+	signBit := uint64(1) << (n - 1)
+	out := KnownBits{Zero: k.Zero & low, One: k.One & low}
+	switch {
+	case k.Zero&signBit != 0:
+		out.Zero |= high
+	case k.One&signBit != 0:
+		out.One |= high
+	}
+	return out
+}
+
+// zextMask returns the fact viewed as the type-width unsigned value: bits at
+// and above the width become known zero (what a logical shift or zext sees).
+func (k KnownBits) zextMask(ty *llvm.Type) KnownBits {
+	if ty == nil || !ty.IsInt() || ty.Bits <= 0 || ty.Bits >= 64 {
+		return k
+	}
+	low := uint64(1)<<uint(ty.Bits) - 1
+	return KnownBits{Zero: k.Zero&low | ^low, One: k.One & low}
+}
+
+// And returns the fact for k & o.
+func (k KnownBits) And(o KnownBits) KnownBits {
+	return KnownBits{Zero: k.Zero | o.Zero, One: k.One & o.One}
+}
+
+// Or returns the fact for k | o.
+func (k KnownBits) Or(o KnownBits) KnownBits {
+	return KnownBits{Zero: k.Zero & o.Zero, One: k.One | o.One}
+}
+
+// Xor returns the fact for k ^ o.
+func (k KnownBits) Xor(o KnownBits) KnownBits {
+	return KnownBits{
+		Zero: k.Zero&o.Zero | k.One&o.One,
+		One:  k.Zero&o.One | k.One&o.Zero,
+	}
+}
+
+// Not returns the fact for ^k.
+func (k KnownBits) Not() KnownBits { return KnownBits{Zero: k.One, One: k.Zero} }
+
+// Add returns the fact for k + o, simulating the ripple carry bit by bit
+// with a possible-carry set: a result bit is known exactly when both operand
+// bits and every feeding carry are known.
+func (k KnownBits) Add(o KnownBits) KnownBits {
+	return addWithCarry(k, o, carryZero)
+}
+
+// Sub returns the fact for k - o (as k + ^o + 1).
+func (k KnownBits) Sub(o KnownBits) KnownBits {
+	return addWithCarry(k, o.Not(), carryOne)
+}
+
+// possible-carry sets for the ripple simulation.
+const (
+	carryZero = 1 << iota // carry may be 0
+	carryOne              // carry may be 1
+)
+
+func addWithCarry(a, b KnownBits, carry int) KnownBits {
+	var out KnownBits
+	for i := uint(0); i < 64; i++ {
+		m := uint64(1) << i
+		// Possible values of each operand bit.
+		av := bitSet(a, m)
+		bv := bitSet(b, m)
+		var sum0, sum1 bool // can the result bit be 0 / 1?
+		next := 0
+		for _, x := range av {
+			for _, y := range bv {
+				if carry&carryZero != 0 {
+					s := x + y
+					if s&1 == 0 {
+						sum0 = true
+					} else {
+						sum1 = true
+					}
+					if s >= 2 {
+						next |= carryOne
+					} else {
+						next |= carryZero
+					}
+				}
+				if carry&carryOne != 0 {
+					s := x + y + 1
+					if s&1 == 0 {
+						sum0 = true
+					} else {
+						sum1 = true
+					}
+					if s >= 2 {
+						next |= carryOne
+					} else {
+						next |= carryZero
+					}
+				}
+			}
+		}
+		if sum0 && !sum1 {
+			out.Zero |= m
+		}
+		if sum1 && !sum0 {
+			out.One |= m
+		}
+		carry = next
+	}
+	return out
+}
+
+// bitSet returns the possible values {0}, {1}, or {0,1} of the masked bit.
+func bitSet(k KnownBits, m uint64) []int {
+	switch {
+	case k.Zero&m != 0:
+		return []int{0}
+	case k.One&m != 0:
+		return []int{1}
+	}
+	return []int{0, 1}
+}
+
+// Mul returns the fact for k * o: exact when both are constants; otherwise
+// the low bits stay known as far as both operands' contiguous known-low runs
+// reach (the product modulo 2^m depends only on the operands modulo 2^m),
+// and the trailing known zeros of both operands accumulate.
+func (k KnownBits) Mul(o KnownBits) KnownBits {
+	if a, ok := k.IsConst(); ok {
+		if b, ok := o.IsConst(); ok {
+			return ConstKB(a * b)
+		}
+	}
+	knownLow := func(x KnownBits) uint {
+		return uint(bits.TrailingZeros64(^(x.Zero | x.One)))
+	}
+	m := knownLow(k)
+	if n := knownLow(o); n < m {
+		m = n
+	}
+	var out KnownBits
+	if m > 0 {
+		if m > 64 {
+			m = 64
+		}
+		var low uint64
+		if m == 64 {
+			low = ^uint64(0)
+		} else {
+			low = uint64(1)<<m - 1
+		}
+		prod := (k.One & low) * (o.One & low)
+		out.One = prod & low
+		out.Zero = ^prod & low
+	}
+	// Trailing zeros multiply through even past the known-low run.
+	tz := bits.TrailingZeros64(k.One | ^k.Zero)
+	tz += bits.TrailingZeros64(o.One | ^o.Zero)
+	if tz >= 64 {
+		return ConstKB(0)
+	}
+	out.Zero |= uint64(1)<<uint(tz) - 1
+	out.Zero &^= out.One
+	return out
+}
+
+// Shl returns the fact for k << o under the result type ty.
+func (k KnownBits) Shl(o KnownBits, ty *llvm.Type) KnownBits {
+	if s, ok := o.IsConst(); ok && s >= 0 && s < 64 {
+		return KnownBits{
+			Zero: k.Zero<<uint(s) | (uint64(1)<<uint(s) - 1),
+			One:  k.One << uint(s),
+		}.TruncTy(ty)
+	}
+	// Unknown amount: shifting left never clears the trailing zeros already
+	// present (a nonnegative shift only adds more).
+	tz := bits.TrailingZeros64(k.One | ^k.Zero)
+	if tz >= 64 {
+		return ConstKB(0)
+	}
+	return KnownBits{Zero: uint64(1)<<uint(tz) - 1}
+}
+
+// LShr returns the fact for k >>u o on the ty-width unsigned value.
+func (k KnownBits) LShr(o KnownBits, ty *llvm.Type) KnownBits {
+	u := k.zextMask(ty)
+	if s, ok := o.IsConst(); ok && s >= 0 && s < 64 {
+		return KnownBits{
+			Zero: u.Zero>>uint(s) | ^(^uint64(0) >> uint(s)),
+			One:  u.One >> uint(s),
+		}.TruncTy(ty)
+	}
+	return TopKB().TruncTy(ty)
+}
+
+// AShr returns the fact for k >>s o: both masks shift arithmetically, so a
+// known sign propagates into the vacated bits and an unknown sign leaves
+// them unknown.
+func (k KnownBits) AShr(o KnownBits) KnownBits {
+	if s, ok := o.IsConst(); ok && s >= 0 && s < 64 {
+		return KnownBits{
+			Zero: uint64(int64(k.Zero) >> uint(s)),
+			One:  uint64(int64(k.One) >> uint(s)),
+		}
+	}
+	// Unknown amount: only a known sign survives (the result converges
+	// toward it).
+	var out KnownBits
+	if k.SignKnownZero() {
+		out.Zero = 1 << 63
+	}
+	if k.SignKnownOne() {
+		out.One = 1 << 63
+	}
+	return out
+}
+
+// ZExt returns the fact after zero-extending from fromTy: the representation
+// becomes the type-width unsigned value.
+func (k KnownBits) ZExt(fromTy *llvm.Type) KnownBits { return k.zextMask(fromTy) }
+
+// SExt is the identity on the sign-extended representation.
+func (k KnownBits) SExt() KnownBits { return k }
+
+// Trunc re-truncates the representation to the destination type.
+func (k KnownBits) Trunc(toTy *llvm.Type) KnownBits { return k.TruncTy(toTy) }
+
+// Bool returns the fact for an i1-producing comparison: bits 1..63 known
+// zero, bit 0 unknown (the interpreter materializes icmp results as 0/1
+// without sign extension).
+func Bool() KnownBits { return KnownBits{Zero: ^uint64(1)} }

@@ -1,0 +1,198 @@
+package bitwidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/llvm"
+)
+
+// truncRep mirrors the interpreter's truncInt: values live sign-extended to
+// 64 bits.
+func truncRep(x int64, bits int) int64 {
+	if bits <= 0 || bits >= 64 {
+		return x
+	}
+	return x << uint(64-bits) >> uint(64-bits)
+}
+
+// lshrRep mirrors the interpreter's OpLShr: view as type-width unsigned,
+// shift in zeros, re-establish the representation.
+func lshrRep(x int64, s int, bits int) int64 {
+	u := uint64(x)
+	if bits < 64 {
+		u &= uint64(1)<<uint(bits) - 1
+	}
+	return truncRep(int64(u>>uint(s)), bits)
+}
+
+// TestKnownBitsTable is the known-answer table: one row per transfer,
+// including the sign-extension behavior of negative constants.
+func TestKnownBitsTable(t *testing.T) {
+	i8 := llvm.IntT(8)
+	i32 := llvm.I32()
+	lowByteUnknown := KnownBits{Zero: ^uint64(0xFF)} // value in [0, 255]
+	cases := []struct {
+		name string
+		got  KnownBits
+		want KnownBits
+	}{
+		{"const-negative", ConstKB(-1), KnownBits{Zero: 0, One: ^uint64(0)}},
+		{"trunc-negative-const", ConstKB(-1).Trunc(i8), ConstKB(-1)},
+		{"trunc-wraps-sign", ConstKB(200).Trunc(i8), ConstKB(-56)},
+		{"add-const", ConstKB(3).Add(ConstKB(5)).TruncTy(i32), ConstKB(8)},
+		{"add-overflow-signext", ConstKB(100).Add(ConstKB(28)).TruncTy(i8), ConstKB(-128)},
+		{"add-partial-carryfree",
+			KnownBits{Zero: ^uint64(0xF)}.Add(ConstKB(16)).TruncTy(i32),
+			KnownBits{Zero: ^uint64(0x1F), One: 0x10}},
+		{"sub-negative-result", ConstKB(5).Sub(ConstKB(9)).TruncTy(i32), ConstKB(-4)},
+		{"mul-negative-const", ConstKB(-3).Mul(ConstKB(7)).TruncTy(i8), ConstKB(-21)},
+		{"mul-trailing-zeros",
+			KnownBits{Zero: 3}.Mul(KnownBits{Zero: 1}),
+			KnownBits{Zero: 7}},
+		{"and-mask", TopKB().And(ConstKB(7)), KnownBits{Zero: ^uint64(7)}},
+		{"or-negative-mask", TopKB().Or(ConstKB(-16)), KnownBits{One: ^uint64(15)}},
+		{"xor-not-of-nonneg",
+			lowByteUnknown.Xor(ConstKB(-1)),
+			KnownBits{One: ^uint64(0xFF)}},
+		{"not-zero", ConstKB(0).Not(), ConstKB(-1)},
+		{"shl-negative-const", ConstKB(-1).Shl(ConstKB(4), i8), ConstKB(-16)},
+		{"shl-unknown-amount-keeps-evenness",
+			KnownBits{Zero: 3}.Shl(TopKB(), i32),
+			KnownBits{Zero: 3}},
+		{"lshr-clears-sign", ConstKB(-1).LShr(ConstKB(1), i8), ConstKB(127)},
+		{"ashr-keeps-sign", ConstKB(-128).AShr(ConstKB(3)), ConstKB(-16)},
+		{"ashr-unknown-amount-sign-survives",
+			KnownBits{One: 1 << 63}.AShr(TopKB()),
+			KnownBits{One: 1 << 63}},
+		{"zext-negative", ConstKB(-1).ZExt(i8), ConstKB(255)},
+		{"sext-identity", ConstKB(-5).SExt(), ConstKB(-5)},
+		{"bool", Bool(), KnownBits{Zero: ^uint64(1)}},
+	}
+	for _, c := range cases {
+		if !c.got.Equal(c.want) {
+			t.Errorf("%s: got %s, want %s", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestKnownBitsRange(t *testing.T) {
+	i8 := llvm.IntT(8)
+	check := func(name string, k KnownBits, wantLo, wantHi int64) {
+		t.Helper()
+		lo, hi := k.Range()
+		if lo != wantLo || hi != wantHi {
+			t.Errorf("%s: range [%d, %d], want [%d, %d]", name, lo, hi, wantLo, wantHi)
+		}
+	}
+	check("const", ConstKB(-42), -42, -42)
+	check("bool", Bool(), 0, 1)
+	// The fact domain cannot express "high bits replicate bit 7", so the
+	// type top is the full lattice top; the interval side supplies the type
+	// bound when the two fuse.
+	check("i8-top", typeTopKB(i8), -1<<63, 1<<63-1)
+	check("nonneg-byte", KnownBits{Zero: ^uint64(0xFF)}, 0, 255)
+	check("neg-mask", KnownBits{One: ^uint64(15)}, -16, -1)
+	check("top", TopKB(), -1<<63, 1<<63-1)
+}
+
+func TestKnownBitsString(t *testing.T) {
+	cases := []struct {
+		k    KnownBits
+		want string
+	}{
+		{ConstKB(5), "0b0*101"},
+		{ConstKB(-1), "0b1*"},
+		{TopKB(), "0b?*"},
+		{Bool(), "0b0*?"},
+		{KnownBits{Zero: ^uint64(0xF), One: 0x8}, "0b0*1???"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+// contains reports whether concrete representation value x is consistent
+// with fact k.
+func contains(k KnownBits, x int64) bool {
+	return uint64(x)&k.Zero == 0 && ^uint64(x)&k.One == 0
+}
+
+// checkTransfers builds partially-known facts around concrete values a, b
+// (maskA/maskB select the bits left unknown) and asserts, per opcode and
+// type width, that the transfer's result fact contains the result the
+// interpreter would compute.
+func checkTransfers(t *testing.T, a, b int64, maskA, maskB uint64) {
+	t.Helper()
+	for _, bitsN := range []int{8, 32, 64} {
+		ty := llvm.IntT(bitsN)
+		av := truncRep(a, bitsN)
+		bv := truncRep(b, bitsN)
+		ka := KnownBits{Zero: ^uint64(av) &^ maskA, One: uint64(av) &^ maskA}
+		kb := KnownBits{Zero: ^uint64(bv) &^ maskB, One: uint64(bv) &^ maskB}
+		s := int(uint64(b) % 64)
+		ks := ConstKB(int64(s))
+		rows := []struct {
+			op   string
+			fact KnownBits
+			conc int64
+		}{
+			{"add", ka.Add(kb).TruncTy(ty), truncRep(av+bv, bitsN)},
+			{"sub", ka.Sub(kb).TruncTy(ty), truncRep(av-bv, bitsN)},
+			{"mul", ka.Mul(kb).TruncTy(ty), truncRep(av*bv, bitsN)},
+			{"and", ka.And(kb).TruncTy(ty), truncRep(av&bv, bitsN)},
+			{"or", ka.Or(kb).TruncTy(ty), truncRep(av|bv, bitsN)},
+			{"xor", ka.Xor(kb).TruncTy(ty), truncRep(av^bv, bitsN)},
+			{"shl-const", ka.Shl(ks, ty), truncRep(av<<uint(s), bitsN)},
+			{"shl-unknown", ka.Shl(kb, ty), truncRep(av<<uint(bv&63), bitsN)},
+			{"lshr-const", ka.LShr(ks, ty), lshrRep(av, s, bitsN)},
+			{"ashr-const", ka.AShr(ks).TruncTy(ty), truncRep(av>>uint(s), bitsN)},
+			{"ashr-unknown", ka.AShr(kb).TruncTy(ty), truncRep(av>>uint(bv&63), bitsN)},
+			{"trunc-i8", ka.Trunc(llvm.IntT(8)), truncRep(av, 8)},
+			{"zext", ka.ZExt(ty), int64(uint64(av) & lowMask(bitsN))},
+			{"sext", ka.SExt(), av},
+		}
+		for _, r := range rows {
+			if r.fact.Zero&r.fact.One != 0 {
+				t.Fatalf("%s/i%d: invariant broken, Zero&One != 0 in %s (a=%d b=%d maskA=%#x maskB=%#x)",
+					r.op, bitsN, r.fact, a, b, maskA, maskB)
+			}
+			if !contains(r.fact, r.conc) {
+				t.Fatalf("%s/i%d: fact %s excludes concrete result %d (a=%d b=%d maskA=%#x maskB=%#x)",
+					r.op, bitsN, r.fact, r.conc, a, b, maskA, maskB)
+			}
+		}
+		// Range must also contain the concrete value.
+		if lo, hi := ka.Range(); av < lo || av > hi {
+			t.Fatalf("i%d: Range [%d, %d] excludes %d", bitsN, lo, hi, av)
+		}
+	}
+}
+
+// TestKnownBitsCrossCheck drives the transfer/concrete cross-check over a
+// deterministic random sample.
+func TestKnownBitsCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := int64(rng.Uint64()), int64(rng.Uint64())
+		maskA, maskB := rng.Uint64()&rng.Uint64(), rng.Uint64()&rng.Uint64()
+		if i%4 == 0 {
+			maskA, maskB = 0, 0 // fully-known operands: results must be exact too
+		}
+		checkTransfers(t, a, b, maskA, maskB)
+	}
+}
+
+// FuzzKnownBitsTransfers is the fuzz entry over the same property: no
+// transfer may ever exclude the concretely computed result.
+func FuzzKnownBitsTransfers(f *testing.F) {
+	f.Add(int64(0), int64(0), uint64(0), uint64(0))
+	f.Add(int64(-1), int64(1), uint64(0), uint64(0))
+	f.Add(int64(-128), int64(63), uint64(0xFF), uint64(0))
+	f.Add(int64(1)<<62, int64(-1)<<32, ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, a, b int64, maskA, maskB uint64) {
+		checkTransfers(t, a, b, maskA, maskB)
+	})
+}

@@ -26,7 +26,7 @@ var conformantOps = map[llvm.Opcode]bool{
 	llvm.OpAdd: true, llvm.OpSub: true, llvm.OpMul: true,
 	llvm.OpSDiv: true, llvm.OpSRem: true,
 	llvm.OpAnd: true, llvm.OpOr: true, llvm.OpXor: true,
-	llvm.OpShl: true, llvm.OpAShr: true,
+	llvm.OpShl: true, llvm.OpLShr: true, llvm.OpAShr: true,
 	llvm.OpFAdd: true, llvm.OpFSub: true, llvm.OpFMul: true,
 	llvm.OpFDiv: true, llvm.OpFNeg: true,
 	llvm.OpICmp: true, llvm.OpFCmp: true, llvm.OpSelect: true,

@@ -39,18 +39,43 @@ type Target struct {
 	// linearized addressing).
 	DisableAddrFolding bool
 
+	// CostModel selects how operator widths are chosen: CostDeclared (the
+	// zero value) takes them from declared types, CostInferred from the
+	// bitwidth analysis (see ResolveWidths).
+	CostModel CostModel
+
 	// addrOnly marks instructions that only feed address or loop-control
 	// computations; the address generation units absorb them (set by the
 	// synthesizer, nil outside a synthesis run).
 	addrOnly map[*llvm.Instr]bool
+
+	// widths holds per-instruction inferred operator widths, consulted only
+	// under CostInferred (set by ResolveWidths / WithInferredWidths).
+	widths map[*llvm.Instr]int
 }
+
+// CostModel names a width source for the operator cost model.
+type CostModel string
+
+const (
+	// CostDeclared prices operators at their declared type widths.
+	CostDeclared CostModel = ""
+	// CostInferred prices operators at bitwidth-analysis widths.
+	CostInferred CostModel = "inferred"
+)
 
 // Canon renders the target's cost-model parameters in a canonical form,
 // the shared currency of the engine's whole-flow cache key and the
 // incremental layer's synthesis-unit key.
 func (t Target) Canon() string {
-	return fmt.Sprintf("clock=%g|brambits=%d|memports=%d|memlat=%d|noaddrfold=%t",
+	s := fmt.Sprintf("clock=%g|brambits=%d|memports=%d|memlat=%d|noaddrfold=%t",
 		t.ClockNs, t.BRAMBits, t.MemPorts, t.MemReadLatency, t.DisableAddrFolding)
+	// The declared model keeps the historical key byte-for-byte so caches
+	// and goldens survive; only the inferred model tags itself.
+	if t.CostModel != CostDeclared {
+		s += "|costmodel=" + string(t.CostModel)
+	}
+	return s
 }
 
 // DefaultTarget returns the default 100 MHz dual-port-BRAM target.
@@ -60,6 +85,11 @@ func DefaultTarget() Target {
 
 // CostOf returns the operator cost for an instruction under the target.
 func (t Target) CostOf(in *llvm.Instr) OpCost {
+	if t.CostModel == CostInferred {
+		if c, ok := t.inferredCostOf(in); ok {
+			return c
+		}
+	}
 	if t.addrOnly[in] {
 		// Folded into address generation / loop control: combinational,
 		// LUT-only, regardless of the nominal operator cost.
@@ -97,7 +127,7 @@ func (t Target) CostOf(in *llvm.Instr) OpCost {
 		return OpCost{Latency: 2, Delay: 4.0, DSP: 3, LUT: 100, FF: 200}
 	case llvm.OpSDiv, llvm.OpSRem:
 		return OpCost{Latency: 35, Delay: 5.0, LUT: 1800, FF: 3500}
-	case llvm.OpAnd, llvm.OpOr, llvm.OpXor, llvm.OpShl, llvm.OpAShr:
+	case llvm.OpAnd, llvm.OpOr, llvm.OpXor, llvm.OpShl, llvm.OpLShr, llvm.OpAShr:
 		return OpCost{Latency: 0, Delay: 0.9, LUT: intWidthLUT(in.Ty)}
 	case llvm.OpICmp:
 		return OpCost{Latency: 0, Delay: 1.5, LUT: 40}
@@ -152,5 +182,21 @@ func intWidthLUT(t *llvm.Type) int {
 	if t == nil || !t.IsInt() {
 		return 32
 	}
-	return t.Bits
+	return lutWidth(t.Bits)
+}
+
+// lutWidth snaps a width onto the deterministic LUT-costing grid: unknown or
+// nonpositive widths price as 32, a single bit stays 1, anything else rounds
+// up to the next even width and clamps at 64. The kernel-relevant widths
+// (1, 8, 32, 64) are fixed points, so declared-model costs are unchanged.
+func lutWidth(w int) int {
+	switch {
+	case w <= 0:
+		return 32
+	case w == 1:
+		return 1
+	case w >= 64:
+		return 64
+	}
+	return (w + 1) &^ 1
 }

@@ -156,6 +156,7 @@ func (s *synth) run() (*Report, error) {
 	if !s.tgt.DisableAddrFolding {
 		s.tgt.addrOnly = computeAddrOnly(s.f)
 	}
+	s.tgt = s.tgt.ResolveWidths(s.f)
 
 	s.portsOf = s.tgt.PartitionPorts(s.f)
 	s.pts = absint.PointsTo(s.f)
@@ -466,6 +467,9 @@ func (s *synth) cloneForUnroll(instrs []*llvm.Instr, u int) []*llvm.Instr {
 			vmap[in] = ni
 			if s.tgt.addrOnly[in] {
 				s.tgt.addrOnly[ni] = true
+			}
+			if w, ok := s.tgt.widths[in]; ok {
+				s.tgt.widths[ni] = w
 			}
 			out = append(out, ni)
 		}

@@ -58,7 +58,7 @@ func checkShiftWidth(ctx *FuncContext) diag.Diagnostics {
 			continue
 		}
 		for _, in := range b.Instrs {
-			if in.Op != llvm.OpShl && in.Op != llvm.OpAShr {
+			if in.Op != llvm.OpShl && in.Op != llvm.OpLShr && in.Op != llvm.OpAShr {
 				continue
 			}
 			width := int64(64)

@@ -14,6 +14,7 @@ package lint
 
 import (
 	"repro/internal/absint"
+	"repro/internal/bitwidth"
 	"repro/internal/deptest"
 	"repro/internal/diag"
 	"repro/internal/hls"
@@ -112,6 +113,34 @@ var registry = []Check{
 		Help: "Delete the unreachable region or fix the branch condition that constant-folds.",
 		Run:  checkUnreachableCode,
 	},
+	{
+		Name: "overflow-possible",
+		Desc: "integer arithmetic whose inferred result range leaves the declared type",
+		Full: "Fuses known-bits and interval analysis into a signed range per operand and recomputes each add/sub/mul without the type clamp; when the unclamped range leaves the declared width the operation can wrap on inputs the analysis could not exclude. Silent when an operand is unbounded within its type, so data-dependent arithmetic does not drown the report.",
+		Help: "Widen the type, or tighten the operand ranges with a guard or mask the analysis can see; the -explain output shows both operand ranges and the unclamped result range.",
+		Run:  checkOverflowPossible,
+	},
+	{
+		Name: "truncating-store",
+		Desc: "stores of truncated values whose pre-trunc range exceeds the stored width",
+		Full: "Finds store instructions fed by a trunc whose operand's inferred range does not fit the destination width: high bits the producer computed are silently dropped at the memory boundary. Silent when the source is unbounded within its own type.",
+		Help: "Store the full width, or prove the value narrow with a mask or guard before the trunc.",
+		Run:  checkTruncatingStore,
+	},
+	{
+		Name: "redundant-mask",
+		Desc: "and-masks proven no-ops by known-bits analysis",
+		Full: "Flags `and x, C` where every bit the constant mask clears is already known zero in x: the mask never changes any value and occupies LUTs. The known-bits domain tracks per-bit facts through arithmetic, shifts, and masked branch conditions.",
+		Help: "Delete the and and use x directly; the -explain output shows the known-bits fact that proves the mask redundant.",
+		Run:  checkRedundantMask,
+	},
+	{
+		Name: "redundant-ext",
+		Desc: "zero/sign extensions whose extended bits no consumer observes",
+		Full: "Backward demanded-bits analysis over the SSA graph: a zext/sext whose demanded result bits all lie inside the source width feeds only consumers that ignore the extension, so it is pure wiring a narrower datapath would avoid.",
+		Help: "Use the narrow value directly, or push the extension to the single consumer that needs it.",
+		Run:  checkRedundantExt,
+	},
 }
 
 // RuleMetadata returns the SARIF rule table for every registered check:
@@ -168,6 +197,7 @@ type FuncContext struct {
 	pts       *absint.PointsToResult
 	sccp      *absint.SCCPResult
 	dep       *deptest.Engine
+	bw        *bitwidth.Analysis
 }
 
 // DepEngine returns the function's affine dependence-test engine (lazily
@@ -212,8 +242,10 @@ func newFuncContext(m *llvm.Module, f *llvm.Function, tgt hls.Target) *FuncConte
 	dom := analysis.NewDomTree(cfg)
 	ctx := &FuncContext{
 		M: m, F: f, CFG: cfg, Dom: dom,
-		Loops:    analysis.FindLoops(cfg, dom),
-		Target:   tgt,
+		Loops: analysis.FindLoops(cfg, dom),
+		// Under the inferred cost model the directive-feasibility floors
+		// price operators at analyzed widths (no-op for the declared model).
+		Target:   tgt.ResolveWidths(f),
 		blockPos: map[*llvm.Block]int{},
 		instrPos: map[*llvm.Instr]int{},
 	}

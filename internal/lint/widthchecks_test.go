@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/llvm"
+)
+
+func TestOverflowPossibleFiring(t *testing.T) {
+	i8 := llvm.IntT(8)
+	f := straightLine(t, func(b *llvm.Builder) {
+		b.Add(llvm.CI(i8, 100), llvm.CI(i8, 100)) // 200 leaves i8
+	})
+	ds := runCheck(modOf(f), "overflow-possible")
+	if len(ds) != 1 || ds[0].Severity != diag.SevWarning {
+		t.Fatalf("want 1 warning, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "can wrap") {
+		t.Errorf("unexpected message: %s", ds[0].Message)
+	}
+	if ds[0].Explanation == "" {
+		t.Errorf("finding needs an explanation: %+v", ds[0])
+	}
+}
+
+func TestOverflowPossibleNonFiring(t *testing.T) {
+	i8 := llvm.IntT(8)
+	// Proven in-range arithmetic stays silent.
+	f := straightLine(t, func(b *llvm.Builder) {
+		b.Add(llvm.CI(i8, 10), llvm.CI(i8, 20))
+	})
+	// So does arithmetic on an operand the analysis knows nothing about.
+	g := llvm.NewFunction("unknown", llvm.Void(), &llvm.Param{Name: "x", Ty: i8})
+	entry := g.AddBlock("entry")
+	b := llvm.NewBuilder(g)
+	b.SetBlock(entry)
+	b.Add(g.Params[0], llvm.CI(i8, 1))
+	b.Ret(nil)
+	if ds := runCheck(modOf(f, g), "overflow-possible"); len(ds) != 0 {
+		t.Errorf("in-range and unbounded adds should be clean: %v", ds)
+	}
+}
+
+func TestTruncatingStoreFiring(t *testing.T) {
+	i8, i64 := llvm.IntT(8), llvm.I64()
+	f := straightLine(t, func(b *llvm.Builder) {
+		slot := b.Alloca(i8)
+		wide := b.Add(llvm.CI(i64, 150), llvm.CI(i64, 50)) // 200 cannot fit i8
+		b.Store(b.Cast(llvm.OpTrunc, wide, i8), slot)
+	})
+	ds := runCheck(modOf(f), "truncating-store")
+	if len(ds) != 1 || ds[0].Severity != diag.SevWarning {
+		t.Fatalf("want 1 warning, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "truncates") {
+		t.Errorf("unexpected message: %s", ds[0].Message)
+	}
+}
+
+func TestTruncatingStoreNonFiring(t *testing.T) {
+	i8, i64 := llvm.IntT(8), llvm.I64()
+	// A value proven to fit is fine.
+	f := straightLine(t, func(b *llvm.Builder) {
+		slot := b.Alloca(i8)
+		small := b.Add(llvm.CI(i64, 30), llvm.CI(i64, 20))
+		b.Store(b.Cast(llvm.OpTrunc, small, i8), slot)
+	})
+	// An unbounded source proves nothing: house style stays silent.
+	g := llvm.NewFunction("unknown", llvm.Void(), &llvm.Param{Name: "x", Ty: i64})
+	entry := g.AddBlock("entry")
+	b := llvm.NewBuilder(g)
+	b.SetBlock(entry)
+	slot := b.Alloca(i8)
+	b.Store(b.Cast(llvm.OpTrunc, g.Params[0], i8), slot)
+	b.Ret(nil)
+	if ds := runCheck(modOf(f, g), "truncating-store"); len(ds) != 0 {
+		t.Errorf("fitting and unbounded trunc stores should be clean: %v", ds)
+	}
+}
+
+func TestRedundantMaskFiring(t *testing.T) {
+	i64 := llvm.I64()
+	f := llvm.NewFunction("mask", llvm.Void(), &llvm.Param{Name: "x", Ty: i64})
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	low := b.Binary(llvm.OpAnd, f.Params[0], llvm.CI(i64, 15))
+	b.Binary(llvm.OpAnd, low, llvm.CI(i64, 255)) // already within 15
+	b.Ret(nil)
+	ds := runCheck(modOf(f), "redundant-mask")
+	if len(ds) != 1 || ds[0].Severity != diag.SevInfo {
+		t.Fatalf("want 1 info on the second and, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "no-op") {
+		t.Errorf("unexpected message: %s", ds[0].Message)
+	}
+}
+
+func TestRedundantMaskNonFiring(t *testing.T) {
+	i64 := llvm.I64()
+	f := llvm.NewFunction("mask", llvm.Void(), &llvm.Param{Name: "x", Ty: i64})
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	b.Binary(llvm.OpAnd, f.Params[0], llvm.CI(i64, 15)) // x unknown: mask does work
+	b.Ret(nil)
+	if ds := runCheck(modOf(f), "redundant-mask"); len(ds) != 0 {
+		t.Errorf("a real mask should be clean: %v", ds)
+	}
+}
+
+func TestRedundantExtFiring(t *testing.T) {
+	i8, i64 := llvm.IntT(8), llvm.I64()
+	f := llvm.NewFunction("ext", llvm.Void(), &llvm.Param{Name: "x", Ty: i64})
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	slot := b.Alloca(i64)
+	narrow := b.Cast(llvm.OpTrunc, f.Params[0], i8)
+	wide := b.Cast(llvm.OpSExt, narrow, i64)
+	masked := b.Binary(llvm.OpAnd, wide, llvm.CI(i64, 255)) // observes 8 bits only
+	b.Store(masked, slot)
+	b.Ret(nil)
+	ds := runCheck(modOf(f), "redundant-ext")
+	if len(ds) != 1 || ds[0].Severity != diag.SevInfo {
+		t.Fatalf("want 1 info, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Message, "redundant") {
+		t.Errorf("unexpected message: %s", ds[0].Message)
+	}
+}
+
+// TestWidthRuleMetadataComplete pins the SARIF contract for the bitwidth
+// rules: every registered check — the four width checks included — ships
+// short/full descriptions and remediation help, and a SARIF render of a
+// firing width finding embeds its rule entry.
+func TestWidthRuleMetadataComplete(t *testing.T) {
+	meta := RuleMetadata()
+	for _, name := range CheckNames() {
+		m, ok := meta[name]
+		if !ok {
+			t.Errorf("%s: no SARIF rule metadata", name)
+			continue
+		}
+		if m.Short == "" || m.Full == "" || m.Help == "" {
+			t.Errorf("%s: incomplete SARIF rule metadata: %+v", name, m)
+		}
+	}
+
+	i8 := llvm.IntT(8)
+	f := straightLine(t, func(b *llvm.Builder) {
+		b.Add(llvm.CI(i8, 100), llvm.CI(i8, 100))
+	})
+	ds := runCheck(modOf(f), "overflow-possible")
+	if len(ds) != 1 {
+		t.Fatalf("want 1 finding, got %v", ds)
+	}
+	sarif, err := diag.Diagnostics(ds).SARIFWithMeta("hls-lint", meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"overflow-possible"`, "can wrap"} {
+		if !strings.Contains(string(sarif), want) {
+			t.Errorf("SARIF output missing %q:\n%s", want, sarif)
+		}
+	}
+}
+
+func TestRedundantExtNonFiring(t *testing.T) {
+	i8, i64 := llvm.IntT(8), llvm.I64()
+	f := llvm.NewFunction("ext", llvm.Void(), &llvm.Param{Name: "x", Ty: i64})
+	entry := f.AddBlock("entry")
+	b := llvm.NewBuilder(f)
+	b.SetBlock(entry)
+	slot := b.Alloca(i64)
+	narrow := b.Cast(llvm.OpTrunc, f.Params[0], i8)
+	wide := b.Cast(llvm.OpSExt, narrow, i64)
+	b.Store(wide, slot) // the store observes every extended bit
+	b.Ret(nil)
+	if ds := runCheck(modOf(f), "redundant-ext"); len(ds) != 0 {
+		t.Errorf("a fully observed extension should be clean: %v", ds)
+	}
+}

@@ -132,6 +132,12 @@ type Machine struct {
 	// Fuel bounds the executed instruction count (default 500M).
 	Fuel int64
 
+	// Observe, when non-nil, is called with every instruction result the
+	// machine assigns, including phis (the integer representation value;
+	// float results report 0). Property tests hook it to compare dynamic
+	// values against static analysis claims.
+	Observe func(in *llvm.Instr, v int64)
+
 	// ctx is the Run context, checked at block boundaries.
 	ctx context.Context
 }
@@ -206,6 +212,9 @@ func (mc *Machine) call(f *llvm.Function, args []val, depth int) (val, error) {
 		}
 		for i, p := range phis {
 			env[p] = phiVals[i]
+			if mc.Observe != nil {
+				mc.Observe(p, phiVals[i].i)
+			}
 		}
 
 		for _, in := range blk.Instrs[len(phis):] {
@@ -240,6 +249,9 @@ func (mc *Machine) call(f *llvm.Function, args []val, depth int) (val, error) {
 				}
 				if in.HasResult() {
 					env[in] = v
+					if mc.Observe != nil {
+						mc.Observe(in, v.i)
+					}
 				}
 			}
 			if in.IsTerminator() {
@@ -280,7 +292,7 @@ func (mc *Machine) exec(env map[llvm.Value]val, in *llvm.Instr, depth int) (val,
 
 	switch in.Op {
 	case llvm.OpAdd, llvm.OpSub, llvm.OpMul, llvm.OpSDiv, llvm.OpSRem,
-		llvm.OpAnd, llvm.OpOr, llvm.OpXor, llvm.OpShl, llvm.OpAShr:
+		llvm.OpAnd, llvm.OpOr, llvm.OpXor, llvm.OpShl, llvm.OpLShr, llvm.OpAShr:
 		l, err := ev(0)
 		if err != nil {
 			return val{}, err
@@ -315,6 +327,14 @@ func (mc *Machine) exec(env map[llvm.Value]val, in *llvm.Instr, depth int) (val,
 			x = l.i ^ r.i
 		case llvm.OpShl:
 			x = l.i << uint(r.i)
+		case llvm.OpLShr:
+			// Logical shift acts on the type-width unsigned value: clear the
+			// sign-extended high bits first, then shift in zeros.
+			u := uint64(l.i)
+			if t := in.Ty; t != nil && t.IsInt() && t.Bits < 64 {
+				u &= (uint64(1) << uint(t.Bits)) - 1
+			}
+			x = int64(u >> uint(r.i))
 		case llvm.OpAShr:
 			x = l.i >> uint(r.i)
 		}

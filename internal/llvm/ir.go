@@ -92,6 +92,7 @@ const (
 	OpOr          Opcode = "or"
 	OpXor         Opcode = "xor"
 	OpShl         Opcode = "shl"
+	OpLShr        Opcode = "lshr"
 	OpAShr        Opcode = "ashr"
 	OpFAdd        Opcode = "fadd"
 	OpFSub        Opcode = "fsub"

@@ -11,7 +11,7 @@ var binaryOps = map[string]llvm.Opcode{
 	"add": llvm.OpAdd, "sub": llvm.OpSub, "mul": llvm.OpMul,
 	"sdiv": llvm.OpSDiv, "srem": llvm.OpSRem,
 	"and": llvm.OpAnd, "or": llvm.OpOr, "xor": llvm.OpXor,
-	"shl": llvm.OpShl, "ashr": llvm.OpAShr,
+	"shl": llvm.OpShl, "lshr": llvm.OpLShr, "ashr": llvm.OpAShr,
 	"fadd": llvm.OpFAdd, "fsub": llvm.OpFSub, "fmul": llvm.OpFMul, "fdiv": llvm.OpFDiv,
 }
 

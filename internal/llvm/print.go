@@ -147,7 +147,7 @@ func (p *llPrinter) instr(in *Instr) string {
 		res = "%" + in.Name + " = "
 	}
 	switch in.Op {
-	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpAShr,
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr,
 		OpFAdd, OpFSub, OpFMul, OpFDiv:
 		return fmt.Sprintf("%s%s %s %s, %s", res, in.Op, p.ty(in.Ty),
 			in.Args[0].Ident(), in.Args[1].Ident())

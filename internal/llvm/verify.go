@@ -80,7 +80,7 @@ func verifyInstr(in *Instr, preds map[*Block][]*Block) error {
 		return err
 	}
 	switch in.Op {
-	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpAShr:
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
 		if err := want(2); err != nil {
 			return err
 		}
