@@ -24,6 +24,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/incr"
 	"repro/internal/prof"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	verify := flag.Bool("verify-semantics", false, "run every evaluation under the differential semantic oracle (a pass that changes results fails as a localized miscompile)")
 	incremental := flag.Bool("incremental", false, "memoize pipeline units so repeated evaluations replay unchanged prefixes instead of recompiling")
 	incrStore := flag.String("incr-store", "", "directory for the on-disk incremental store (implies -incremental); table regeneration warm-starts across processes")
+	server := flag.String("server", "", "hls-serve daemon URL; evaluations run remotely with embedded fallback when it is unreachable or shedding")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -68,6 +70,13 @@ func main() {
 			os.Exit(1)
 		}
 		eopts.IncrStore = st
+	}
+	if *server != "" {
+		client := serve.NewClient(*server, "flowbench")
+		if !client.Ready() {
+			fmt.Fprintf(os.Stderr, "flowbench: server %s not ready; evaluating embedded\n", *server)
+		}
+		eopts.Remote = client.Remote()
 	}
 	eng := engine.New(eopts)
 	cfg.Engine = eng

@@ -45,6 +45,7 @@ import (
 	"repro/internal/polybench"
 	"repro/internal/prof"
 	"repro/internal/resilience"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 	injectMiscompile := flag.String("inject-miscompile", "", "chaos hook: corrupt the IR inside `config:stage/pass`, exercising oracle detection/localization/quarantine end to end")
 	incremental := flag.Bool("incremental", false, "memoize pipeline units so repeated or edited sweeps replay unchanged prefixes instead of recompiling")
 	incrStore := flag.String("incr-store", "", "directory for the on-disk incremental store (implies -incremental); sweeps warm-start across processes")
+	server := flag.String("server", "", "hls-serve daemon URL; points evaluate remotely with embedded fallback when it is unreachable or shedding")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -94,6 +96,7 @@ func main() {
 
 	var build func() *mlir.Module
 	var name, scope string
+	var spec *engine.RemoteSpec
 	switch {
 	case *kernel != "":
 		k := polybench.Get(*kernel)
@@ -107,6 +110,7 @@ func main() {
 		build = func() *mlir.Module { return k.Build(s) }
 		name = k.Name
 		scope = *size
+		spec = &engine.RemoteSpec{Kernel: *kernel, Size: *size}
 	case flag.Arg(0) != "":
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
@@ -125,6 +129,7 @@ func main() {
 		name = *top
 		// Scope the cache to the file's content, not its path.
 		scope = fmt.Sprintf("%x", sha256.Sum256(src))
+		spec = &engine.RemoteSpec{MLIR: string(src)}
 	default:
 		fatal(fmt.Errorf("pass -kernel NAME or an input.mlir with -top"))
 	}
@@ -146,7 +151,10 @@ func main() {
 		}
 		opts.IncrStore = st
 	}
-	if *fallback || *quarantine != "" || *retries > 0 || *injectPanic != "" || *injectMiscompile != "" {
+	if *server != "" {
+		opts.RemoteSpec = spec
+	}
+	if *fallback || *quarantine != "" || *retries > 0 || *injectPanic != "" || *injectMiscompile != "" || *server != "" {
 		eopts := engine.Options{
 			Workers:     *workers,
 			Cache:       *cache,
@@ -167,6 +175,13 @@ func main() {
 					panic("injected panic at " + spec)
 				}
 			}
+		}
+		if *server != "" {
+			client := serve.NewClient(*server, "hls-dse")
+			if !client.Ready() {
+				fmt.Fprintf(os.Stderr, "hls-dse: server %s not ready; evaluating embedded\n", *server)
+			}
+			eopts.Remote = client.Remote()
 		}
 		if spec := *injectMiscompile; spec != "" {
 			label, unit, ok := strings.Cut(spec, ":")

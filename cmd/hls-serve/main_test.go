@@ -1,0 +1,100 @@
+package main_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSmoke builds the real binary, boots it on an ephemeral port,
+// round-trips an evaluation over HTTP, and checks SIGTERM drains to exit
+// code 0.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "hls-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-store", filepath.Join(tmp, "store"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its resolved address once listening.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("daemon never printed its listening line")
+	}
+	// Drain remaining output so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(map[string]any{"kernel": "gemm", "size": "MINI"})
+	resp, err = http.Post(base+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eval struct {
+		Report *struct {
+			LatencyCycles int64 `json:"latency_cycles"`
+		} `json:"report"`
+		Source string `json:"source"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eval); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || eval.Report == nil {
+		t.Fatalf("eval: status %d, %+v", resp.StatusCode, eval)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM drain exited non-zero: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,253 @@
+// Package castore is the shared on-disk content-addressed record store
+// underneath the incremental-compilation layer and the engine's persistent
+// result cache: one JSON file per record under a sharded directory, safe
+// for any number of processes — daemons and CLIs — sharing one tree.
+//
+// Integrity model. Every record is wrapped in an envelope carrying the hex
+// SHA-256 of its payload. Writes are atomic (temp file + rename in the
+// record's own directory), so a killed writer never leaves a torn record
+// under a record path; the digest additionally catches what atomicity
+// cannot — a corrupt-but-valid-JSON file written by a foreign tool, a
+// bit-flipped disk block, a stale record from an incompatible layout. A
+// record that fails the digest (or does not parse as an envelope at all)
+// is never returned: it is counted, moved aside to <name>.quarantined for
+// inspection, and remembered in a negative front-cache so a hot key's
+// corruption is diagnosed once, not re-read and re-parsed on every miss.
+//
+// Concurrency model. Keys are content addresses: two writers racing on one
+// key are writing identical payloads by construction, so either rename
+// winning is correct. All methods are safe for concurrent use within a
+// process; cross-process safety needs no locking beyond rename atomicity.
+//
+// Failure model. Get never fails loudly — a missing, unreadable, or
+// corrupt record is a miss and the caller recomputes — but every I/O error
+// and every quarantined record is counted in Counters, so a full disk, a
+// read-only tree, or a corruption storm is visible in /stats instead of
+// presenting as a mysteriously cold cache. Put returns its error for the
+// same reason.
+package castore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters is a snapshot of a store's activity and health.
+type Counters struct {
+	// Hits and Misses count Get outcomes (a quarantined or errored read
+	// is a miss).
+	Hits, Misses int64
+	// PutErrors and GetErrors count I/O failures (marshal, mkdir, create,
+	// write, close, rename on the put side; unreadable files on the get
+	// side — a missing file is a plain miss, not an error).
+	PutErrors, GetErrors int64
+	// Corrupt counts records that failed envelope parsing or digest
+	// verification and were quarantined.
+	Corrupt int64
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Hits:      c.Hits + o.Hits,
+		Misses:    c.Misses + o.Misses,
+		PutErrors: c.PutErrors + o.PutErrors,
+		GetErrors: c.GetErrors + o.GetErrors,
+		Corrupt:   c.Corrupt + o.Corrupt,
+	}
+}
+
+// Store is a digest-verified content-addressed record store rooted at one
+// directory.
+type Store struct {
+	dir string
+
+	hits, misses, putErrors, getErrors, corrupt atomic.Int64
+
+	// mu guards bad, the negative front-cache of keys whose on-disk record
+	// was quarantined: the first Get pays the read+parse and moves the file
+	// aside; every later Get of the same key is an in-memory miss until a
+	// Put rewrites the record.
+	mu  sync.Mutex
+	bad map[string]bool
+}
+
+// envelope is the on-disk record layout. Sum is the hex SHA-256 of the
+// exact Payload bytes; field order keeps the digest ahead of the payload
+// so truncation inside the payload leaves the digest intact to disagree.
+type envelope struct {
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// SumBytes returns the hex SHA-256 of b — the digest stored in record
+// envelopes.
+func SumBytes(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("castore: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir, bad: make(map[string]bool)}, nil
+}
+
+// path shards records by the first two bytes of the key so directories do
+// not grow unboundedly flat.
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".json")
+}
+
+// Get returns the payload stored under key. A missing, unreadable, or
+// corrupt record is a miss; corruption is quarantined and front-cached so
+// it costs one read, ever, until a Put replaces the record.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	quarantined := s.bad[key]
+	s.mu.Unlock()
+	if quarantined {
+		s.misses.Add(1)
+		return nil, false
+	}
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.getErrors.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if jerr := json.Unmarshal(data, &env); jerr != nil || env.Sum != SumBytes(env.Payload) {
+		s.quarantine(key, path)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return env.Payload, true
+}
+
+// Put writes payload under key atomically, returning (and counting) any
+// I/O error. A successful Put clears the key's quarantine mark: the fresh
+// record supersedes whatever was moved aside.
+func (s *Store) Put(key string, payload []byte) error {
+	err := s.write(key, payload)
+	if err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	s.mu.Lock()
+	delete(s.bad, key)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) write(key string, payload []byte) error {
+	data, err := json.Marshal(envelope{Sum: SumBytes(payload), Payload: payload})
+	if err != nil {
+		return fmt.Errorf("castore: marshal %s: %w", key, err)
+	}
+	path := s.path(key)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("castore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("castore: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		if werr != nil {
+			return fmt.Errorf("castore: write %s: %w", key, werr)
+		}
+		return fmt.Errorf("castore: close %s: %w", key, cerr)
+	}
+	// Rename is atomic within the directory; concurrent writers of one key
+	// carry identical content, so either rename winning is correct.
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("castore: rename %s: %w", key, err)
+	}
+	return nil
+}
+
+// Quarantine moves the record under key aside as corrupt and front-caches
+// the decision. Callers use it when a record passes the digest but fails
+// their own schema — a digest-valid envelope wrapping bytes that are not a
+// record of theirs is just as untrustworthy.
+func (s *Store) Quarantine(key string) {
+	s.quarantine(key, s.path(key))
+}
+
+func (s *Store) quarantine(key, path string) {
+	s.mu.Lock()
+	already := s.bad[key]
+	s.bad[key] = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.corrupt.Add(1)
+	// Move the file aside for inspection; if the rename loses a race with
+	// a concurrent quarantine or the file is gone, there is nothing left
+	// to preserve.
+	if err := os.Rename(path, path+".quarantined"); err != nil && !os.IsNotExist(err) {
+		os.Remove(path)
+	}
+}
+
+// Counters returns a snapshot of the store's activity counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		PutErrors: s.putErrors.Load(),
+		GetErrors: s.getErrors.Load(),
+		Corrupt:   s.corrupt.Load(),
+	}
+}
+
+// Len counts intact records on disk (quarantined files excluded).
+func (s *Store) Len() int {
+	n := 0
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if filepath.Ext(f.Name()) == ".json" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }

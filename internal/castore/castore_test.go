@@ -1,0 +1,263 @@
+package castore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"v":42}`)
+	if err := s.Put("abcd1234", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("abcd1234")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q ok=%v, want %q", got, ok, payload)
+	}
+	// A fresh handle (cross-process path) sees the record.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s2.Get("abcd1234")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("reopened Get = %q ok=%v", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+	c := s2.Counters()
+	if c.Hits != 1 || c.Corrupt != 0 {
+		t.Fatalf("counters %+v, want 1 hit, 0 corrupt", c)
+	}
+}
+
+func TestMissingKeyIsAMissNotAnError(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("phantom hit")
+	}
+	c := s.Counters()
+	if c.Misses != 1 || c.GetErrors != 0 {
+		t.Fatalf("counters %+v, want 1 miss and no get errors", c)
+	}
+}
+
+// corruptOnDisk writes raw bytes at key's record path, bypassing Put.
+func corruptOnDisk(t *testing.T, s *Store, key string, raw []byte) {
+	t.Helper()
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptRecordsQuarantinedCountedNeverServed(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"torn", []byte(`{"sum":"ab","payload":{"v":`)},
+		{"foreign-valid-json", []byte(`{"latency":9}`)},
+		{"digest-mismatch", func() []byte {
+			// A well-formed envelope whose payload was tampered after the
+			// digest was computed — valid JSON end to end, wrong content.
+			env, _ := json.Marshal(map[string]any{
+				"sum":     SumBytes([]byte(`{"v":1}`)),
+				"payload": json.RawMessage(`{"v":2}`),
+			})
+			return env
+		}()},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := "deadbeef" + tc.name
+			corruptOnDisk(t, s, key, tc.raw)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt record served as a hit")
+			}
+			c := s.Counters()
+			if c.Corrupt != 1 {
+				t.Fatalf("Corrupt = %d, want 1", c.Corrupt)
+			}
+			// The file was moved aside for inspection.
+			if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+				t.Fatalf("corrupt record still at its path (err=%v)", err)
+			}
+			if _, err := os.Stat(s.path(key) + ".quarantined"); err != nil {
+				t.Fatalf("quarantined copy missing: %v", err)
+			}
+		})
+	}
+}
+
+func TestQuarantineDecisionIsFrontCached(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "cafecafe"
+	corruptOnDisk(t, s, key, []byte("not json"))
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Get(key); ok {
+			t.Fatal("corrupt record served")
+		}
+	}
+	// The read+parse+quarantine happened exactly once; the four later
+	// gets were front-cached misses.
+	c := s.Counters()
+	if c.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1 (decision not front-cached)", c.Corrupt)
+	}
+	if c.Misses != 5 {
+		t.Fatalf("Misses = %d, want 5", c.Misses)
+	}
+	// Planting fresh corruption at the same path must NOT be re-read: the
+	// negative cache answers without touching the file.
+	corruptOnDisk(t, s, key, []byte("other garbage"))
+	s.Get(key)
+	if got := s.Counters().Corrupt; got != 1 {
+		t.Fatalf("Corrupt = %d after re-plant, want 1", got)
+	}
+	// A Put rewrites the record and clears the mark.
+	if err := s.Put(key, []byte(`"fixed"`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != `"fixed"` {
+		t.Fatalf("after rewrite: %q ok=%v", got, ok)
+	}
+}
+
+func TestExplicitQuarantineForSchemaCorruption(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Digest-valid envelope whose payload is not the caller's schema.
+	if err := s.Put("k1", []byte(`"a string, not a record"`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Quarantine("k1")
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("quarantined record served")
+	}
+	if c := s.Counters(); c.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", c.Corrupt)
+	}
+	if _, err := os.Stat(s.path("k1") + ".quarantined"); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+}
+
+func TestPutErrorIsReturnedAndCounted(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("directory permissions do not bind as root")
+	}
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil { // read-only tree
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := s.Put("aa11", []byte(`1`)); err == nil {
+		t.Fatal("Put on a read-only tree returned nil")
+	}
+	if c := s.Counters(); c.PutErrors != 1 {
+		t.Fatalf("PutErrors = %d, want 1", c.PutErrors)
+	}
+}
+
+func TestUnreadableRecordCountsGetError(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("file permissions do not bind as root")
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bb22", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(s.path("bb22"), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("bb22"); ok {
+		t.Fatal("unreadable record served")
+	}
+	if c := s.Counters(); c.GetErrors != 1 {
+		t.Fatalf("GetErrors = %d, want 1", c.GetErrors)
+	}
+}
+
+func TestConcurrentPutGetSameKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := fmt.Sprintf("k%02d", i%7)
+				payload := []byte(fmt.Sprintf(`{"k":%d}`, i%7))
+				if err := s.Put(key, payload); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+				if got, ok := s.Get(key); ok && string(got) != string(payload) {
+					t.Errorf("torn read: %q", got)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c := s.Counters(); c.Corrupt != 0 || c.PutErrors != 0 || c.GetErrors != 0 {
+		t.Fatalf("counters after race: %+v", c)
+	}
+}
+
+func TestLenExcludesQuarantined(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("aa01", []byte(`1`))
+	s.Put("aa02", []byte(`2`))
+	corruptOnDisk(t, s, "aa03", []byte("junk"))
+	s.Get("aa03") // quarantines
+	if n := s.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+func TestSumBytesStable(t *testing.T) {
+	if got := SumBytes([]byte("abc")); !strings.HasPrefix(got, "ba7816bf") {
+		t.Fatalf("SumBytes(abc) = %s, want sha256 prefix ba7816bf", got)
+	}
+}

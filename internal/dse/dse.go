@@ -42,6 +42,17 @@ func areaOf(r *hls.Report) float64 {
 	return float64(r.LUT) + 0.5*float64(r.FF) + 100*float64(r.DSP) + 350*float64(r.BRAM)
 }
 
+// Area is the exported scalarization, so external sweep drivers (the
+// compile-service daemon, thin clients reconstructing frontiers) rank
+// points with exactly the ranking Explore uses.
+func Area(r *hls.Report) float64 { return areaOf(r) }
+
+// Frontier returns the Pareto frontier of points under the same
+// dominance and ordering rules Explore applies — external drivers that
+// assemble points themselves must go through this to get byte-identical
+// frontiers.
+func Frontier(points []Point) []Point { return paretoFrontier(points) }
+
 // Config is one directive configuration of the design space.
 type Config struct {
 	Label string
@@ -158,6 +169,11 @@ type Options struct {
 	// kept representative of each pruned group evaluates to the identical
 	// report. Off by default.
 	Precheck bool
+	// RemoteSpec, when non-nil, stamps every job with the serializable
+	// identity of the swept input, so an engine configured with
+	// Options.Remote can ship points to a compile-service daemon and fall
+	// back to embedded evaluation when it is unreachable.
+	RemoteSpec *engine.RemoteSpec
 	// Oracle samples the differential semantic oracle across the sweep:
 	// when N > 0, every Nth configuration by space index (idx % N == 0)
 	// runs with flow.Options.VerifySemantics, re-executing the IR after
@@ -207,6 +223,7 @@ func ExploreWith(build func() *mlir.Module, top string, tgt hls.Target, opts Opt
 			Directives: cfg.D,
 			Target:     tgt,
 			CacheScope: opts.CacheScope,
+			Spec:       opts.RemoteSpec,
 		}
 		if opts.Oracle > 0 && i%opts.Oracle == 0 {
 			job.VerifySemantics = true

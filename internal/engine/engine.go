@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/castore"
 	"repro/internal/flow"
 	"repro/internal/hls"
 	"repro/internal/incr"
@@ -67,6 +68,22 @@ type Job struct {
 	// participates in the cache key — a verified result and an unverified
 	// one are distinct artifacts.
 	VerifySemantics bool
+	// Spec, when non-nil, serializably identifies the module Build
+	// constructs, making the job shippable to a compile-service daemon
+	// through Options.Remote. It never participates in the cache key —
+	// (Kind, Top, CacheScope, Directives, Target) already are the
+	// identity; Spec is transport, not semantics.
+	Spec *RemoteSpec
+}
+
+// RemoteSpec is the wire-format identity of a job's input module: either
+// a registered polybench kernel at a size preset, or raw MLIR text. A
+// thin client sends it with the job's directives and target so the server
+// can rebuild the same module; jobs without a spec always run locally.
+type RemoteSpec struct {
+	Kernel string `json:"kernel,omitempty"`
+	Size   string `json:"size,omitempty"`
+	MLIR   string `json:"mlir,omitempty"`
 }
 
 // JobResult is one job's outcome, at the job's index in the input slice.
@@ -80,8 +97,12 @@ type JobResult struct {
 	Violations []hls.Violation
 	LLVM       *llvm.Module
 	Err        error
-	// CacheHit reports whether the result was served from the cache.
+	// CacheHit reports whether the result was served from the in-memory
+	// cache; DiskHit, from the persistent result store; Remote, from a
+	// compile-service daemon via Options.Remote. At most one is set.
 	CacheHit bool
+	DiskHit  bool
+	Remote   bool
 	// Elapsed is this job's wall time (near zero for cache hits).
 	Elapsed time.Duration
 	// Degraded marks a result the C++ fallback path produced after the
@@ -150,6 +171,23 @@ type Options struct {
 	// cross-process warm starts.
 	IncrStore incr.Store
 
+	// ResultStore, when non-nil, is the persistent whole-flow result
+	// layer: successful, non-degraded adaptor/cxx results are written to
+	// the digest-verified on-disk store under their engine.Key and served
+	// back — across engines, processes, and restarts — before any flow
+	// executes. Multiple daemons and CLIs may share one directory; a
+	// corrupt record is quarantined and counted, never returned. Raw-flow
+	// jobs never persist.
+	ResultStore *castore.Store
+	// Remote, when non-nil, is consulted for jobs carrying a Spec after
+	// the in-memory cache and the persistent store both miss: the thin-
+	// client path that ships a job to a compile-service daemon. Returning
+	// ok=false — the server is unreachable or shedding load — falls back
+	// to embedded execution; ok=true uses the returned result verbatim
+	// (including a server-side evaluation error, which is the job's
+	// genuine outcome and must not be retried locally).
+	Remote func(Job) (JobResult, bool)
+
 	// Flow is the base flow options applied to every job (VerifyEach,
 	// FaultHook for pass-level fault injection). The engine overrides
 	// Ctx/Isolate/Fallback per job.
@@ -196,6 +234,15 @@ type Stats struct {
 	// incremental store vs executed live across all executed jobs;
 	// FullReplays counts jobs whose every unit replayed (zero misses).
 	UnitHits, UnitMisses, FullReplays int64
+	// DiskHits counts jobs served from the persistent result store, and
+	// RemoteHits jobs evaluated by a compile-service daemon — neither ran
+	// a flow in this process.
+	DiskHits, RemoteHits int64
+	// StoreErrors sums put/get I/O failures across the persistent result
+	// and incremental stores (a full or read-only disk made visible);
+	// StoreCorrupt counts records that failed digest or schema
+	// verification and were quarantined.
+	StoreErrors, StoreCorrupt int64
 	// CPU is the summed wall time of executed (non-cached) jobs; with
 	// Wall from the caller's clock it shows the parallel speedup.
 	CPU time.Duration
@@ -232,6 +279,10 @@ func (s Stats) String() string {
 	if s.UnitHits > 0 || s.UnitMisses > 0 {
 		out += fmt.Sprintf("incr unit hits=%d misses=%d (rate %.0f%%) full replays=%d\n",
 			s.UnitHits, s.UnitMisses, 100*s.UnitHitRate(), s.FullReplays)
+	}
+	if s.DiskHits > 0 || s.RemoteHits > 0 || s.StoreErrors > 0 || s.StoreCorrupt > 0 {
+		out += fmt.Sprintf("store disk hits=%d remote hits=%d errors=%d corrupt=%d\n",
+			s.DiskHits, s.RemoteHits, s.StoreErrors, s.StoreCorrupt)
 	}
 	if len(s.Phases) > 0 {
 		out += s.Phases.String()
@@ -271,12 +322,23 @@ func (e *Engine) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters, folding in the
+// health counters of whatever persistent stores the engine drives so a
+// failing disk or a corruption storm shows up where operators look.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	s := e.stats
 	s.Phases = s.Phases.Clone()
+	e.mu.Unlock()
+	var c castore.Counters
+	if e.opts.ResultStore != nil {
+		c = c.Add(e.opts.ResultStore.Counters())
+	}
+	if cs, ok := e.opts.IncrStore.(counterSource); ok {
+		c = c.Add(cs.Counters())
+	}
+	s.StoreErrors = c.PutErrors + c.GetErrors
+	s.StoreCorrupt = c.Corrupt
 	return s
 }
 
@@ -348,12 +410,17 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([
 		if results[i].Err != nil {
 			e.stats.Errors++
 		}
-		if results[i].CacheHit {
+		switch {
+		case results[i].CacheHit:
 			e.stats.CacheHits++
-		} else if results[i].Err == nil && e.cache != nil {
+		case results[i].DiskHit:
+			e.stats.DiskHits++
+		case results[i].Remote:
+			e.stats.RemoteHits++
+		case results[i].Err == nil && (e.cache != nil || e.opts.ResultStore != nil):
 			e.stats.CacheMisses++
 		}
-		if !results[i].CacheHit && results[i].Err == nil {
+		if !results[i].CacheHit && !results[i].DiskHit && !results[i].Remote && results[i].Err == nil {
 			e.stats.CPU += results[i].Elapsed
 			if r := results[i].Res; r != nil {
 				e.stats.Phases = e.stats.Phases.Merge(r.Phases)
@@ -392,27 +459,61 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([
 	return results, nil
 }
 
-// runOne executes or cache-serves a single job. Degraded results are not
-// cached: the fallback report is a stand-in for a failed run, and caching
-// it would mask the direct path recovering on a later batch.
+// runOne serves a single job through the lookup chain — in-memory cache,
+// persistent result store, remote daemon, local execution — and feeds
+// each layer's result back into the layers above it. Degraded results are
+// never cached or persisted: the fallback report is a stand-in for a
+// failed run, and storing it would mask the direct path recovering on a
+// later batch.
 func (e *Engine) runOne(job Job, timeout time.Duration, seen map[*mlir.Module]string, seenMu *sync.Mutex) JobResult {
+	useStore := e.opts.ResultStore != nil && job.Kind != KindRaw
+	var key string
+	if e.cache != nil || useStore {
+		key = Key(job)
+	}
 	if e.cache != nil {
-		key := Key(job)
 		if hit, ok := e.cache.get(key); ok {
 			r := hit
 			r.Label = job.Label
 			r.CacheHit = true
+			r.DiskHit = false
+			r.Remote = false
 			r.Elapsed = 0
 			r.Attempts = 0
 			return r
 		}
-		res := e.execute(job, timeout, seen, seenMu)
-		if res.Err == nil && !res.Degraded {
+	}
+	if useStore {
+		if r, ok := e.loadStored(key, job); ok {
+			if e.cache != nil {
+				e.cache.put(key, r)
+			}
+			return r
+		}
+	}
+	if e.opts.Remote != nil && job.Spec != nil && job.Kind != KindRaw {
+		if r, ok := e.opts.Remote(job); ok {
+			r.Label = job.Label
+			r.Kind = job.Kind
+			r.Remote = true
+			r.CacheHit = false
+			r.DiskHit = false
+			if e.cache != nil && r.Err == nil && !r.Degraded {
+				e.cache.put(key, r)
+			}
+			return r
+		}
+	}
+	res := e.execute(job, timeout, seen, seenMu)
+	if res.Err == nil && !res.Degraded {
+		if e.cache != nil {
 			e.cache.put(key, res)
 		}
-		return res
+		if useStore && storable(job, res) {
+			e.saveStored(key, res)
+		}
 	}
-	return e.execute(job, timeout, seen, seenMu)
+	return res
 }
 
 // execute runs a job's attempt loop: transient failures (timeouts,

@@ -126,6 +126,9 @@ func pairJobs(k *polybench.Kernel, cfg Config, d flow.Directives) ([]engine.Job,
 			Directives: d,
 			Target:     cfg.Target,
 			CacheScope: cfg.SizeName,
+			// The kernel+size pair is the job's full input identity, so
+			// every table evaluation can ship to a compile-service daemon.
+			Spec: &engine.RemoteSpec{Kernel: k.Name, Size: cfg.SizeName},
 		}
 	}
 	return []engine.Job{mk(engine.KindAdaptor, "adaptor"), mk(engine.KindCxx, "cxx")}, nil
@@ -509,7 +512,8 @@ func Fig8(cfg Config) (*Table, error) {
 		// kernel's dependence-implied floor; the frontier is provably
 		// unchanged, so the golden table is too.
 		res, err := dse.ExploreWith(func() *mlir.Module { return k.Build(s) }, k.Name, cfg.Target,
-			dse.Options{Engine: cfg.engine(), CacheScope: cfg.SizeName, FailFast: true, Precheck: true})
+			dse.Options{Engine: cfg.engine(), CacheScope: cfg.SizeName, FailFast: true, Precheck: true,
+				RemoteSpec: &engine.RemoteSpec{Kernel: k.Name, Size: cfg.SizeName}})
 		if err != nil {
 			return nil, err
 		}

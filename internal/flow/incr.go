@@ -124,7 +124,10 @@ func (r *memoRun) do(s step, run func() error) (replayed bool, err error) {
 		}
 		rec.Aux = aux
 	}
-	r.store.Put(key, rec)
+	// A failed persist degrades durability, never the flow: the store
+	// counts the error (engine stats surface it as StoreErrors) and the
+	// unit simply recomputes next time.
+	_ = r.store.Put(key, rec)
 	r.misses++
 	return false, nil
 }

@@ -18,19 +18,19 @@
 //     equivalence property test over every kernel and both flows).
 //
 // Two stores are provided: MemStore (per-process, used by default) and
-// DiskStore (content-addressed files, shared across processes and
-// restarts — the warm-start path for CLIs and services).
+// DiskStore (digest-verified content-addressed files via castore, shared
+// across processes and restarts — the warm-start path for CLIs and the
+// compile-service daemon).
 package incr
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
 	"sync"
+
+	"repro/internal/castore"
 )
 
 // Record is one memoized unit outcome.
@@ -58,10 +58,13 @@ func HashBytes(s string) string {
 }
 
 // Store is a content-addressed record store. Implementations must be safe
-// for concurrent use: engine workers share one store across jobs.
+// for concurrent use: engine workers share one store across jobs. Put
+// reports the write failure so a full or read-only disk surfaces in the
+// caller's counters instead of presenting as a mysteriously cold cache; a
+// failed Put must leave Get behavior unchanged (miss or previous record).
 type Store interface {
 	Get(key string) (Record, bool)
-	Put(key string, rec Record)
+	Put(key string, rec Record) error
 	// Len returns the number of distinct records stored.
 	Len() int
 }
@@ -73,8 +76,9 @@ type Store interface {
 var Default Store = NewMemStore()
 
 // keyVersion invalidates every stored record when the key derivation or
-// record layout changes incompatibly.
-const keyVersion = "incr-v1"
+// record layout changes incompatibly (v2: digest-verified castore
+// envelopes on disk).
+const keyVersion = "incr-v2"
 
 // UnitKey derives the content-addressed key for one pipeline unit
 // execution. cfg is the flow-wide configuration salt (flow kind, top
@@ -122,12 +126,13 @@ func (s *MemStore) Get(key string) (Record, bool) {
 
 // Put implements Store. The first write for a key wins, so records served
 // to concurrent readers never change underneath them.
-func (s *MemStore) Put(key string, rec Record) {
+func (s *MemStore) Put(key string, rec Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.m[key]; !dup {
 		s.m[key] = rec
 	}
+	return nil
 }
 
 // Len implements Store.
@@ -137,13 +142,17 @@ func (s *MemStore) Len() int {
 	return len(s.m)
 }
 
-// DiskStore is the on-disk content-addressed store: one JSON file per
-// record under dir, sharded by key prefix, written atomically
-// (temp + rename) so a killed writer never leaves a torn record. A fresh
-// process pointed at the same directory replays everything a previous
-// process compiled — the cross-restart warm path.
+// DiskStore is the on-disk content-addressed store: digest-verified
+// record files managed by castore, written atomically (temp + rename) so
+// a killed writer never leaves a torn record, safe for any number of
+// daemons and CLIs sharing one directory. A fresh process pointed at the
+// same directory replays everything a previous process compiled — the
+// cross-restart warm path. A record that fails the envelope digest or the
+// Record schema — a corrupt-but-valid-JSON file included — is detected
+// once, counted, and moved aside as <key>.json.quarantined, never
+// silently trusted.
 type DiskStore struct {
-	dir string
+	ca *castore.Store
 	// mem front-caches records this process has read or written, so a hot
 	// sweep does not re-read files for every unit of every point.
 	mem *MemStore
@@ -151,93 +160,59 @@ type DiskStore struct {
 
 // OpenDiskStore opens (creating if needed) the store rooted at dir.
 func OpenDiskStore(dir string) (*DiskStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("incr: open store: %w", err)
+	ca, err := castore.Open(dir)
+	if err != nil {
+		return nil, err
 	}
-	return &DiskStore{dir: dir, mem: NewMemStore()}, nil
+	return &DiskStore{ca: ca, mem: NewMemStore()}, nil
 }
 
-// path shards records by the first byte of the key to keep directories
-// from growing unboundedly flat.
-func (s *DiskStore) path(key string) string {
-	shard := "xx"
-	if len(key) >= 2 {
-		shard = key[:2]
-	}
-	return filepath.Join(s.dir, shard, key+".json")
-}
-
-// Get implements Store.
+// Get implements Store. A missing, torn, foreign, or digest-corrupt file
+// is a miss, never an error: the unit re-runs and the record is
+// rewritten. Corruption is quarantined and front-cached by the castore
+// layer, so a hot key's bad record is inspected once, not re-read and
+// re-unmarshaled on every sweep point.
 func (s *DiskStore) Get(key string) (Record, bool) {
 	if r, ok := s.mem.Get(key); ok {
 		return r, ok
 	}
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
+	payload, ok := s.ca.Get(key)
+	if !ok {
 		return Record{}, false
 	}
 	var rec Record
-	if err := json.Unmarshal(data, &rec); err != nil {
-		// A torn or foreign file is a miss, never an error: the unit
-		// re-runs and the record is rewritten.
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		// Digest-valid envelope wrapping bytes that are not a Record —
+		// some other tool's content shares the key. Quarantine it like
+		// any other corruption.
+		s.ca.Quarantine(key)
 		return Record{}, false
 	}
 	s.mem.Put(key, rec)
 	return rec, true
 }
 
-// Put implements Store.
-func (s *DiskStore) Put(key string, rec Record) {
+// Put implements Store, returning the write failure (also counted in
+// Counters) so a full or read-only disk is visible to callers instead of
+// presenting as a cache that never warms. The front cache is updated
+// first either way: within this process the record is good even when the
+// disk is not.
+func (s *DiskStore) Put(key string, rec Record) error {
 	s.mem.Put(key, rec)
-	data, err := json.Marshal(rec)
+	payload, err := json.Marshal(rec)
 	if err != nil {
-		return
+		return err
 	}
-	path := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
-		return
-	}
-	// Rename is atomic within the directory; a concurrent writer of the
-	// same key writes identical content, so either rename winning is fine.
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-	}
+	return s.ca.Put(key, payload)
 }
+
+// Counters returns the underlying store's activity and health counters
+// (put/get I/O errors, quarantined records); the engine surfaces them as
+// StoreErrors/StoreCorrupt in its stats.
+func (s *DiskStore) Counters() castore.Counters { return s.ca.Counters() }
 
 // Len implements Store. It counts records on disk, not the front cache.
-func (s *DiskStore) Len() int {
-	n := 0
-	shards, err := os.ReadDir(s.dir)
-	if err != nil {
-		return 0
-	}
-	for _, sh := range shards {
-		if !sh.IsDir() {
-			continue
-		}
-		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
-		if err != nil {
-			continue
-		}
-		for _, f := range files {
-			if filepath.Ext(f.Name()) == ".json" {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (s *DiskStore) Len() int { return s.ca.Len() }
 
 // Dir returns the store's root directory.
-func (s *DiskStore) Dir() string { return s.dir }
+func (s *DiskStore) Dir() string { return s.ca.Dir() }

@@ -73,6 +73,11 @@ func TestDiskStoreRoundTripAndReopen(t *testing.T) {
 	}
 }
 
+// recordPath mirrors the castore sharding so tests can plant files.
+func recordPath(dir, key string) string {
+	return filepath.Join(dir, key[:2], key+".json")
+}
+
 func TestDiskStoreTornRecordIsAMiss(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenDiskStore(dir)
@@ -80,7 +85,7 @@ func TestDiskStoreTornRecordIsAMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := UnitKey("cfg", "u", "p", "in")
-	path := s.path(key)
+	path := recordPath(dir, key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		t.Fatal(err)
 	}
@@ -90,10 +95,90 @@ func TestDiskStoreTornRecordIsAMiss(t *testing.T) {
 	if _, ok := s.Get(key); ok {
 		t.Fatal("torn record served as a hit")
 	}
-	// The unit re-runs and overwrites the torn file.
-	s.Put(key, Record{IR: "fixed"})
+	// The torn file was quarantined for inspection, and the decision is
+	// front-cached: later gets never re-read it.
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("torn record not moved aside: %v", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("quarantined key served")
+	}
+	if c := s.Counters(); c.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1 (quarantine decision not cached)", c.Corrupt)
+	}
+	// The unit re-runs and rewrites the record.
+	if err := s.Put(key, Record{IR: "fixed"}); err != nil {
+		t.Fatal(err)
+	}
 	if r, ok := s.Get(key); !ok || r.IR != "fixed" {
 		t.Fatalf("rewrite after torn record: got %+v ok=%v", r, ok)
+	}
+	// A fresh handle — no front cache — reads the rewritten file.
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := s2.Get(key); !ok || r.IR != "fixed" {
+		t.Fatalf("fresh handle after rewrite: got %+v ok=%v", r, ok)
+	}
+}
+
+// TestDiskStoreCorruptButValidJSONQuarantined plants a record that parses
+// as JSON but fails the envelope digest — the case naive stores silently
+// trust.
+func TestDiskStoreCorruptButValidJSONQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := UnitKey("cfg", "u", "p", "corrupt")
+	path := recordPath(dir, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A well-formed legacy-style record with no digest envelope: valid
+	// JSON, untrustworthy content.
+	if err := os.WriteFile(path, []byte(`{"ir":"module { tampered }"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("undigested record served as a hit")
+	}
+	if c := s.Counters(); c.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", c.Corrupt)
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("corrupt record not quarantined: %v", err)
+	}
+}
+
+// TestDiskStorePutErrorSurfaces proves a write failure is returned and
+// counted instead of swallowed (the full-disk / read-only-tree case).
+func TestDiskStorePutErrorSurfaces(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("directory permissions do not bind as root")
+	}
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	key := UnitKey("cfg", "u", "p", "rofs")
+	if err := s.Put(key, Record{IR: "x"}); err == nil {
+		t.Fatal("Put on read-only tree returned nil")
+	}
+	if c := s.Counters(); c.PutErrors != 1 {
+		t.Fatalf("PutErrors = %d, want 1", c.PutErrors)
+	}
+	// Within this process the record still serves from the front cache —
+	// a failed persist degrades durability, not correctness.
+	if r, ok := s.Get(key); !ok || r.IR != "x" {
+		t.Fatalf("front cache lost the record: %+v ok=%v", r, ok)
 	}
 }
 

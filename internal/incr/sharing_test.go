@@ -1,0 +1,130 @@
+package incr
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+)
+
+// sharedRecord builds the deterministic record for key index i: every
+// writer — handle or process — produces identical content for a key, the
+// content-addressing contract the store's last-write-wins rename rests on.
+func sharedRecord(i int) (string, Record) {
+	ir := fmt.Sprintf("module { func shared%d }\n", i)
+	key := UnitKey("share-cfg", "stage/pass", "params", fmt.Sprintf("input-%d", i))
+	return key, Record{IR: ir, Hash: HashBytes(ir)}
+}
+
+const sharingKeys = 23
+
+// TestHelperStoreWriter is not a test: it is the subprocess body for
+// TestDiskStoreSharedAcrossProcesses, re-executing this test binary to
+// race Put/Get against the parent from a genuinely separate process.
+func TestHelperStoreWriter(t *testing.T) {
+	dir := os.Getenv("INCR_SHARING_DIR")
+	if dir == "" {
+		t.Skip("subprocess helper; driven by TestDiskStoreSharedAcrossProcesses")
+	}
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < sharingKeys; i++ {
+			key, rec := sharedRecord(i)
+			if err := s.Put(key, rec); err != nil {
+				t.Fatalf("subprocess Put: %v", err)
+			}
+			if got, ok := s.Get(key); ok && got.IR != rec.IR {
+				t.Fatalf("subprocess torn read: %q", got.IR)
+			}
+		}
+	}
+}
+
+// TestDiskStoreSharedAcrossProcesses races two in-process DiskStore
+// handles and one subprocess over the same directory and the same keys:
+// no torn reads, no lost records, digest-verified contents, zero
+// corruption counted. This is the contract the compile-service daemon
+// rests on when CLIs share its store directory.
+func TestDiskStoreSharedAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperStoreWriter$")
+	cmd.Env = append(os.Environ(), "INCR_SHARING_DIR="+dir)
+	out, errc := make(chan []byte, 1), make(chan error, 1)
+	go func() {
+		b, err := cmd.CombinedOutput()
+		out <- b
+		errc <- err
+	}()
+
+	handles := make([]*DiskStore, 2)
+	for h := range handles {
+		s, err := OpenDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[h] = s
+	}
+	var wg sync.WaitGroup
+	for h, s := range handles {
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(h, w int, s *DiskStore) {
+				defer wg.Done()
+				for round := 0; round < 10; round++ {
+					for i := 0; i < sharingKeys; i++ {
+						key, rec := sharedRecord(i)
+						if err := s.Put(key, rec); err != nil {
+							t.Errorf("handle %d worker %d Put: %v", h, w, err)
+						}
+						if got, ok := s.Get(key); ok {
+							if got.IR != rec.IR || got.Hash != rec.Hash {
+								t.Errorf("handle %d torn read on %s: %q", h, key[:8], got.IR)
+							}
+						}
+					}
+				}
+			}(h, w, s)
+		}
+	}
+	wg.Wait()
+	if b, err := <-out, <-errc; err != nil {
+		t.Fatalf("subprocess writer failed: %v\n%s", err, b)
+	}
+
+	// No lost records: a fresh handle — cold front cache, reading purely
+	// from disk — sees every key with digest-verified contents.
+	fresh, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sharingKeys; i++ {
+		key, rec := sharedRecord(i)
+		got, ok := fresh.Get(key)
+		if !ok {
+			t.Fatalf("record %d lost after cross-process race", i)
+		}
+		if got.IR != rec.IR || got.Hash != rec.Hash {
+			t.Fatalf("record %d content wrong after race: %q", i, got.IR)
+		}
+	}
+	if n := fresh.Len(); n != sharingKeys {
+		t.Fatalf("Len = %d, want %d", n, sharingKeys)
+	}
+	c := fresh.Counters()
+	if c.Corrupt != 0 || c.GetErrors != 0 {
+		t.Fatalf("fresh handle counters after race: %+v", c)
+	}
+	for _, s := range handles {
+		if c := s.Counters(); c.Corrupt != 0 {
+			t.Fatalf("racing handle saw corruption: %+v", c)
+		}
+	}
+}

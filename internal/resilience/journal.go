@@ -2,6 +2,8 @@ package resilience
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -14,6 +16,14 @@ import (
 // every key already present, so resumption never recomputes finished
 // work. The reader tolerates a truncated final line — the expected state
 // after a crash mid-append.
+//
+// Every line carries a content digest over its key and data, written
+// ahead of the data so truncation inside the data leaves the digest
+// intact to disagree. A line whose digest does not verify — a torn tail
+// that garbage bytes happened to complete into valid JSON, a bit flip, a
+// foreign writer — is rejected exactly like a parse failure: the journal
+// is append-only, so everything from the first bad line on is
+// untrustworthy and is truncated away before appending resumes.
 type Journal struct {
 	path string
 
@@ -24,8 +34,20 @@ type Journal struct {
 }
 
 type journalLine struct {
-	Key  string          `json:"key"`
+	Key string `json:"key"`
+	// Sum is lineSum(Key, Data): hex SHA-256 binding the data to its key.
+	Sum  string          `json:"sum"`
 	Data json.RawMessage `json:"data"`
+}
+
+// lineSum digests one journal line's key and data with a separator no key
+// contains, so (key, data) pairs cannot collide by concatenation.
+func lineSum(key string, data []byte) string {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // OpenJournal opens (or creates) the journal at path, loading every intact
@@ -55,6 +77,12 @@ func OpenJournal(path string) (*Journal, error) {
 		if err := json.Unmarshal(line, &e); err != nil {
 			// A corrupt line makes everything after it untrustworthy in an
 			// append-only file; the units it recorded simply re-run.
+			break
+		}
+		if e.Sum != lineSum(e.Key, e.Data) {
+			// Parsed but fails its digest: a torn line that stray bytes
+			// completed into valid JSON, or tampered content. Same policy
+			// as a parse failure.
 			break
 		}
 		if _, seen := j.entries[e.Key]; !seen {
@@ -109,7 +137,7 @@ func (j *Journal) Put(key string, v any) error {
 	if err != nil {
 		return fmt.Errorf("journal entry %s: %w", key, err)
 	}
-	line, err := json.Marshal(journalLine{Key: key, Data: data})
+	line, err := json.Marshal(journalLine{Key: key, Sum: lineSum(key, data), Data: data})
 	if err != nil {
 		return err
 	}
@@ -127,6 +155,14 @@ func (j *Journal) Put(key string, v any) error {
 	}
 	j.entries[key] = data
 	return nil
+}
+
+// Keys returns the distinct journaled keys in first-appended order — the
+// iteration surface restart recovery scans to re-admit pending work.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.order...)
 }
 
 // Len returns the number of distinct journaled keys.

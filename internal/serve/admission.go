@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when the client's queue
+// is full — the load-shedding signal the HTTP layer maps to 429.
+var ErrOverloaded = errors.New("serve: client queue full")
+
+// ErrDraining is returned once the admission controller stops accepting
+// new work — mapped to 503.
+var ErrDraining = errors.New("serve: draining")
+
+// Admission is the fair-share gate in front of the evaluation engine:
+// a fixed number of evaluation slots, a bounded FIFO queue per client,
+// and round-robin dispatch across clients with waiters. One client
+// flooding the daemon fills its own queue and starts shedding (429)
+// without starving anyone else — the next free slot goes to the next
+// client in rotation, not the deepest queue.
+type Admission struct {
+	mu       sync.Mutex
+	free     int // open evaluation slots
+	maxQueue int // per-client queue bound
+
+	queues map[string][]*waiter
+	// rotation is the round-robin order of client names; clients enter
+	// when their first waiter enqueues and leave when their queue empties.
+	rotation []string
+	next     int
+	draining bool
+}
+
+type waiter struct {
+	ready     chan struct{}
+	cancelled bool
+	// err is set (before ready closes) when the waiter is woken without a
+	// slot — draining.
+	err error
+}
+
+// NewAdmission builds a controller with the given concurrent-evaluation
+// slots and per-client queue depth (minimums of 1 are enforced).
+func NewAdmission(slots, perClientQueue int) *Admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if perClientQueue < 1 {
+		perClientQueue = 1
+	}
+	return &Admission{free: slots, maxQueue: perClientQueue, queues: make(map[string][]*waiter)}
+}
+
+// Acquire blocks until the client holds an evaluation slot, its context
+// expires, or the controller sheds the request. On success the caller
+// must invoke the returned release exactly once.
+func (a *Admission) Acquire(ctx context.Context, client string) (release func(), err error) {
+	if client == "" {
+		client = "anon"
+	}
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if a.free > 0 && len(a.queues[client]) == 0 {
+		a.free--
+		a.mu.Unlock()
+		return a.releaseFn(), nil
+	}
+	if len(a.queues[client]) >= a.maxQueue {
+		a.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	w := &waiter{ready: make(chan struct{})}
+	if len(a.queues[client]) == 0 {
+		a.rotation = append(a.rotation, client)
+	}
+	a.queues[client] = append(a.queues[client], w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return nil, w.err
+		}
+		return a.releaseFn(), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			a.mu.Unlock()
+			if w.err != nil {
+				return nil, w.err
+			}
+			// Dispatch won the race: the slot is ours and must be returned
+			// through the normal path so the next waiter runs.
+			a.releaseFn()()
+		default:
+			w.cancelled = true
+			a.mu.Unlock()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFn hands the slot back and dispatches the next waiter in
+// round-robin order.
+func (a *Admission) releaseFn() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.free++
+			a.dispatchLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// dispatchLocked hands free slots to waiters, one client per rotation
+// step, skipping cancelled waiters and retiring empty queues.
+func (a *Admission) dispatchLocked() {
+	for a.free > 0 && len(a.rotation) > 0 {
+		if a.next >= len(a.rotation) {
+			a.next = 0
+		}
+		client := a.rotation[a.next]
+		q := a.queues[client]
+		// Drop cancelled waiters at the head; they never take a slot.
+		for len(q) > 0 && q[0].cancelled {
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(a.queues, client)
+			a.rotation = append(a.rotation[:a.next], a.rotation[a.next+1:]...)
+			continue
+		}
+		w := q[0]
+		a.queues[client] = q[1:]
+		if len(q) == 1 {
+			delete(a.queues, client)
+			a.rotation = append(a.rotation[:a.next], a.rotation[a.next+1:]...)
+		} else {
+			a.next++
+		}
+		a.free--
+		close(w.ready)
+	}
+	if len(a.rotation) == 0 {
+		a.next = 0
+	}
+}
+
+// QueueDepth returns the client's current queue length (for Retry-After).
+func (a *Admission) QueueDepth(client string) int {
+	if client == "" {
+		client = "anon"
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queues[client])
+}
+
+// Drain stops admitting: new Acquire calls and every queued waiter fail
+// with ErrDraining immediately. Slots already held run to completion; the
+// server's WaitGroup tracks those.
+func (a *Admission) Drain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+	for client, q := range a.queues {
+		for _, w := range q {
+			if !w.cancelled {
+				w.err = ErrDraining
+				close(w.ready)
+			}
+		}
+		delete(a.queues, client)
+	}
+	a.rotation, a.next = nil, 0
+}
+
+// Draining reports whether Drain was called.
+func (a *Admission) Draining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}

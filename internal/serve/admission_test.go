@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateWhenFree(t *testing.T) {
+	a := NewAdmission(2, 4)
+	r1, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+	if _, err := a.Acquire(context.Background(), "a"); err != nil {
+		t.Fatalf("slot not returned: %v", err)
+	}
+}
+
+func TestAdmissionShedsBeyondQueueDepth(t *testing.T) {
+	a := NewAdmission(1, 2)
+	release, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill client b's queue to its bound.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, err := a.Acquire(ctx, "b"); err == nil {
+				r()
+			}
+		}()
+	}
+	waitFor(t, func() bool { return a.QueueDepth("b") == 2 })
+	if _, err := a.Acquire(context.Background(), "b"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	// Another client is not shed by b's full queue.
+	done := make(chan struct{})
+	go func() {
+		if r, err := a.Acquire(ctx, "c"); err == nil {
+			r()
+		}
+		close(done)
+	}()
+	waitFor(t, func() bool { return a.QueueDepth("c") == 1 })
+	release()
+	wg.Wait()
+	<-done
+}
+
+// TestAdmissionRoundRobinFairness: with client a holding a deep queue and
+// client b one waiter, the slot alternates — b's single waiter does not
+// sit behind all of a's.
+func TestAdmissionRoundRobinFairness(t *testing.T) {
+	a := NewAdmission(1, 8)
+	release, err := a.Acquire(context.Background(), "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(client string, depth int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := a.Acquire(context.Background(), client)
+			if err != nil {
+				t.Errorf("%s: %v", client, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, client)
+			mu.Unlock()
+			r()
+		}()
+		waitFor(t, func() bool { return a.QueueDepth(client) >= depth })
+	}
+	enqueue("greedy", 1)
+	enqueue("greedy", 2)
+	enqueue("greedy", 3)
+	enqueue("meek", 1)
+	release()
+	wg.Wait()
+	// meek joined fourth but must not run last: round-robin gives it the
+	// first or second dispatch after the greedy head.
+	pos := -1
+	for i, c := range order {
+		if c == "meek" {
+			pos = i
+		}
+	}
+	if pos == -1 || pos > 1 {
+		t.Fatalf("round-robin starved meek: dispatch order %v", order)
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4)
+	release, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, "b")
+		errc <- err
+	}()
+	waitFor(t, func() bool { return a.QueueDepth("b") == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The cancelled waiter must not absorb the slot.
+	release()
+	if _, err := a.Acquire(context.Background(), "c"); err != nil {
+		t.Fatalf("slot lost to cancelled waiter: %v", err)
+	}
+}
+
+func TestAdmissionDrainShedsWaiters(t *testing.T) {
+	a := NewAdmission(1, 4)
+	release, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(context.Background(), "b")
+		errc <- err
+	}()
+	waitFor(t, func() bool { return a.QueueDepth("b") == 1 })
+	a.Drain()
+	if err := <-errc; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter: want ErrDraining, got %v", err)
+	}
+	if _, err := a.Acquire(context.Background(), "c"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new acquire: want ErrDraining, got %v", err)
+	}
+	release()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// ErrBreakerOpen is returned while a flow's circuit breaker is open —
+// mapped to 503 with Retry-After so clients fall back to embedded
+// execution instead of queueing onto a backend that keeps failing.
+var ErrBreakerOpen = errors.New("serve: circuit breaker open")
+
+// Breaker is a per-key (flow kind) circuit breaker over typed pass
+// failures. Plain evaluation errors — a directive the kernel rejects, a
+// user's malformed MLIR — never trip it: those are the job's fault, not
+// the backend's. A run of consecutive resilience.PassFailures is the
+// signal that a flow stage itself is sick; the breaker then opens, sheds
+// that kind's requests for a cooldown, and re-admits exactly one probe.
+// The probe's outcome decides: success closes the breaker, another pass
+// failure re-opens it for a fresh cooldown.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	// now is the clock, injectable for tests.
+	now func() time.Time
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+}
+
+type breakerState struct {
+	consecutive int
+	open        bool
+	openedAt    time.Time
+	probing     bool
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive pass
+// failures and probes again after cooldown. threshold <= 0 disables it.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		states:    make(map[string]*breakerState),
+	}
+}
+
+// Allow reports whether a request for key may proceed. While open it
+// returns ErrBreakerOpen until the cooldown elapses, then admits a single
+// probe (concurrent requests during the probe are still rejected).
+func (b *Breaker) Allow(key string) error {
+	if b == nil || b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil || !st.open {
+		return nil
+	}
+	if st.probing || b.now().Sub(st.openedAt) < b.cooldown {
+		return ErrBreakerOpen
+	}
+	st.probing = true
+	return nil
+}
+
+// Record feeds one evaluation outcome back. Only typed pass failures
+// count against the backend; any other outcome (success, or a plain
+// error) resets the consecutive count and closes an open breaker.
+func (b *Breaker) Record(key string, failure *resilience.PassFailure) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil {
+		st = &breakerState{}
+		b.states[key] = st
+	}
+	if failure == nil {
+		st.consecutive = 0
+		st.open = false
+		st.probing = false
+		return
+	}
+	st.consecutive++
+	if st.open && st.probing {
+		// The probe failed: fresh cooldown.
+		st.openedAt = b.now()
+		st.probing = false
+		return
+	}
+	if !st.open && st.consecutive >= b.threshold {
+		st.open = true
+		st.openedAt = b.now()
+		st.probing = false
+	}
+}
+
+// Open reports whether key's breaker is currently open.
+func (b *Breaker) Open(key string) bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	return st != nil && st.open
+}
+
+// RetryAfter returns the remaining cooldown for key, clamped to >= 1s,
+// for the Retry-After header.
+func (b *Breaker) RetryAfter(key string) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil || !st.open {
+		return time.Second
+	}
+	left := b.cooldown - b.now().Sub(st.openedAt)
+	if left < time.Second {
+		left = time.Second
+	}
+	return left
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+func passFailure() *resilience.PassFailure {
+	return &resilience.PassFailure{Stage: "mlir-opt", Pass: "pipeline", Kind: resilience.KindPanic, Msg: "boom"}
+}
+
+// fakeClock drives the breaker's injectable clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAfterConsecutivePassFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		b.Record("adaptor", passFailure())
+		if err := b.Allow("adaptor"); err != nil {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Record("adaptor", passFailure())
+	if err := b.Allow("adaptor"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want ErrBreakerOpen after 3 consecutive, got %v", err)
+	}
+	// Another kind is unaffected.
+	if err := b.Allow("cxx"); err != nil {
+		t.Fatalf("cxx breaker tripped by adaptor failures: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsTheRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.Record("adaptor", passFailure())
+	b.Record("adaptor", passFailure())
+	b.Record("adaptor", nil) // success breaks the run
+	b.Record("adaptor", passFailure())
+	b.Record("adaptor", passFailure())
+	if err := b.Allow("adaptor"); err != nil {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", err)
+	}
+}
+
+// TestBreakerPlainErrorsDoNotTrip: only typed pass failures count — a
+// stream of user-fault errors (nil failure) never opens the breaker.
+func TestBreakerPlainErrorsDoNotTrip(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Minute)
+	for i := 0; i < 10; i++ {
+		b.Record("adaptor", nil)
+	}
+	if err := b.Allow("adaptor"); err != nil {
+		t.Fatalf("plain errors tripped the breaker: %v", err)
+	}
+}
+
+func TestBreakerProbeAndRecovery(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Minute)
+	b.Record("adaptor", passFailure())
+	b.Record("adaptor", passFailure())
+	if err := b.Allow("adaptor"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker should be open")
+	}
+	// Cooldown not elapsed: still rejecting.
+	clk.advance(30 * time.Second)
+	if err := b.Allow("adaptor"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("probe admitted before cooldown")
+	}
+	// Cooldown elapsed: exactly one probe goes through.
+	clk.advance(31 * time.Second)
+	if err := b.Allow("adaptor"); err != nil {
+		t.Fatalf("probe rejected after cooldown: %v", err)
+	}
+	if err := b.Allow("adaptor"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe succeeds: breaker closes for everyone.
+	b.Record("adaptor", nil)
+	if err := b.Allow("adaptor"); err != nil {
+		t.Fatalf("breaker still open after successful probe: %v", err)
+	}
+	if b.Open("adaptor") {
+		t.Fatal("Open() disagrees")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Minute)
+	b.Record("adaptor", passFailure())
+	b.Record("adaptor", passFailure())
+	clk.advance(2 * time.Minute)
+	if err := b.Allow("adaptor"); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Record("adaptor", passFailure()) // probe fails
+	if err := b.Allow("adaptor"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	// Fresh cooldown from the failed probe, then a successful probe closes.
+	clk.advance(2 * time.Minute)
+	if err := b.Allow("adaptor"); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Record("adaptor", nil)
+	if err := b.Allow("adaptor"); err != nil {
+		t.Fatalf("breaker stuck open: %v", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(-1, time.Minute)
+	for i := 0; i < 100; i++ {
+		b.Record("adaptor", passFailure())
+	}
+	if err := b.Allow("adaptor"); err != nil {
+		t.Fatalf("disabled breaker rejected: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/flow"
+)
+
+// Client is the thin-client side of the compile service: it ships
+// EvalRequests to a daemon and adapts the responses to engine results.
+// Server conditions (unreachable, shedding, draining, breaker open) are
+// reported as "not served" so callers fall back to embedded execution;
+// a 422 evaluation failure is the job's genuine outcome.
+type Client struct {
+	base string
+	id   string
+	http *http.Client
+}
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). id names this client for fair admission.
+func NewClient(base, id string) *Client {
+	return &Client{
+		base: base,
+		id:   id,
+		http: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// Ready reports whether the daemon is reachable and accepting work.
+func (c *Client) Ready() bool {
+	resp, err := c.http.Get(c.base + "/readyz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// errNotServed marks server conditions that mean "run it yourself".
+var errNotServed = errors.New("serve client: not served")
+
+// Eval ships one request. The error is errNotServed-wrapped for
+// conditions where the caller should fall back to embedded execution.
+func (c *Client) Eval(req EvalRequest) (*EvalResponse, error) {
+	if req.Client == "" {
+		req.Client = c.id
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errNotServed, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusUnprocessableEntity:
+		var out EvalResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, fmt.Errorf("%w: bad response: %v", errNotServed, err)
+		}
+		return &out, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("%w: server busy (%d)", errNotServed, resp.StatusCode)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("serve client: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// Remote adapts the client to engine.Options.Remote: jobs carrying a
+// RemoteSpec are shipped to the daemon; every server condition — network
+// failure, shedding, draining, malformed response — returns ok=false so
+// the engine falls back to embedded execution. A 422 comes back as
+// ok=true with the evaluation error attached: the server ran the job and
+// it failed, which is the job's outcome, not the server's.
+func (c *Client) Remote() func(engine.Job) (engine.JobResult, bool) {
+	return func(job engine.Job) (engine.JobResult, bool) {
+		if job.Spec == nil {
+			return engine.JobResult{}, false
+		}
+		req := EvalRequest{
+			Client:     c.id,
+			Kernel:     job.Spec.Kernel,
+			Size:       job.Spec.Size,
+			MLIR:       job.Spec.MLIR,
+			Top:        job.Top,
+			Kind:       string(job.Kind),
+			Directives: DirectivesFrom(job.Directives),
+			Target:     TargetFrom(job.Target),
+			Verify:     job.VerifySemantics,
+		}
+		resp, err := c.Eval(req)
+		if err != nil {
+			return engine.JobResult{}, false
+		}
+		out := engine.JobResult{Label: job.Label, Kind: job.Kind}
+		if resp.Err != "" {
+			out.Err = errors.New(resp.Err)
+			return out, true
+		}
+		if resp.Report == nil {
+			return engine.JobResult{}, false
+		}
+		out.Degraded = resp.Degraded
+		out.Res = &flow.Result{
+			Flow:    string(job.Kind),
+			Report:  resp.Report,
+			Adaptor: resp.Adaptor,
+			CSource: resp.CSource,
+		}
+		return out, true
+	}
+}

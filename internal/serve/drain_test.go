@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// TestRestartRecoversPendingJobs: a job journaled as admitted but never
+// completed — the crash shape — is re-admitted by the next daemon over
+// the same store, evaluated in the background, and its result lands in
+// the shared store so the original client's retry is a store hit.
+func TestRestartRecoversPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+
+	// Simulate the dying daemon's journal: admitted, not completed.
+	j, err := resilience.OpenJournal(dir + "/pending.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := miniEval("orphan")
+	if err := j.Put("job-key", pendingEntry{Req: req, Done: false}); err != nil {
+		t.Fatal(err)
+	}
+	// A completed entry must NOT be re-admitted.
+	doneReq := miniEval("finished")
+	doneReq.Kind = "cxx"
+	if err := j.Put("done-key", pendingEntry{Req: doneReq, Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	s, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Recovered; got != 1 {
+		t.Fatalf("Recovered = %d, want 1 (done entries must not re-admit)", got)
+	}
+	// The background recovery lands the result in the shared store.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.store.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovered job never reached the store")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.store.Len() != 1 {
+		t.Fatalf("store has %d records, want 1", s.store.Len())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal now marks the job done: a third daemon re-admits nothing.
+	s3, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Stats().Recovered; got != 0 {
+		t.Fatalf("third start re-admitted %d jobs, want 0", got)
+	}
+	if err := s3.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainWaitsForInflight: Drain returns only after in-flight work
+// finishes, and respects its context bound.
+func TestDrainWaitsForInflight(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.inflight.Add(1) // a fake in-flight request
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned while work was in flight")
+	}
+	s.inflight.Done()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("Drain after work finished: %v", err)
+	}
+}

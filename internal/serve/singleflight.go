@@ -1,0 +1,56 @@
+package serve
+
+import "sync"
+
+// group is a hand-rolled single-flight: concurrent Do calls with the same
+// key share one execution of fn — the duplicates block until the leader
+// finishes and receive its result. Identical design points racing in from
+// different clients cost one evaluation, not N (and the persistent store
+// then serves every later request for free).
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done    chan struct{}
+	waiters int
+	val     any
+	err     error
+}
+
+// waiting returns how many callers are blocked on key's in-flight call.
+func (g *group) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}
+
+// Do executes fn under key, coalescing duplicates. shared reports whether
+// this caller received another caller's result.
+func (g *group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

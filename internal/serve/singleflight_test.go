@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var g group
+	var executions atomic.Int64
+	started := make(chan struct{})
+	block := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	leaderDone := make(chan any, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, shared := g.Do("k", func() (any, error) {
+			executions.Add(1)
+			close(started)
+			<-block
+			return 42, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: err=%v shared=%v", err, shared)
+		}
+		leaderDone <- v
+	}()
+	<-started
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (any, error) {
+				executions.Add(1)
+				return -1, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("follower: v=%v err=%v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// A different key runs independently even while k is in flight.
+	v, err, shared := g.Do("other", func() (any, error) { return "own", nil })
+	if err != nil || shared || v != "own" {
+		t.Errorf("other key coalesced: v=%v err=%v shared=%v", v, err, shared)
+	}
+	// Release the leader only after every follower is parked on its call —
+	// otherwise the leader could finish and delete the entry first, and the
+	// late followers would each run their own evaluation.
+	waitFor(t, func() bool { return g.waiting("k") == 5 })
+	close(block)
+	wg.Wait()
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if n := sharedCount.Load(); n != 5 {
+		t.Fatalf("shared count = %d, want 5", n)
+	}
+	if v := <-leaderDone; v != 42 {
+		t.Fatalf("leader value %v", v)
+	}
+}
+
+// TestSingleflightSequentialRunsFresh: after the in-flight call finishes,
+// the next Do with the same key executes again — singleflight is dedup,
+// not a cache.
+func TestSingleflightSequentialRunsFresh(t *testing.T) {
+	var g group
+	n := 0
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() (any, error) { n++; return n, nil })
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d: v=%v err=%v shared=%v", i, v, err, shared)
+		}
+	}
+}
