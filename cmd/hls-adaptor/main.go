@@ -21,7 +21,9 @@
 // oracle for miscompile-kind failures — and reports whether the recorded
 // failure reproduces. Exit codes: 0 the failure reproduced (and was
 // re-pinned), 2 the replay ran clean (the original failure was transient
-// or environmental), 1 the bundle could not be replayed at all.
+// or environmental), 1 the bundle could not be replayed at all. The
+// resilience.ReplayExit* constants are the single source of truth for
+// these values; README and this help text mirror them.
 package main
 
 import (
@@ -158,29 +160,29 @@ func runReplay(path string) int {
 	b, err := resilience.ReadBundle(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hls-adaptor: replay:", err)
-		return 1
+		return resilience.ReplayExitUnusable
 	}
 	if b.InputMLIR == "" {
 		fmt.Fprintln(os.Stderr, "hls-adaptor: replay: bundle has no input MLIR")
-		return 1
+		return resilience.ReplayExitUnusable
 	}
 	var d flow.Directives
 	if len(b.Directives) > 0 {
 		if err := json.Unmarshal(b.Directives, &d); err != nil {
 			fmt.Fprintln(os.Stderr, "hls-adaptor: replay: bad directives:", err)
-			return 1
+			return resilience.ReplayExitUnusable
 		}
 	}
 	tgt := hls.DefaultTarget()
 	if len(b.Target) > 0 {
 		if err := json.Unmarshal(b.Target, &tgt); err != nil {
 			fmt.Fprintln(os.Stderr, "hls-adaptor: replay: bad target:", err)
-			return 1
+			return resilience.ReplayExitUnusable
 		}
 	}
 	if _, err := mlirparser.Parse(b.InputMLIR); err != nil {
 		fmt.Fprintln(os.Stderr, "hls-adaptor: replay: bundle input does not parse:", err)
-		return 1
+		return resilience.ReplayExitUnusable
 	}
 	build := func() *mlir.Module {
 		m, err := mlirparser.Parse(b.InputMLIR)
@@ -197,7 +199,7 @@ func runReplay(path string) int {
 		flow.Options{InjectMiscompile: b.Inject}, &b.Failure)
 	if !nb.Reproduced {
 		fmt.Fprintln(os.Stderr, "hls-adaptor: replay ran clean — failure did not reproduce")
-		return 2
+		return resilience.ReplayExitClean
 	}
 	fmt.Fprintf(os.Stderr, "hls-adaptor: reproduced at %s/%s: %v\n",
 		nb.Failure.Stage, nb.Failure.Pass, &nb.Failure)
@@ -208,7 +210,7 @@ func runReplay(path string) int {
 	if nb.SnapshotIR != "" {
 		fmt.Print(nb.SnapshotIR)
 	}
-	return 0
+	return resilience.ReplayExitReproduced
 }
 
 func readInput(path string) (string, error) {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -239,6 +240,60 @@ func TestConcurrentPutGetSameKeys(t *testing.T) {
 	wg.Wait()
 	if c := s.Counters(); c.Corrupt != 0 || c.PutErrors != 0 || c.GetErrors != 0 {
 		t.Fatalf("counters after race: %+v", c)
+	}
+}
+
+// TestConcurrentCorruptReadersQuarantineOnce races two readers on one
+// corrupt record: both must come back as misses, and exactly one of them
+// must pay for the quarantine — one Corrupt count, one .quarantined file,
+// nothing left at the record path. Run many rounds so the schedules where
+// both readers pass the front-cache check before either marks the key are
+// actually exercised.
+func TestConcurrentCorruptReadersQuarantineOnce(t *testing.T) {
+	rounds := 50
+	if testing.Short() {
+		rounds = 10
+	}
+	for round := 0; round < rounds; round++ {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := "feedface"
+		corruptOnDisk(t, s, key, []byte("garbage, not an envelope"))
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		var hits atomic.Int32
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if _, ok := s.Get(key); ok {
+					hits.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+
+		if hits.Load() != 0 {
+			t.Fatalf("round %d: corrupt record served as a hit", round)
+		}
+		c := s.Counters()
+		if c.Misses != 2 {
+			t.Fatalf("round %d: Misses = %d, want 2", round, c.Misses)
+		}
+		if c.Corrupt != 1 {
+			t.Fatalf("round %d: Corrupt = %d, want exactly 1", round, c.Corrupt)
+		}
+		if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+			t.Fatalf("round %d: record still at its path (err=%v)", round, err)
+		}
+		if _, err := os.Stat(s.path(key) + ".quarantined"); err != nil {
+			t.Fatalf("round %d: quarantined copy missing: %v", round, err)
+		}
 	}
 }
 

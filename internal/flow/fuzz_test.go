@@ -1,13 +1,45 @@
-package flow
+package flow_test
 
 import (
 	"testing"
 
+	"repro/internal/flow"
 	"repro/internal/hls"
+	"repro/internal/kgen"
+	"repro/internal/mlir"
 	"repro/internal/mlir/passes"
 	"repro/internal/polybench"
 	"repro/internal/resilience"
 )
+
+// fuzzKernel is one entry in the differential-fuzz kernel pool.
+type fuzzKernel struct {
+	name  string
+	build func() *mlir.Module
+}
+
+// fuzzKernelPool is the polybench suite (MINI size) followed by the
+// checked-in kgen corpus: real benchmark shapes plus generator-minimal
+// affine nests, so the fuzzer's kernel axis reaches both families. The
+// pool order is append-only (polybench first, corpus seeds in ascending
+// order) so existing corpus entries keep selecting the same kernel.
+func fuzzKernelPool(f *testing.F) []fuzzKernel {
+	f.Helper()
+	var pool []fuzzKernel
+	for _, k := range polybench.All() {
+		k := k
+		s, err := k.SizeOf("MINI")
+		if err != nil {
+			f.Fatal(err)
+		}
+		pool = append(pool, fuzzKernel{name: k.Name, build: func() *mlir.Module { return k.Build(s) }})
+	}
+	for _, k := range kgen.CorpusKernels() {
+		k := k
+		pool = append(pool, fuzzKernel{name: k.Name, build: k.Build})
+	}
+	return pool
+}
 
 // FuzzDifferentialFlows is the mutation-based differential target: it
 // perturbs the kernel choice and the directive configuration and runs both
@@ -20,14 +52,16 @@ func FuzzDifferentialFlows(f *testing.F) {
 	f.Add(uint8(0), false, uint8(1), uint8(1), false, uint8(0), uint8(1))
 	f.Add(uint8(7), true, uint8(1), uint8(2), true, uint8(1), uint8(2))
 	f.Add(uint8(13), true, uint8(2), uint8(4), false, uint8(2), uint8(4))
-	kernels := polybench.All()
+	kernels := fuzzKernelPool(f)
+	// Seed the kgen half of the pool explicitly: one entry per corpus
+	// kernel, each under a different directive shape.
+	nPoly := len(polybench.All())
+	for i := nPoly; i < len(kernels); i++ {
+		f.Add(uint8(i), i%2 == 0, uint8(i%4), uint8(i%3), i%3 == 0, uint8(i%3), uint8(i%4))
+	}
 	f.Fuzz(func(t *testing.T, ki uint8, pipe bool, ii, unroll uint8, flatten bool, partKind, partFactor uint8) {
 		k := kernels[int(ki)%len(kernels)]
-		s, err := k.SizeOf("MINI")
-		if err != nil {
-			t.Fatal(err)
-		}
-		d := Directives{
+		d := flow.Directives{
 			Pipeline: pipe,
 			II:       1 + int(ii)%4,
 			Unroll:   1 + int(unroll)%4,
@@ -40,13 +74,13 @@ func FuzzDifferentialFlows(f *testing.F) {
 			d.Partition = &passes.PartitionSpec{Kind: "block", Factor: 1 + int(partFactor)%4, Dim: 0}
 		}
 		tgt := hls.DefaultTarget()
-		opts := Options{VerifySemantics: true}
+		opts := flow.Options{VerifySemantics: true}
 		for _, kind := range []string{"adaptor", "cxx"} {
 			var ferr error
 			if kind == "adaptor" {
-				_, ferr = AdaptorFlowWith(k.Build(s), k.Name, d, tgt, opts)
+				_, ferr = flow.AdaptorFlowWith(k.build(), k.name, d, tgt, opts)
 			} else {
-				_, ferr = CxxFlowWith(k.Build(s), k.Name, d, tgt, opts)
+				_, ferr = flow.CxxFlowWith(k.build(), k.name, d, tgt, opts)
 			}
 			if ferr == nil {
 				continue
@@ -55,9 +89,9 @@ func FuzzDifferentialFlows(f *testing.F) {
 			// a localized miscompile is THE finding.
 			if pf, ok := resilience.AsPassFailure(ferr); ok && pf.Kind == resilience.KindMiscompile {
 				t.Fatalf("%s flow miscompiles %s under %+v at %s/%s: %v",
-					kind, k.Name, d, pf.Stage, pf.Pass, ferr)
+					kind, k.name, d, pf.Stage, pf.Pass, ferr)
 			}
-			t.Logf("%s flow rejected %s under %+v: %v", kind, k.Name, d, ferr)
+			t.Logf("%s flow rejected %s under %+v: %v", kind, k.name, d, ferr)
 		}
 	})
 }

@@ -1,0 +1,30 @@
+module {
+  func.func @kg1(%arg0: memref<5x5xf32>, %arg1: memref<4x7xf32>, %arg2: memref<5xf32>) {
+    affine.for %0 = 0 to 5 step 1 {
+      %1 = arith.constant 1.0 : f32
+      %2 = affine.load %arg2[%0] : memref<5xf32>
+      %3 = arith.mulf %1, %2 : f32
+      %4 = affine.load %arg2[%0] : memref<5xf32>
+      %5 = arith.constant 0.5 : f32
+      %6 = arith.mulf %5, %4 : f32
+      %7 = arith.mulf %5, %3 : f32
+      %8 = arith.addf %6, %7 : f32
+      affine.store %8, %arg2[%0] : memref<5xf32>
+      %9 = arith.constant 1.0 : f32
+      %10 = affine.load %arg1[%0] map affine_map<(d0) -> (0, d0)> : memref<4x7xf32>
+      %11 = arith.index_cast %0 : index to i64
+      %12 = arith.sitofp %11 : i64 to f32
+      %13 = arith.constant 0.015625 : f32
+      %14 = arith.mulf %12, %13 : f32
+      %15 = arith.mulf %10, %14 : f32
+      %16 = arith.mulf %9, %15 : f32
+      %17 = affine.load %arg2[%0] : memref<5xf32>
+      %18 = arith.constant 0.5 : f32
+      %19 = arith.mulf %18, %17 : f32
+      %20 = arith.mulf %18, %16 : f32
+      %21 = arith.addf %19, %20 : f32
+      affine.store %21, %arg2[%0] : memref<5xf32>
+    }
+    func.return
+  }
+}

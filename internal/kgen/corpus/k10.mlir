@@ -1,0 +1,31 @@
+module {
+  func.func @kg10(%arg0: memref<6xf32>, %arg1: memref<7x4xf32>, %arg2: memref<8x7xf32>) {
+    affine.for %0 = 0 to 6 step 1 {
+      %1 = arith.constant 1.0 : f32
+      %2 = affine.load %arg2[%0, %0] : memref<8x7xf32>
+      %3 = arith.constant -0.25 : f32
+      %4 = arith.mulf %2, %3 : f32
+      %5 = arith.mulf %1, %4 : f32
+      affine.store %5, %arg0[%0] : memref<6xf32>
+      %6 = arith.constant -0.75 : f32
+      %7 = affine.load %arg0[%0] : memref<6xf32>
+      %8 = affine.load %arg0[%0] : memref<6xf32>
+      %9 = arith.mulf %7, %8 : f32
+      %10 = arith.mulf %6, %9 : f32
+      %11 = arith.constant -0.25 : f32
+      %12 = arith.index_cast %0 : index to i64
+      %13 = arith.sitofp %12 : i64 to f32
+      %14 = arith.constant 0.015625 : f32
+      %15 = arith.mulf %13, %14 : f32
+      %16 = arith.mulf %11, %15 : f32
+      %17 = arith.addf %10, %16 : f32
+      %18 = affine.load %arg0[%0] : memref<6xf32>
+      %19 = arith.constant 0.5 : f32
+      %20 = arith.mulf %19, %18 : f32
+      %21 = arith.mulf %19, %17 : f32
+      %22 = arith.addf %20, %21 : f32
+      affine.store %22, %arg0[%0] : memref<6xf32>
+    }
+    func.return
+  }
+}

@@ -1,0 +1,31 @@
+module {
+  func.func @kg11(%arg0: memref<8x8xf32>) {
+    affine.for %0 = 0 to 8 step 1 {
+      affine.for %1 = 0 to affine_map<(d0) -> ((d0 + 1))>(%0) step 1 {
+        %2 = arith.constant 0.5 : f32
+        %3 = arith.index_cast %0 : index to i64
+        %4 = arith.constant 1 : i64
+        %5 = arith.muli %3, %4 : i64
+        %6 = arith.sitofp %5 : i64 to f32
+        %7 = arith.constant 0.015625 : f32
+        %8 = arith.mulf %6, %7 : f32
+        %9 = affine.load %arg0[%0, %0] : memref<8x8xf32>
+        %10 = arith.mulf %8, %9 : f32
+        %11 = arith.mulf %2, %10 : f32
+        %12 = arith.constant -0.5 : f32
+        %13 = arith.index_cast %1 : index to i64
+        %14 = arith.constant 2 : i64
+        %15 = arith.addi %13, %14 : i64
+        %16 = arith.constant 2 : i64
+        %17 = arith.muli %15, %16 : i64
+        %18 = arith.sitofp %17 : i64 to f32
+        %19 = arith.constant 0.015625 : f32
+        %20 = arith.mulf %18, %19 : f32
+        %21 = arith.mulf %12, %20 : f32
+        %22 = arith.addf %11, %21 : f32
+        affine.store %22, %arg0[%0, %1] : memref<8x8xf32>
+      }
+    }
+    func.return
+  }
+}

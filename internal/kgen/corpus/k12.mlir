@@ -1,0 +1,15 @@
+module {
+  func.func @kg12(%arg0: memref<7x5xf32>) {
+    affine.for %0 = 0 to 7 step 1 {
+      affine.for %1 = 0 to 5 step 1 {
+        %2 = arith.constant 1.0 : f32
+        %3 = affine.load %arg0[%0, %1] : memref<7x5xf32>
+        %4 = affine.load %arg0[%0, %1] : memref<7x5xf32>
+        %5 = arith.mulf %3, %4 : f32
+        %6 = arith.mulf %2, %5 : f32
+        affine.store %6, %arg0[%0, %1] : memref<7x5xf32>
+      }
+    }
+    func.return
+  }
+}

@@ -1,0 +1,39 @@
+module {
+  func.func @kg13(%arg0: memref<6x7xf32>, %arg1: memref<8xf32>) {
+    affine.for %0 = 1 to 7 step 1 {
+      %1 = arith.constant 0.5 : f32
+      %2 = arith.constant 0.25 : f32
+      %3 = arith.mulf %1, %2 : f32
+      %4 = arith.constant 0.25 : f32
+      %5 = arith.constant -0.5 : f32
+      %6 = affine.load %arg0[%0] map affine_map<(d0) -> (2, d0)> : memref<6x7xf32>
+      %7 = arith.mulf %5, %6 : f32
+      %8 = arith.mulf %4, %7 : f32
+      %9 = arith.addf %3, %8 : f32
+      %10 = arith.constant 0.25 : f32
+      %11 = arith.constant 0.125 : f32
+      %12 = arith.mulf %10, %11 : f32
+      %13 = arith.addf %9, %12 : f32
+      %14 = affine.load %arg1[%0] : memref<8xf32>
+      %15 = arith.constant 0.5 : f32
+      %16 = arith.mulf %15, %14 : f32
+      %17 = arith.mulf %15, %13 : f32
+      %18 = arith.addf %16, %17 : f32
+      affine.store %18, %arg1[%0] : memref<8xf32>
+    }
+    affine.for %19 = 1 to 7 step 1 {
+      %20 = arith.constant 1.0 : f32
+      %21 = affine.load %arg0[%19] map affine_map<(d0) -> (5, (d0 - 1))> : memref<6x7xf32>
+      %22 = arith.mulf %20, %21 : f32
+      %23 = arith.constant -2.0 : f32
+      %24 = arith.divf %22, %23 : f32
+      %25 = affine.load %arg1[%19] : memref<8xf32>
+      %26 = arith.constant 0.5 : f32
+      %27 = arith.mulf %26, %25 : f32
+      %28 = arith.mulf %26, %24 : f32
+      %29 = arith.addf %27, %28 : f32
+      affine.store %29, %arg1[%19] : memref<8xf32>
+    }
+    func.return
+  }
+}

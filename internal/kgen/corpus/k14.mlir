@@ -1,0 +1,26 @@
+module {
+  func.func @kg14(%arg0: memref<4xf32>, %arg1: memref<5xf32>, %arg2: memref<8xf32>) {
+    affine.for %0 = 1 to 7 step 1 {
+      %1 = arith.constant -0.5 : f32
+      %2 = affine.load %arg2[%0] : memref<8xf32>
+      %3 = arith.mulf %1, %2 : f32
+      affine.store %3, %arg2[%0] : memref<8xf32>
+      %4 = arith.constant 0.125 : f32
+      affine.for %5 = 0 to 8 step 1 {
+        %6 = affine.load %arg2[%0] : memref<8xf32>
+        %7 = arith.index_cast %0 : index to i64
+        %8 = arith.constant 4 : i64
+        %9 = arith.addi %7, %8 : i64
+        %10 = arith.sitofp %9 : i64 to f32
+        %11 = arith.constant 0.015625 : f32
+        %12 = arith.mulf %10, %11 : f32
+        %13 = arith.mulf %6, %12 : f32
+        %14 = affine.load %arg2[%0] : memref<8xf32>
+        %15 = arith.mulf %4, %13 : f32
+        %16 = arith.addf %14, %15 : f32
+        affine.store %16, %arg2[%0] : memref<8xf32>
+      }
+    }
+    func.return
+  }
+}

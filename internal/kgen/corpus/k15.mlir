@@ -1,0 +1,17 @@
+module {
+  func.func @kg15(%arg0: memref<6xf32>) {
+    affine.for %0 = 0 to 6 step 1 {
+      %1 = arith.constant 0.5 : f32
+      %2 = affine.load %arg0[%0] : memref<6xf32>
+      %3 = affine.load %arg0[%0] : memref<6xf32>
+      %4 = arith.mulf %2, %3 : f32
+      %5 = arith.mulf %1, %4 : f32
+      %6 = arith.constant -0.5 : f32
+      %7 = affine.load %arg0[%0] : memref<6xf32>
+      %8 = arith.mulf %6, %7 : f32
+      %9 = arith.addf %5, %8 : f32
+      affine.store %9, %arg0[%0] : memref<6xf32>
+    }
+    func.return
+  }
+}

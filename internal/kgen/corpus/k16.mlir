@@ -1,0 +1,39 @@
+module {
+  func.func @kg16(%arg0: memref<7x6xf32>) {
+    affine.for %0 = 1 to 6 step 1 {
+      affine.for %1 = 1 to 5 step 1 {
+        %2 = arith.constant 1.0 : f32
+        affine.store %2, %arg0[%0, %1] : memref<7x6xf32>
+        %3 = arith.constant 0.125 : f32
+        affine.for %4 = 0 to 5 step 1 {
+          %5 = arith.constant 0.125 : f32
+          %6 = arith.constant 1.0 : f32
+          %7 = arith.mulf %5, %6 : f32
+          %8 = affine.load %arg0[%0, %1] : memref<7x6xf32>
+          %9 = arith.mulf %3, %7 : f32
+          %10 = arith.addf %8, %9 : f32
+          affine.store %10, %arg0[%0, %1] : memref<7x6xf32>
+        }
+      }
+    }
+    affine.for %11 = 0 to 7 step 1 {
+      affine.for %12 = 0 to 6 step 1 {
+        %13 = arith.constant -0.5 : f32
+        %14 = affine.load %arg0[%11, %12] : memref<7x6xf32>
+        %15 = arith.mulf %13, %14 : f32
+        affine.store %15, %arg0[%11, %12] : memref<7x6xf32>
+        %16 = arith.constant 0.125 : f32
+        affine.for %17 = 0 to 7 step 1 {
+          %18 = affine.load %arg0[%17, %12] : memref<7x6xf32>
+          %19 = affine.load %arg0[%12, %12] : memref<7x6xf32>
+          %20 = arith.mulf %18, %19 : f32
+          %21 = affine.load %arg0[%11, %12] : memref<7x6xf32>
+          %22 = arith.mulf %16, %20 : f32
+          %23 = arith.addf %21, %22 : f32
+          affine.store %23, %arg0[%11, %12] : memref<7x6xf32>
+        }
+      }
+    }
+    func.return
+  }
+}

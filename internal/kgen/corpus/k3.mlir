@@ -1,0 +1,66 @@
+module {
+  func.func @kg3(%arg0: memref<8x5xf32>, %arg1: memref<7x6xf32>) {
+    affine.for %0 = 0 to 8 step 1 {
+      affine.for %1 = 0 to 5 step 1 {
+        %2 = arith.constant 0.5 : f32
+        %3 = affine.load %arg0[%0, %1] : memref<8x5xf32>
+        %4 = arith.mulf %2, %3 : f32
+        %5 = arith.constant 0.25 : f32
+        %6 = affine.load %arg1[%1, %1] : memref<7x6xf32>
+        %7 = arith.mulf %5, %6 : f32
+        %8 = arith.addf %4, %7 : f32
+        %9 = arith.constant 0.25 : f32
+        %10 = affine.load %arg0[%0, %1] : memref<8x5xf32>
+        %11 = arith.mulf %9, %10 : f32
+        %12 = arith.addf %8, %11 : f32
+        %13 = arith.constant 2.0 : f32
+        %14 = arith.divf %12, %13 : f32
+        affine.store %14, %arg0[%0, %1] : memref<8x5xf32>
+        %15 = arith.constant 1.0 : f32
+        %16 = affine.load %arg1[%1, %1] : memref<7x6xf32>
+        %17 = arith.mulf %15, %16 : f32
+        %18 = affine.load %arg0[%0, %1] : memref<8x5xf32>
+        %19 = arith.constant 0.5 : f32
+        %20 = arith.mulf %19, %18 : f32
+        %21 = arith.mulf %19, %17 : f32
+        %22 = arith.addf %20, %21 : f32
+        affine.store %22, %arg0[%0, %1] : memref<8x5xf32>
+      }
+    }
+    affine.for %23 = 1 to 6 step 1 {
+      affine.for %24 = 1 to 5 step 1 {
+        %25 = arith.constant 0.5 : f32
+        %26 = affine.load %arg1[%24, %24] map affine_map<(d0, d1) -> ((d0 + 1), (d1 - 1))> : memref<7x6xf32>
+        %27 = arith.mulf %25, %26 : f32
+        %28 = arith.constant -0.5 : f32
+        %29 = affine.load %arg1[%24, %24] map affine_map<(d0, d1) -> ((d0 - 1), d1)> : memref<7x6xf32>
+        %30 = affine.load %arg1[%24, %23] map affine_map<(d0, d1) -> (d0, (d1 - 1))> : memref<7x6xf32>
+        %31 = arith.mulf %29, %30 : f32
+        %32 = arith.mulf %28, %31 : f32
+        %33 = arith.addf %27, %32 : f32
+        %34 = arith.constant 4.0 : f32
+        %35 = arith.divf %33, %34 : f32
+        affine.store %35, %arg1[%23, %24] : memref<7x6xf32>
+        %36 = arith.constant 1.0 : f32
+        %37 = arith.index_cast %23 : index to i64
+        %38 = arith.constant 7 : i64
+        %39 = arith.addi %37, %38 : i64
+        %40 = arith.constant 1 : i64
+        %41 = arith.muli %39, %40 : i64
+        %42 = arith.sitofp %41 : i64 to f32
+        %43 = arith.constant 0.015625 : f32
+        %44 = arith.mulf %42, %43 : f32
+        %45 = affine.load %arg0[%24, %24] : memref<8x5xf32>
+        %46 = arith.mulf %44, %45 : f32
+        %47 = arith.mulf %36, %46 : f32
+        %48 = affine.load %arg1[%23, %24] : memref<7x6xf32>
+        %49 = arith.constant 0.5 : f32
+        %50 = arith.mulf %49, %48 : f32
+        %51 = arith.mulf %49, %47 : f32
+        %52 = arith.addf %50, %51 : f32
+        affine.store %52, %arg1[%23, %24] : memref<7x6xf32>
+      }
+    }
+    func.return
+  }
+}

@@ -1,0 +1,30 @@
+module {
+  func.func @kg4(%arg0: memref<7xf32>, %arg1: memref<6x8xf32>) {
+    affine.for %0 = 0 to 6 step 1 {
+      affine.for %1 = 0 to 8 step 1 {
+        %2 = arith.constant 0.5 : f32
+        %3 = arith.index_cast %1 : index to i64
+        %4 = arith.constant 1 : i64
+        %5 = arith.addi %3, %4 : i64
+        %6 = arith.constant 2 : i64
+        %7 = arith.muli %5, %6 : i64
+        %8 = arith.sitofp %7 : i64 to f32
+        %9 = arith.constant 0.015625 : f32
+        %10 = arith.mulf %8, %9 : f32
+        %11 = arith.mulf %2, %10 : f32
+        %12 = arith.constant 0.25 : f32
+        %13 = affine.load %arg0[%0] : memref<7xf32>
+        %14 = arith.mulf %12, %13 : f32
+        %15 = arith.addf %11, %14 : f32
+        %16 = arith.constant 0.25 : f32
+        %17 = affine.load %arg1[%0, %0] : memref<6x8xf32>
+        %18 = arith.mulf %16, %17 : f32
+        %19 = arith.addf %15, %18 : f32
+        %20 = arith.constant 1.5 : f32
+        %21 = arith.divf %19, %20 : f32
+        affine.store %21, %arg1[%0, %1] : memref<6x8xf32>
+      }
+    }
+    func.return
+  }
+}

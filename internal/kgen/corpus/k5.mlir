@@ -1,0 +1,24 @@
+module {
+  func.func @kg5(%arg0: memref<5xf32>) {
+    affine.for %0 = 1 to 4 step 1 {
+      %1 = arith.constant 0.75 : f32
+      affine.store %1, %arg0[%0] : memref<5xf32>
+      %2 = arith.constant 0.125 : f32
+      affine.for %3 = 0 to 5 step 1 {
+        %4 = affine.load %arg0[%3] : memref<5xf32>
+        %5 = arith.index_cast %0 : index to i64
+        %6 = arith.constant 4 : i64
+        %7 = arith.addi %5, %6 : i64
+        %8 = arith.sitofp %7 : i64 to f32
+        %9 = arith.constant 0.015625 : f32
+        %10 = arith.mulf %8, %9 : f32
+        %11 = arith.mulf %4, %10 : f32
+        %12 = affine.load %arg0[%0] : memref<5xf32>
+        %13 = arith.mulf %2, %11 : f32
+        %14 = arith.addf %12, %13 : f32
+        affine.store %14, %arg0[%0] : memref<5xf32>
+      }
+    }
+    func.return
+  }
+}

@@ -1,0 +1,36 @@
+module {
+  func.func @kg6(%arg0: memref<6x7xf32>) {
+    affine.for %0 = 1 to 5 step 1 {
+      affine.for %1 = 1 to 6 step 1 {
+        %2 = arith.constant 0.5 : f32
+        %3 = affine.load %arg0[%1, %1] map affine_map<(d0, d1) -> (d0, (d1 + 1))> : memref<6x7xf32>
+        %4 = affine.load %arg0[%1, %0] map affine_map<(d0, d1) -> ((d0 - 1), (d1 - 1))> : memref<6x7xf32>
+        %5 = arith.mulf %3, %4 : f32
+        %6 = arith.mulf %2, %5 : f32
+        %7 = arith.constant 0.25 : f32
+        %8 = affine.load %arg0[%0, %0] map affine_map<(d0, d1) -> ((d0 + 1), d1)> : memref<6x7xf32>
+        %9 = arith.mulf %7, %8 : f32
+        %10 = arith.addf %6, %9 : f32
+        %11 = arith.constant 0.25 : f32
+        %12 = affine.load %arg0[%0, %1] map affine_map<(d0, d1) -> ((d0 + 1), (d1 - 1))> : memref<6x7xf32>
+        %13 = arith.mulf %11, %12 : f32
+        %14 = arith.addf %10, %13 : f32
+        affine.store %14, %arg0[%0, %1] : memref<6x7xf32>
+        %15 = arith.constant 1.0 : f32
+        %16 = affine.load %arg0[%0, %1] map affine_map<(d0, d1) -> ((d0 + 1), d1)> : memref<6x7xf32>
+        %17 = affine.load %arg0[%1, %0] : memref<6x7xf32>
+        %18 = arith.mulf %16, %17 : f32
+        %19 = arith.mulf %15, %18 : f32
+        %20 = arith.constant 4.0 : f32
+        %21 = arith.divf %19, %20 : f32
+        %22 = affine.load %arg0[%0, %1] : memref<6x7xf32>
+        %23 = arith.constant 0.5 : f32
+        %24 = arith.mulf %23, %22 : f32
+        %25 = arith.mulf %23, %21 : f32
+        %26 = arith.addf %24, %25 : f32
+        affine.store %26, %arg0[%0, %1] : memref<6x7xf32>
+      }
+    }
+    func.return
+  }
+}

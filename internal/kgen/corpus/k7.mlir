@@ -1,0 +1,19 @@
+module {
+  func.func @kg7(%arg0: memref<6xf32>, %arg1: memref<5x7xf32>, %arg2: memref<6xf32>) {
+    affine.for %0 = 1 to 5 step 1 {
+      %1 = arith.constant -0.25 : f32
+      affine.store %1, %arg0[%0] : memref<6xf32>
+      %2 = arith.constant 0.125 : f32
+      affine.for %3 = 0 to 6 step 1 {
+        %4 = affine.load %arg1[%0, %3] : memref<5x7xf32>
+        %5 = affine.load %arg0[%0] : memref<6xf32>
+        %6 = arith.mulf %4, %5 : f32
+        %7 = affine.load %arg0[%0] : memref<6xf32>
+        %8 = arith.mulf %2, %6 : f32
+        %9 = arith.addf %7, %8 : f32
+        affine.store %9, %arg0[%0] : memref<6xf32>
+      }
+    }
+    func.return
+  }
+}

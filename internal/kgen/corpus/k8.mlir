@@ -1,0 +1,17 @@
+module {
+  func.func @kg8(%arg0: memref<5xf32>, %arg1: memref<5xf32>) {
+    affine.for %0 = 0 to 5 step 1 {
+      %1 = arith.constant -0.5 : f32
+      %2 = affine.load %arg0[%0] : memref<5xf32>
+      %3 = arith.constant 0.75 : f32
+      %4 = arith.mulf %2, %3 : f32
+      %5 = arith.mulf %1, %4 : f32
+      %6 = arith.constant -0.5 : f32
+      %7 = affine.load %arg0[%0] : memref<5xf32>
+      %8 = arith.mulf %6, %7 : f32
+      %9 = arith.addf %5, %8 : f32
+      affine.store %9, %arg1[%0] : memref<5xf32>
+    }
+    func.return
+  }
+}

@@ -1,0 +1,19 @@
+module {
+  func.func @kg9(%arg0: memref<4xf32>, %arg1: memref<8x6xf32>, %arg2: memref<5x8xf32>) {
+    affine.for %0 = 1 to 4 step 1 {
+      affine.for %1 = 1 to 7 step 1 {
+        %2 = arith.constant 0.5 : f32
+        %3 = affine.load %arg2[%0, %1] : memref<5x8xf32>
+        %4 = arith.mulf %2, %3 : f32
+        %5 = arith.constant 0.5 : f32
+        %6 = affine.load %arg1[%0, %0] map affine_map<(d0, d1) -> (d0, (d1 + 1))> : memref<8x6xf32>
+        %7 = arith.mulf %5, %6 : f32
+        %8 = arith.addf %4, %7 : f32
+        %9 = arith.constant -2.0 : f32
+        %10 = arith.divf %8, %9 : f32
+        affine.store %10, %arg2[%0, %1] : memref<5x8xf32>
+      }
+    }
+    func.return
+  }
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/hls"
+	"repro/internal/kgen"
 	"repro/internal/llvm/parser"
 	"repro/internal/polybench"
 )
@@ -72,6 +73,9 @@ func FuzzParseRoundTrip(f *testing.F) {
 	for _, s := range kernelSeeds(f) {
 		f.Add(s)
 	}
+	for _, s := range kgenSeeds(f) {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		m, err := parser.Parse(src)
 		if err != nil {
@@ -103,6 +107,24 @@ func kernelSeeds(f *testing.F) []string {
 			f.Fatal(err)
 		}
 		res, err := flow.AdaptorFlow(k.Build(s), k.Name, d, tgt)
+		if err != nil {
+			f.Fatalf("%s: %v", k.Name, err)
+		}
+		seeds = append(seeds, res.LLVM.Print())
+	}
+	return seeds
+}
+
+// kgenSeeds lowers the shared checked-in kgen corpus through the adaptor
+// flow, each kernel under its own sampled directive set, and seeds the
+// fuzzer with the resulting LLVM text — generator-minimal loop nests with
+// directive-shaped metadata, complementing the polybench shapes.
+func kgenSeeds(f *testing.F) []string {
+	f.Helper()
+	var seeds []string
+	tgt := hls.DefaultTarget()
+	for _, k := range kgen.CorpusKernels() {
+		res, err := flow.AdaptorFlow(k.Build(), k.Name, k.Directives, tgt)
 		if err != nil {
 			f.Fatalf("%s: %v", k.Name, err)
 		}

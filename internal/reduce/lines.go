@@ -1,0 +1,52 @@
+package reduce
+
+import "strings"
+
+// Lines is the classic ddmin chunk-removal loop over text lines, for
+// inputs without a structured reducer (C sources fed to the cxx
+// frontend, journal garbage, anything line-shaped). keep receives the
+// candidate text and reports whether it is still interesting; the input
+// itself must be interesting or it is returned unchanged with tried=0.
+//
+// The granularity starts at two chunks and doubles on failure, classic
+// Zeller/Hildebrandt; every accepted removal restarts at the coarsest
+// granularity, so large dead regions go first.
+func Lines(text string, keep func(string) bool) (reduced string, steps, tried int) {
+	lines := strings.Split(text, "\n")
+	if !keep(text) {
+		return text, 0, 0
+	}
+	n := 2
+	for len(lines) >= 2 {
+		if n > len(lines) {
+			n = len(lines)
+		}
+		chunk := (len(lines) + n - 1) / n
+		removedAny := false
+		for start := 0; start < len(lines); start += chunk {
+			end := start + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			cand := make([]string, 0, len(lines)-(end-start))
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[end:]...)
+			tried++
+			if keep(strings.Join(cand, "\n")) {
+				lines = cand
+				steps++
+				removedAny = true
+				start -= chunk // the next chunk slid into this position
+			}
+		}
+		if removedAny {
+			n = 2 // restart coarse
+			continue
+		}
+		if n >= len(lines) {
+			break
+		}
+		n *= 2
+	}
+	return strings.Join(lines, "\n"), steps, tried
+}

@@ -1,0 +1,41 @@
+package reduce_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/reduce"
+)
+
+// ddmin must strip everything the predicate does not require, keeping
+// the two needles regardless of where they sit.
+func TestLinesDDMin(t *testing.T) {
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, "filler")
+	}
+	lines[7] = "needle-a"
+	lines[29] = "needle-b"
+	keep := func(s string) bool {
+		return strings.Contains(s, "needle-a") && strings.Contains(s, "needle-b")
+	}
+	red, steps, tried := reduce.Lines(strings.Join(lines, "\n"), keep)
+	if !keep(red) {
+		t.Fatal("reduction lost a needle")
+	}
+	got := strings.Split(red, "\n")
+	if len(got) > 2 {
+		t.Fatalf("ddmin left %d lines, want 2: %q", len(got), got)
+	}
+	if steps == 0 || tried == 0 {
+		t.Fatalf("no work recorded: steps=%d tried=%d", steps, tried)
+	}
+}
+
+// An input the predicate rejects comes back untouched.
+func TestLinesUninteresting(t *testing.T) {
+	red, steps, tried := reduce.Lines("a\nb\nc", func(string) bool { return false })
+	if red != "a\nb\nc" || steps != 0 || tried != 0 {
+		t.Fatalf("uninteresting input was modified: %q steps=%d tried=%d", red, steps, tried)
+	}
+}

@@ -1,0 +1,394 @@
+// Package reduce is the delta-debugging engine behind hls-reduce and the
+// fuzz campaign's auto-minimization: given a failing input and an
+// "interestingness" predicate (does this input still provoke the same
+// failure?), it greedily shrinks the input while re-verifying the
+// predicate after every candidate step, so the surviving kernel is a
+// minimal reproduction of the original failure, never a different one.
+//
+// Two reduction domains are provided: structured MLIR reduction (whole
+// loop-nest deletion, statement deletion, trip-count shrinking, operand
+// and load simplification — each a semantic unit of the affine programs
+// the flows consume) and generic line-based ddmin for C sources. A third
+// axis reduces the directive configuration. Predicates live in pred.go;
+// quarantine-bundle reduction with provenance lives in bundle.go.
+package reduce
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/mlir"
+	"repro/internal/mlir/parser"
+)
+
+// Predicate reports whether a candidate input is still interesting —
+// still reproduces the failure being chased. Reduction keeps a candidate
+// only when its predicate holds, so the invariant "current input is
+// interesting" survives every step.
+type Predicate func(mlirText string) bool
+
+// ErrNotInteresting is returned when the predicate rejects the original
+// input: there is nothing to reduce toward.
+var ErrNotInteresting = errors.New("reduce: original input is not interesting under the predicate")
+
+// Options bounds a structured reduction.
+type Options struct {
+	// MaxIters caps full passes over the mutator set (default 10; each
+	// accepted step strictly shrinks the candidate space, so the cap is a
+	// backstop, not the usual exit).
+	MaxIters int
+}
+
+// Result reports what a reduction accomplished.
+type Result struct {
+	// MLIR is the reduced module text (equal to the input when nothing
+	// could be removed).
+	MLIR string
+	// Steps counts accepted reduction steps; Tried counts predicate
+	// evaluations (the reduction's cost in flow runs).
+	Steps, Tried int
+	// Orig and Final measure the shrinkage.
+	Orig, Final Stats
+}
+
+// Stats are the size measures reduction is judged by.
+type Stats struct {
+	// Ops counts non-structural operations (everything except the
+	// module/func shell and block terminators).
+	Ops int `json:"ops"`
+	// Loops counts affine.for ops; Stores counts store statements.
+	Loops  int `json:"loops"`
+	Stores int `json:"stores"`
+}
+
+// Measure computes the size statistics of a module text.
+func Measure(text string) (Stats, error) {
+	m, err := parser.Parse(text)
+	if err != nil {
+		return Stats{}, err
+	}
+	return measure(m), nil
+}
+
+func measure(m *mlir.Module) Stats {
+	var s Stats
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		switch o.Name {
+		case mlir.OpModule, mlir.OpFunc, mlir.OpReturn, mlir.OpAffineYield, mlir.OpSCFYield:
+			return true
+		case mlir.OpAffineFor, mlir.OpSCFFor:
+			s.Loops++
+		case mlir.OpAffineStore, mlir.OpStore:
+			s.Stores++
+		}
+		s.Ops++
+		return true
+	})
+	return s
+}
+
+// mutator is one reduction dimension: count enumerates candidate sites in
+// a freshly parsed module, apply executes site i. Sites are enumerated in
+// deterministic walk order, so reduction is reproducible.
+type mutator struct {
+	name  string
+	count func(*mlir.Module) int
+	apply func(*mlir.Module, int) bool
+}
+
+// MLIR reduces a module under the predicate: repeatedly try every
+// mutator site, keeping any candidate the predicate accepts, until a
+// fixpoint. The input must itself be interesting.
+func MLIR(text string, keep Predicate, o Options) (Result, error) {
+	if keep == nil {
+		return Result{}, errors.New("reduce: nil predicate")
+	}
+	orig, err := Measure(text)
+	if err != nil {
+		return Result{}, fmt.Errorf("reduce: parse input: %w", err)
+	}
+	if !keep(text) {
+		return Result{}, ErrNotInteresting
+	}
+	res := Result{MLIR: text, Orig: orig}
+	maxIters := o.MaxIters
+	if maxIters <= 0 {
+		maxIters = 10
+	}
+	muts := []mutator{dropLoop(), dropStore(), shrinkLoop(), simplifyOp(), constifyLoad()}
+	for iter := 0; iter < maxIters; iter++ {
+		progress := false
+		for _, mu := range muts {
+			for {
+				accepted, err := applyOnce(&res, mu, keep)
+				if err != nil {
+					return res, err
+				}
+				if !accepted {
+					break
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	final, err := Measure(res.MLIR)
+	if err != nil {
+		return res, fmt.Errorf("reduce: reduced text unparseable (reducer bug): %w", err)
+	}
+	res.Final = final
+	return res, nil
+}
+
+// applyOnce tries every site of one mutator against the current text and
+// commits the first accepted candidate. Sites are tried last-first so the
+// earlier sites' indices stay valid across rejected attempts.
+func applyOnce(res *Result, mu mutator, keep Predicate) (bool, error) {
+	m, err := parser.Parse(res.MLIR)
+	if err != nil {
+		return false, fmt.Errorf("reduce: reparse (%s): %w", mu.name, err)
+	}
+	n := mu.count(m)
+	for i := n - 1; i >= 0; i-- {
+		mm, err := parser.Parse(res.MLIR)
+		if err != nil {
+			return false, err
+		}
+		if !mu.apply(mm, i) {
+			continue
+		}
+		txt := mm.Print()
+		if txt == res.MLIR || mm.Verify() != nil {
+			continue
+		}
+		res.Tried++
+		if !keep(txt) {
+			continue
+		}
+		res.MLIR = txt
+		res.Steps++
+		return true, nil
+	}
+	return false, nil
+}
+
+// forOps enumerates affine.for ops in walk order.
+func forOps(m *mlir.Module) []*mlir.Op {
+	var out []*mlir.Op
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		if o.Name == mlir.OpAffineFor {
+			out = append(out, o)
+		}
+		return true
+	})
+	return out
+}
+
+func opsNamed(m *mlir.Module, names ...string) []*mlir.Op {
+	var out []*mlir.Op
+	mlir.Walk(m.Op, func(o *mlir.Op) bool {
+		for _, n := range names {
+			if o.Name == n {
+				out = append(out, o)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// dropLoop deletes a whole affine.for (and everything inside it) — the
+// coarsest cut, removing entire nests in one accepted step.
+func dropLoop() mutator {
+	return mutator{
+		name:  "drop-loop",
+		count: func(m *mlir.Module) int { return len(forOps(m)) },
+		apply: func(m *mlir.Module, i int) bool {
+			fs := forOps(m)
+			fs[i].Erase()
+			for _, f := range m.Funcs() {
+				sweepDead(f)
+			}
+			return true
+		},
+	}
+}
+
+// dropStore deletes one store statement and sweeps the expression tree
+// that fed it.
+func dropStore() mutator {
+	stores := func(m *mlir.Module) []*mlir.Op {
+		return opsNamed(m, mlir.OpAffineStore, mlir.OpStore)
+	}
+	return mutator{
+		name:  "drop-store",
+		count: func(m *mlir.Module) int { return len(stores(m)) },
+		apply: func(m *mlir.Module, i int) bool {
+			ss := stores(m)
+			f := mlir.EnclosingFunc(ss[i])
+			ss[i].Erase()
+			sweepDead(f)
+			return true
+		},
+	}
+}
+
+// shrinkLoop rewrites a loop to exactly one iteration (keeping its lower
+// bound when constant), collapsing trip counts and de-triangularizing
+// bounds — often enough to keep a failure while making traces trivial.
+func shrinkLoop() mutator {
+	return mutator{
+		name:  "shrink-loop",
+		count: func(m *mlir.Module) int { return len(forOps(m)) },
+		apply: func(m *mlir.Module, i int) bool {
+			f := forOps(m)[i]
+			lower, _ := f.MapAttr(mlir.AttrLowerMap)
+			upper, _ := f.MapAttr(mlir.AttrUpperMap)
+			step, ok := f.IntAttr(mlir.AttrStep)
+			if !ok || step <= 0 || lower == nil || upper == nil {
+				return false
+			}
+			lo := int64(0)
+			loConst := len(lower.Exprs) == 1 && lower.Exprs[0].Kind == mlir.AffineConst
+			if loConst {
+				lo = lower.Exprs[0].Val
+			}
+			hiConst := len(upper.Exprs) == 1 && upper.Exprs[0].Kind == mlir.AffineConst
+			if loConst && hiConst && upper.Exprs[0].Val <= lo+step {
+				return false // already a single iteration
+			}
+			f.SetAttr(mlir.AttrLowerMap, mlir.AffineMapAttr{Map: mlir.ConstantMap(lo)})
+			f.SetAttr(mlir.AttrUpperMap, mlir.AffineMapAttr{Map: mlir.ConstantMap(lo + step)})
+			f.SetAttr(mlir.AttrLBCount, mlir.I(0))
+			f.Operands = nil
+			return true
+		},
+	}
+}
+
+// simplifyOp replaces a single-result op with one of its same-typed
+// operands — the classic expression-tree shrink (addf(a,b) → a).
+func simplifyOp() mutator {
+	cands := func(m *mlir.Module) []*mlir.Op {
+		var out []*mlir.Op
+		mlir.Walk(m.Op, func(o *mlir.Op) bool {
+			if len(o.Results) == 1 && len(o.Regions) == 0 && sameTypedOperand(o) != nil {
+				out = append(out, o)
+			}
+			return true
+		})
+		return out
+	}
+	return mutator{
+		name:  "simplify-op",
+		count: func(m *mlir.Module) int { return len(cands(m)) },
+		apply: func(m *mlir.Module, i int) bool {
+			o := cands(m)[i]
+			f := mlir.EnclosingFunc(o)
+			if f == nil {
+				return false
+			}
+			mlir.ReplaceAllUses(f, o.Result(0), sameTypedOperand(o))
+			o.Erase()
+			sweepDead(f)
+			return true
+		},
+	}
+}
+
+func sameTypedOperand(o *mlir.Op) *mlir.Value {
+	for _, v := range o.Operands {
+		if v.Type().Equal(o.Result(0).Type()) {
+			return v
+		}
+	}
+	return nil
+}
+
+// constifyLoad replaces a load with a constant of the element type,
+// disconnecting the consumer from the memory it read — the step that
+// turns data-dependent failures into closed-form ones.
+func constifyLoad() mutator {
+	loads := func(m *mlir.Module) []*mlir.Op {
+		return opsNamed(m, mlir.OpAffineLoad, mlir.OpLoad)
+	}
+	return mutator{
+		name:  "constify-load",
+		count: func(m *mlir.Module) int { return len(loads(m)) },
+		apply: func(m *mlir.Module, i int) bool {
+			ld := loads(m)[i]
+			f := mlir.EnclosingFunc(ld)
+			ty := ld.Result(0).Type()
+			c := mlir.NewOp(mlir.OpConstant, nil, []*mlir.Type{ty})
+			switch {
+			case ty.IsFloat():
+				c.SetAttr(mlir.AttrValue, mlir.FloatAttr{Value: 0.5, Ty: ty})
+			case ty.IsInt() || ty.IsIndex():
+				c.SetAttr(mlir.AttrValue, mlir.IntAttr{Value: 1, Ty: ty})
+			default:
+				return false
+			}
+			ld.Block().InsertBefore(c, ld)
+			mlir.ReplaceAllUses(f, ld.Result(0), c.Result(0))
+			ld.Erase()
+			sweepDead(f)
+			return true
+		},
+	}
+}
+
+// sweepDead erases side-effect-free ops with unused results and loops
+// whose bodies are empty, to a fixpoint — the cleanup every structural
+// mutation relies on to realize its full shrinkage.
+func sweepDead(f *mlir.Op) {
+	for {
+		changed := false
+		var dead []*mlir.Op
+		mlir.Walk(f, func(o *mlir.Op) bool {
+			if emptyLoop(o) {
+				dead = append(dead, o)
+				return false
+			}
+			if !pure(o) || len(o.Results) == 0 {
+				return true
+			}
+			for _, r := range o.Results {
+				if mlir.HasUses(f, r) {
+					return true
+				}
+			}
+			dead = append(dead, o)
+			return true
+		})
+		for _, o := range dead {
+			o.Erase()
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// pure reports whether erasing the op (with unused results) preserves
+// semantics: arithmetic, casts, loads, and allocs qualify; stores, loops,
+// and control flow do not.
+func pure(o *mlir.Op) bool {
+	switch o.Name {
+	case mlir.OpAffineLoad, mlir.OpLoad, mlir.OpAffineApply, mlir.OpAlloc:
+		return true
+	}
+	return strings.HasPrefix(o.Name, "arith.")
+}
+
+// emptyLoop reports an affine.for whose body holds only its terminator.
+func emptyLoop(o *mlir.Op) bool {
+	if o.Name != mlir.OpAffineFor || len(o.Regions) == 0 {
+		return false
+	}
+	b := o.Regions[0].Entry()
+	return b != nil && len(b.Ops) == 1
+}

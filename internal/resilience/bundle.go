@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -46,8 +47,28 @@ type Bundle struct {
 	// that was armed during the original run, so a replay re-arms the same
 	// corruption and the semantic oracle reproduces the divergence.
 	Inject string `json:"inject,omitempty"`
+	// Reduced carries delta-debugging provenance when this bundle was
+	// minimized from another one (nil for original quarantine bundles).
+	Reduced *Reduction `json:"reduced,omitempty"`
 	// Note carries free-form context (e.g. why bisection was skipped).
 	Note string `json:"note,omitempty"`
+}
+
+// Reduction records how a minimized bundle came to be: which bundle it
+// was reduced from, how many accepted reduction steps it took, and the
+// before/after size measures — the evidence that the reproduction really
+// shrank and the audit trail back to the original failure.
+type Reduction struct {
+	// FromID is the ID() of the bundle this one was reduced from.
+	FromID string `json:"from_id"`
+	// Steps counts accepted reduction steps (MLIR + directive axes);
+	// Tried counts predicate evaluations the reduction spent.
+	Steps int `json:"steps"`
+	Tried int `json:"tried,omitempty"`
+	// Sizes are opaque to resilience (the reducer's own JSON encoding of
+	// its before/after statistics), mirrored from internal/reduce.
+	OrigStats  json.RawMessage `json:"orig_stats,omitempty"`
+	FinalStats json.RawMessage `json:"final_stats,omitempty"`
 }
 
 // BundleVersion is the current bundle schema version.
@@ -59,13 +80,43 @@ const BundleVersion = 1
 func (b *Bundle) ID() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%s|%s|%s|%s|%s|%s",
-		b.Label, b.Flow, b.Top, b.Directives, b.InputMLIR,
+		b.Label, b.Flow, b.Top, canonicalJSON(b.Directives), b.InputMLIR,
 		b.Failure.Stage, b.Failure.Pass, b.Failure.Kind)
 	return hex.EncodeToString(h.Sum(nil))[:12]
 }
 
-// WriteBundle serializes b into dir (created if missing) as
-// repro-<id>.json and returns the written path.
+// canonicalJSON compacts a raw message before hashing: MarshalIndent
+// re-indents embedded RawMessages on write, so without this the ID would
+// drift across a write/read round-trip.
+func canonicalJSON(raw json.RawMessage) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	return buf.String()
+}
+
+// Filename is the bundle's quarantine file name:
+// repro-<kind>-<id>[-reduced].json. The failure kind makes a quarantine
+// directory legible at a glance, the content digest keeps distinct
+// failures from colliding, and the -reduced marker keeps a minimized
+// bundle from ever overwriting the original it was derived from (their
+// IDs differ too — the input is part of the digest — but the marker makes
+// the relationship explicit and glob-able).
+func (b *Bundle) Filename() string {
+	kind := string(b.Failure.Kind)
+	if kind == "" {
+		kind = "unknown"
+	}
+	name := "repro-" + kind + "-" + b.ID()
+	if b.Reduced != nil {
+		name += "-reduced"
+	}
+	return name + ".json"
+}
+
+// WriteBundle serializes b into dir (created if missing) under
+// b.Filename() and returns the written path.
 func WriteBundle(dir string, b *Bundle) (string, error) {
 	if b.Version == 0 {
 		b.Version = BundleVersion
@@ -77,12 +128,29 @@ func WriteBundle(dir string, b *Bundle) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("marshal bundle: %w", err)
 	}
-	path := filepath.Join(dir, "repro-"+b.ID()+".json")
+	path := filepath.Join(dir, b.Filename())
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return "", fmt.Errorf("write bundle: %w", err)
 	}
 	return path, nil
 }
+
+// Replay exit codes: the single documented contract between `hls-adaptor
+// -replay`, the CI quarantine sweeps, and the reduction predicates that
+// shell out to replays. README and -help text mirror these constants;
+// TestReplayExitCodes holds all three together.
+const (
+	// ReplayExitReproduced (0): the replay failed again and the failure was
+	// re-pinned from scratch (a shifted stage/pass is noted on stderr, not
+	// an error — the bundle is still a live reproduction).
+	ReplayExitReproduced = 0
+	// ReplayExitUnusable (1): the bundle could not be exercised (unreadable
+	// file, bad directives/target, no or unparseable input IR).
+	ReplayExitUnusable = 1
+	// ReplayExitClean (2): the replay ran clean — the recorded failure did
+	// not reproduce (transient, environmental, or since fixed).
+	ReplayExitClean = 2
+)
 
 // ReadBundle loads a bundle written by WriteBundle.
 func ReadBundle(path string) (*Bundle, error) {

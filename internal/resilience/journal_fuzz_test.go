@@ -1,4 +1,4 @@
-package resilience
+package resilience_test
 
 import (
 	"bytes"
@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/kgen"
+	"repro/internal/resilience"
 )
 
 // fuzzEntry is the payload journaled in the fuzz corpus. Data depends
@@ -38,10 +41,21 @@ func FuzzJournalRecover(f *testing.F) {
 	f.Add(uint8(5), uint16(40), []byte("}}{{garbage"))
 	f.Add(uint8(1), uint16(7), []byte(`{"key":"k","sum":"x","data":1}`+"\n"))
 	f.Add(uint8(8), uint16(500), []byte("\n\n\x00\xff"))
+	// Seed the garbage axis from the shared kgen corpus: realistic foreign
+	// text (affine MLIR) appended after the cut, the shape a crashed writer
+	// sharing a directory with kernel artifacts would actually produce.
+	for _, seed := range kgen.CorpusSeeds() {
+		if text, ok := kgen.CorpusText(seed); ok {
+			if len(text) > 256 {
+				text = text[:256]
+			}
+			f.Add(uint8(seed%8), uint16(seed*37), []byte(text))
+		}
+	}
 	f.Fuzz(func(t *testing.T, nrec uint8, cut uint16, garbage []byte) {
 		dir := t.TempDir()
 		path := filepath.Join(dir, "j.jsonl")
-		j, err := OpenJournal(path)
+		j, err := resilience.OpenJournal(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +93,7 @@ func FuzzJournalRecover(f *testing.F) {
 		}
 
 		// Property 1: recovery never errors on a torn or garbaged file.
-		j2, err := OpenJournal(path)
+		j2, err := resilience.OpenJournal(path)
 		if err != nil {
 			t.Fatalf("OpenJournal on mutated file: %v", err)
 		}
@@ -108,7 +122,7 @@ func FuzzJournalRecover(f *testing.F) {
 			t.Fatalf("Put after recovery: %v", err)
 		}
 		j2.Close()
-		j3, err := OpenJournal(path)
+		j3, err := resilience.OpenJournal(path)
 		if err != nil {
 			t.Fatalf("reopen after recovery append: %v", err)
 		}
